@@ -1,0 +1,70 @@
+//! Phase-1 benchmarks: the centralized partition (level-based production
+//! algorithm vs. the literal single-linkage reading — the chaining
+//! ablation), the per-request distributed algorithm, and the kNN baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nela::cluster::centralized::{centralized_k_clustering, single_linkage_k_clustering};
+use nela::cluster::distributed::distributed_k_clustering;
+use nela::cluster::knn::{knn_cluster, TieBreak};
+use nela::{Params, System};
+use nela_geo::UserId;
+use std::hint::black_box;
+
+fn test_system() -> System {
+    System::build(&Params {
+        k: 10,
+        ..Params::scaled(20_000)
+    })
+}
+
+fn bench_centralized(c: &mut Criterion) {
+    let system = test_system();
+    let mut group = c.benchmark_group("centralized_partition_20k");
+    group.sample_size(10);
+    group.bench_function("level_based", |b| {
+        b.iter(|| black_box(centralized_k_clustering(&system.wpg, 10)))
+    });
+    group.bench_function("single_linkage_literal", |b| {
+        b.iter(|| black_box(single_linkage_k_clustering(&system.wpg, 10)))
+    });
+    group.finish();
+}
+
+fn servable_hosts(system: &System, want: usize) -> Vec<UserId> {
+    let none = |_: UserId| false;
+    system
+        .host_sequence(2_000, 3)
+        .into_iter()
+        .filter(|&h| distributed_k_clustering(&system.wpg, h, system.params.k, &none).is_ok())
+        .take(want)
+        .collect()
+}
+
+fn bench_per_request(c: &mut Criterion) {
+    let system = test_system();
+    let hosts = servable_hosts(&system, 64);
+    let none = |_: UserId| false;
+    let mut group = c.benchmark_group("per_request");
+    for k in [5usize, 10, 50] {
+        group.bench_with_input(BenchmarkId::new("distributed_t_conn", k), &k, |b, &k| {
+            let mut i = 0;
+            b.iter(|| {
+                let h = hosts[i % hosts.len()];
+                i += 1;
+                black_box(distributed_k_clustering(&system.wpg, h, k, &none).ok())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("knn", k), &k, |b, &k| {
+            let mut i = 0;
+            b.iter(|| {
+                let h = hosts[i % hosts.len()];
+                i += 1;
+                black_box(knn_cluster(&system.wpg, h, k, &none, TieBreak::Id).ok())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_centralized, bench_per_request);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Substrate benchmarks: dataset generation, grid indexing, WPG
+//! construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nela_geo::{DatasetSpec, GridIndex, SpatialDistribution};
+use nela_wpg::{InverseDistanceRss, WpgBuilder};
+use std::hint::black_box;
+
+fn bench_dataset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_generate");
+    group.sample_size(20);
+    for n in [5_000usize, 20_000] {
+        group.bench_with_input(BenchmarkId::new("california", n), &n, |b, &n| {
+            let spec = DatasetSpec {
+                n,
+                seed: 1,
+                distribution: SpatialDistribution::california(),
+            };
+            b.iter(|| black_box(spec.generate()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let points = DatasetSpec {
+        n: 20_000,
+        seed: 1,
+        distribution: SpatialDistribution::california(),
+    }
+    .generate();
+    c.bench_function("grid_build_20k", |b| {
+        b.iter(|| black_box(GridIndex::build(&points, 4.6e-3)))
+    });
+    let grid = GridIndex::build(&points, 4.6e-3);
+    c.bench_function("grid_range_query", |b| {
+        let mut buf = Vec::new();
+        let mut q = 0u32;
+        b.iter(|| {
+            grid.neighbors_within(q % 20_000, 4.6e-3, &mut buf);
+            q = q.wrapping_add(97);
+            black_box(buf.len())
+        })
+    });
+}
+
+fn bench_wpg_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wpg_build");
+    group.sample_size(10);
+    for n in [5_000usize, 20_000] {
+        let points = DatasetSpec {
+            n,
+            seed: 1,
+            distribution: SpatialDistribution::california(),
+        }
+        .generate();
+        let delta = 2e-3 * (104_770.0_f64 / n as f64).sqrt();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(WpgBuilder::new(delta, 10, InverseDistanceRss).build(&points)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataset, bench_grid, bench_wpg_build);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! End-to-end substrate experiment: neighbor discovery over a lossy, noisy
+//! radio → discovered WPG → cloaking quality.
+//!
+//! The paper assumes RSS knowledge exists; this experiment quantifies what
+//! the whole pipeline loses when that knowledge must be *acquired* by
+//! beaconing. Sweeps beacon loss and RSS noise, reporting WPG edge recall
+//! and the downstream cloaking metrics on the discovered graph versus the
+//! ideal one.
+
+use nela::metrics::run_workload;
+use nela::netsim::discovery::{edge_recall, run_discovery, DiscoveryConfig};
+use nela::{BoundingAlgo, ClusteringAlgo, Params, System};
+use nela_bench::{fmt, print_table, ExpConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    beacon_loss: f64,
+    rss_noise: f64,
+    rounds: u32,
+    edge_recall: f64,
+    served: usize,
+    failed: usize,
+    mean_cost: f64,
+    mean_area: f64,
+}
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    let params = Params {
+        k: 10,
+        ..Params::scaled(cfg.users.min(20_000))
+    };
+    let ideal_system = cfg.build(&params);
+    let hosts = ideal_system.host_sequence(params.requests.min(400), 1);
+
+    let sweeps: Vec<(f64, f64, u32)> = vec![
+        (0.0, 0.0, 8),
+        (0.2, 0.0, 8),
+        (0.5, 0.0, 8),
+        (0.5, 0.0, 2),
+        (0.0, 0.25 * params.delta, 8),
+        (0.0, 1.0 * params.delta, 8),
+        (0.3, 0.5 * params.delta, 8),
+    ];
+
+    let mut rows = Vec::new();
+    for (beacon_loss, rss_noise, rounds) in sweeps {
+        let dcfg = DiscoveryConfig {
+            delta: params.delta,
+            max_peers: params.max_peers,
+            rounds,
+            beacon_loss,
+            rss_noise,
+            period: 1.0,
+            seed: 5,
+        };
+        let (wpg, _) = run_discovery(&ideal_system.points, &ideal_system.grid, &dcfg);
+        let recall = edge_recall(&ideal_system.wpg, &wpg);
+        // Run the standard workload over the discovered graph.
+        let system = System {
+            params: params.clone(),
+            points: ideal_system.points.clone(),
+            grid: ideal_system.grid.clone(),
+            wpg,
+        };
+        let stats = run_workload(
+            &system,
+            ClusteringAlgo::TConnDistributed,
+            BoundingAlgo::Optimal,
+            &hosts,
+        );
+        rows.push(Row {
+            beacon_loss,
+            rss_noise,
+            rounds,
+            edge_recall: recall,
+            served: stats.served,
+            failed: stats.failed,
+            mean_cost: stats.avg_clustering_messages,
+            mean_area: stats.avg_cloaked_area,
+        });
+    }
+
+    print_table(
+        "Discovery → cloaking: substrate degradation end to end (k = 10)",
+        &[
+            "loss",
+            "noise",
+            "rounds",
+            "edge recall",
+            "served",
+            "failed",
+            "mean cost",
+            "mean area",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    fmt(r.beacon_loss),
+                    fmt(r.rss_noise),
+                    r.rounds.to_string(),
+                    fmt(r.edge_recall),
+                    r.served.to_string(),
+                    r.failed.to_string(),
+                    fmt(r.mean_cost),
+                    fmt(r.mean_area),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    cfg.write_json("discovery", &rows);
+}

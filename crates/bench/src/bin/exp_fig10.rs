@@ -1,0 +1,73 @@
+//! Fig. 10 — overall communication cost under various POI data sizes.
+//!
+//! Combines the clustering cost with the service-request cost for ratios
+//! ρ = (size of one POI's content) / (size of one clustering message)
+//! from 0 to 20: total = clustering messages + ρ · E[#POIs in the cloaked
+//! region]. The paper's observation: t-Conn overtakes kNN once a POI is
+//! ≳ 10× a clustering message — which virtually always holds in practice.
+
+use nela::cluster::knn::TieBreak;
+use nela::metrics::run_workload;
+use nela::{BoundingAlgo, ClusteringAlgo, WorkloadStats};
+use nela_bench::{fmt, print_table, ExpConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    ratio: f64,
+    tconn_total: f64,
+    knn_total: f64,
+    central_total: f64,
+}
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    let params = cfg.params();
+    let system = cfg.build(&params);
+    let hosts = system.host_sequence(params.requests, 1);
+
+    let run = |algo| run_workload(&system, algo, BoundingAlgo::Optimal, &hosts);
+    let tconn = run(ClusteringAlgo::TConnDistributed);
+    let knn = run(ClusteringAlgo::Knn(TieBreak::Id));
+    let central = run(ClusteringAlgo::TConnCentralized);
+
+    // Expected POIs returned by a range query over the average region.
+    let pois = |w: &WorkloadStats| w.avg_cloaked_area * params.n_users as f64;
+
+    let mut rows = Vec::new();
+    for r10 in 0..=20u32 {
+        let ratio = r10 as f64;
+        rows.push(Row {
+            ratio,
+            tconn_total: tconn.avg_clustering_messages + ratio * pois(&tconn),
+            knn_total: knn.avg_clustering_messages + ratio * pois(&knn),
+            central_total: central.avg_clustering_messages + ratio * pois(&central),
+        });
+    }
+
+    print_table(
+        "Fig. 10 — total comm. cost vs. POI-content / clustering-message size ratio",
+        &["ratio", "t-Conn", "kNN", "centralized t-Conn"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    fmt(r.ratio),
+                    fmt(r.tconn_total),
+                    fmt(r.knn_total),
+                    fmt(r.central_total),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    // Report the crossover, if any.
+    if let Some(cross) = rows.iter().find(|r| r.tconn_total < r.knn_total) {
+        println!(
+            "\nt-Conn total cost drops below kNN at ratio {}",
+            cross.ratio
+        );
+    } else {
+        println!("\nno t-Conn/kNN crossover within ratio ≤ 20 at this workload");
+    }
+    cfg.write_json("fig10", &rows);
+}

@@ -1,0 +1,90 @@
+//! Fig. 11 — performance under various anonymity levels k.
+//!
+//! Sweeps k ∈ {5, 10, 20, 30, 40, 50} at the default topology and reports
+//! communication cost (Fig. 11(a)) and cloaked-region size (Fig. 11(b)) for
+//! the three clustering algorithms, with optimal bounding.
+
+use nela::cluster::knn::TieBreak;
+use nela::metrics::run_workload;
+use nela::{BoundingAlgo, ClusteringAlgo};
+use nela_bench::{fmt, print_table, ExpConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    k: usize,
+    tconn_cost: f64,
+    knn_cost: f64,
+    central_cost: f64,
+    tconn_area: f64,
+    knn_area: f64,
+    central_area: f64,
+    knn_failed: usize,
+}
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    let base = cfg.params();
+    let system = cfg.build(&base);
+    let hosts = system.host_sequence(base.requests, 1);
+
+    let mut rows = Vec::new();
+    for k in [5usize, 10, 20, 30, 40, 50] {
+        // Rebuilding only the parameters — the WPG does not depend on k.
+        let mut params = base.clone();
+        params.k = k;
+        let system_k = nela::System {
+            params: params.clone(),
+            points: system.points.clone(),
+            grid: system.grid.clone(),
+            wpg: system.wpg.clone(),
+        };
+        let run = |algo| run_workload(&system_k, algo, BoundingAlgo::Optimal, &hosts);
+        let tconn = run(ClusteringAlgo::TConnDistributed);
+        let knn = run(ClusteringAlgo::Knn(TieBreak::Id));
+        let central = run(ClusteringAlgo::TConnCentralized);
+        rows.push(Row {
+            k,
+            tconn_cost: tconn.avg_clustering_messages,
+            knn_cost: knn.avg_clustering_messages,
+            central_cost: central.avg_clustering_messages,
+            tconn_area: tconn.avg_cloaked_area,
+            knn_area: knn.avg_cloaked_area,
+            central_area: central.avg_cloaked_area,
+            knn_failed: knn.failed,
+        });
+    }
+
+    print_table(
+        "Fig. 11(a) — avg. communication cost vs. k",
+        &["k", "t-Conn", "kNN", "centralized t-Conn"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.k.to_string(),
+                    fmt(r.tconn_cost),
+                    fmt(r.knn_cost),
+                    fmt(r.central_cost),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    print_table(
+        "Fig. 11(b) — avg. cloaked region size vs. k",
+        &["k", "t-Conn", "kNN", "centralized t-Conn", "kNN/t-Conn"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.k.to_string(),
+                    fmt(r.tconn_area),
+                    fmt(r.knn_area),
+                    fmt(r.central_area),
+                    fmt(r.knn_area / r.tconn_area),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    cfg.write_json("fig11", &rows);
+}

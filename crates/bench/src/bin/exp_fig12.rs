@@ -1,0 +1,88 @@
+//! Fig. 12 — performance under various numbers of requesting users S.
+//!
+//! Sweeps the workload size (the paper uses S ∈ {1000, 2000, 4000, 8000} of
+//! 104,770 users; here S scales with the population so the request
+//! *fraction* matches) and reports communication cost (Fig. 12(a)) and
+//! cloaked-region size (Fig. 12(b)). The expected shapes: both
+//! t-connectivity variants amortize (cost falls with S) while kNN stays
+//! low-and-flat in cost but degrades in region size; t-Conn's region size is
+//! flat — the observable face of cluster-isolation.
+
+use nela::cluster::knn::TieBreak;
+use nela::metrics::run_workload;
+use nela::{BoundingAlgo, ClusteringAlgo};
+use nela_bench::{fmt, print_table, ExpConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    s: usize,
+    tconn_cost: f64,
+    knn_cost: f64,
+    central_cost: f64,
+    tconn_area: f64,
+    knn_area: f64,
+    central_area: f64,
+}
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    let params = cfg.params();
+    let system = cfg.build(&params);
+    // Paper S values scaled by population (104770 → n_users).
+    let scale = params.n_users as f64 / 104_770.0;
+    let s_values: Vec<usize> = [1000usize, 2000, 4000, 8000]
+        .iter()
+        .map(|&s| ((s as f64 * scale) as usize).max(10))
+        .collect();
+
+    let mut rows = Vec::new();
+    for &s in &s_values {
+        let hosts = system.host_sequence(s, 1);
+        let run = |algo| run_workload(&system, algo, BoundingAlgo::Optimal, &hosts);
+        let tconn = run(ClusteringAlgo::TConnDistributed);
+        let knn = run(ClusteringAlgo::Knn(TieBreak::Id));
+        let central = run(ClusteringAlgo::TConnCentralized);
+        rows.push(Row {
+            s,
+            tconn_cost: tconn.avg_clustering_messages,
+            knn_cost: knn.avg_clustering_messages,
+            central_cost: central.avg_clustering_messages,
+            tconn_area: tconn.avg_cloaked_area,
+            knn_area: knn.avg_cloaked_area,
+            central_area: central.avg_cloaked_area,
+        });
+    }
+
+    print_table(
+        "Fig. 12(a) — avg. communication cost vs. # of requesting users",
+        &["S", "t-Conn", "kNN", "centralized t-Conn"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.s.to_string(),
+                    fmt(r.tconn_cost),
+                    fmt(r.knn_cost),
+                    fmt(r.central_cost),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    print_table(
+        "Fig. 12(b) — avg. cloaked region size vs. # of requesting users",
+        &["S", "t-Conn", "kNN", "centralized t-Conn"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.s.to_string(),
+                    fmt(r.tconn_area),
+                    fmt(r.knn_area),
+                    fmt(r.central_area),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    cfg.write_json("fig12", &rows);
+}

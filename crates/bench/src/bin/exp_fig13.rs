@@ -1,0 +1,90 @@
+//! Fig. 13 — bounding algorithms under various anonymity levels k.
+//!
+//! Phase 1 is fixed to the distributed t-connectivity algorithm; phase 2
+//! sweeps the four bounding algorithms of §VI-D over k ∈ {5..50}:
+//!
+//! - **Fig. 13(a)**: average bounding communication cost,
+//! - **Fig. 13(b)**: average service-request cost, as a ratio to optimal
+//!   bounding (the paper plots this ratio),
+//! - **Fig. 13(c)**: average total communication cost,
+//! - **Fig. 13(d)**: average bounding CPU time (ms).
+
+use nela::metrics::run_workload;
+use nela::{BoundingAlgo, ClusteringAlgo, WorkloadStats};
+use nela_bench::{fmt, print_table, ExpConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    k: usize,
+    bounding: [f64; 4],
+    request_ratio: [f64; 4],
+    total: [f64; 4],
+    cpu_ms: [f64; 4],
+}
+
+const ALGOS: [(&str, BoundingAlgo); 4] = [
+    ("Linear", BoundingAlgo::Linear),
+    ("Exponential", BoundingAlgo::Exponential),
+    ("Secure", BoundingAlgo::Secure),
+    ("Optimal", BoundingAlgo::Optimal),
+];
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    let base = cfg.params();
+    let system = cfg.build(&base);
+    let hosts = system.host_sequence(base.requests, 1);
+
+    let mut rows = Vec::new();
+    for k in [5usize, 10, 20, 30, 40, 50] {
+        let mut params = base.clone();
+        params.k = k;
+        let system_k = nela::System {
+            params: params.clone(),
+            points: system.points.clone(),
+            grid: system.grid.clone(),
+            wpg: system.wpg.clone(),
+        };
+        let stats: Vec<WorkloadStats> = ALGOS
+            .iter()
+            .map(|&(_, b)| run_workload(&system_k, ClusteringAlgo::TConnDistributed, b, &hosts))
+            .collect();
+        let opt_request = stats[3].avg_request_cost.max(f64::MIN_POSITIVE);
+        rows.push(Row {
+            k,
+            bounding: std::array::from_fn(|i| stats[i].avg_bounding_messages),
+            request_ratio: std::array::from_fn(|i| stats[i].avg_request_cost / opt_request),
+            total: std::array::from_fn(|i| {
+                stats[i].avg_bounding_messages + stats[i].avg_request_cost
+            }),
+            cpu_ms: std::array::from_fn(|i| stats[i].avg_bounding_cpu_ms),
+        });
+    }
+
+    let table = |title: &str, f: &dyn Fn(&Row) -> [f64; 4]| {
+        print_table(
+            title,
+            &["k", "Linear", "Exponential", "Secure", "Optimal"],
+            &rows
+                .iter()
+                .map(|r| {
+                    let v = f(r);
+                    vec![r.k.to_string(), fmt(v[0]), fmt(v[1]), fmt(v[2]), fmt(v[3])]
+                })
+                .collect::<Vec<_>>(),
+        );
+    };
+    table("Fig. 13(a) — avg. bounding comm. cost vs. k", &|r| {
+        r.bounding
+    });
+    table(
+        "Fig. 13(b) — avg. request cost (ratio to optimal) vs. k",
+        &|r| r.request_ratio,
+    );
+    table("Fig. 13(c) — avg. total comm. cost vs. k", &|r| r.total);
+    table("Fig. 13(d) — avg. bounding CPU time (ms) vs. k", &|r| {
+        r.cpu_ms
+    });
+    cfg.write_json("fig13", &rows);
+}

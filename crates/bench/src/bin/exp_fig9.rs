@@ -1,0 +1,103 @@
+//! Fig. 9 — performance under various average WPG degrees.
+//!
+//! Sweeps the peer cap M ∈ {4, 8, 16, 32, 64} (which controls the average
+//! vertex degree) and reports, for the distributed t-connectivity algorithm,
+//! the kNN baseline and the centralized t-connectivity algorithm:
+//!
+//! - **Fig. 9(a)**: average communication cost (messages per cloaking
+//!   request),
+//! - **Fig. 9(b)**: average cloaked-region area (×10⁻⁴), computed with
+//!   optimal bounding to isolate phase-1 quality (as the paper does).
+
+use nela::cluster::knn::TieBreak;
+use nela::metrics::run_workload;
+use nela::{BoundingAlgo, ClusteringAlgo, Params};
+use nela_bench::{fmt, print_table, ExpConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    m: usize,
+    avg_degree: f64,
+    tconn_cost: f64,
+    knn_cost: f64,
+    central_cost: f64,
+    tconn_area: f64,
+    knn_area: f64,
+    central_area: f64,
+}
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    let mut rows = Vec::new();
+    for m in [4usize, 8, 16, 32, 64] {
+        let params = Params {
+            max_peers: m,
+            ..cfg.params()
+        };
+        let system = cfg.build(&params);
+        let hosts = system.host_sequence(params.requests, 1);
+        let tconn = run_workload(
+            &system,
+            ClusteringAlgo::TConnDistributed,
+            BoundingAlgo::Optimal,
+            &hosts,
+        );
+        let knn = run_workload(
+            &system,
+            ClusteringAlgo::Knn(TieBreak::Id),
+            BoundingAlgo::Optimal,
+            &hosts,
+        );
+        let central = run_workload(
+            &system,
+            ClusteringAlgo::TConnCentralized,
+            BoundingAlgo::Optimal,
+            &hosts,
+        );
+        rows.push(Row {
+            m,
+            avg_degree: system.avg_degree(),
+            tconn_cost: tconn.avg_clustering_messages,
+            knn_cost: knn.avg_clustering_messages,
+            central_cost: central.avg_clustering_messages,
+            tconn_area: tconn.avg_cloaked_area,
+            knn_area: knn.avg_cloaked_area,
+            central_area: central.avg_cloaked_area,
+        });
+    }
+
+    print_table(
+        "Fig. 9(a) — avg. communication cost vs. avg. degree",
+        &["M", "avg degree", "t-Conn", "kNN", "centralized t-Conn"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.m.to_string(),
+                    fmt(r.avg_degree),
+                    fmt(r.tconn_cost),
+                    fmt(r.knn_cost),
+                    fmt(r.central_cost),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    print_table(
+        "Fig. 9(b) — avg. cloaked region size vs. avg. degree",
+        &["M", "avg degree", "t-Conn", "kNN", "centralized t-Conn"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.m.to_string(),
+                    fmt(r.avg_degree),
+                    fmt(r.tconn_area),
+                    fmt(r.knn_area),
+                    fmt(r.central_area),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    cfg.write_json("fig9", &rows);
+}

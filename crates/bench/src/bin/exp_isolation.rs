@@ -1,0 +1,94 @@
+//! Cluster-isolation measurement (paper §IV, Property 4.1).
+//!
+//! For each algorithm: carve out sample hosts' clusters, re-run every other
+//! sampled user's request, and count how many victims' clusters changed,
+//! degraded, or vanished. The paper proves the t-connectivity algorithm
+//! cluster-isolated (Theorem 4.4); measured, it is *non-degrading* with a
+//! small amount of benign membership churn, while kNN degrades outright —
+//! see DESIGN.md fidelity decision #3.
+
+use nela::cluster::isolation::{isolation_report, knn_algo, t_conn_algo};
+use nela::cluster::knn::TieBreak;
+use nela::Params;
+use nela_bench::{fmt, print_table, ExpConfig};
+use nela_geo::UserId;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    algo: String,
+    k: usize,
+    checked: usize,
+    changed_pct: f64,
+    degraded_pct: f64,
+    lost_pct: f64,
+}
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    // Isolation checking is O(hosts × victims × request); use a smaller
+    // population than the workload experiments.
+    let params = Params {
+        k: 10,
+        ..Params::scaled(cfg.users.min(5_000))
+    };
+    let system = cfg.build(&params);
+    let hosts: Vec<UserId> = system
+        .host_sequence(300, 3)
+        .into_iter()
+        .filter(|&h| {
+            nela::cluster::distributed_k_clustering(&system.wpg, h, params.k, &|_| false).is_ok()
+        })
+        .take(6)
+        .collect();
+
+    let mut rows = Vec::new();
+    for k in [5usize, 10] {
+        for (name, report) in [
+            (
+                "t-Conn",
+                isolation_report(&system.wpg, &hosts, 11, &t_conn_algo(k)),
+            ),
+            (
+                "kNN",
+                isolation_report(&system.wpg, &hosts, 11, &knn_algo(k, TieBreak::Id)),
+            ),
+        ] {
+            let pct = |x: usize| 100.0 * x as f64 / report.checked.max(1) as f64;
+            rows.push(Row {
+                algo: name.to_string(),
+                k,
+                checked: report.checked,
+                changed_pct: pct(report.changed),
+                degraded_pct: pct(report.degraded),
+                lost_pct: pct(report.lost),
+            });
+        }
+    }
+
+    print_table(
+        "Cluster-isolation: victims affected by carving a host's cluster",
+        &[
+            "algorithm",
+            "k",
+            "victims checked",
+            "changed %",
+            "degraded %",
+            "lost %",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.algo.clone(),
+                    r.k.to_string(),
+                    r.checked.to_string(),
+                    fmt(r.changed_pct),
+                    fmt(r.degraded_pct),
+                    fmt(r.lost_pct),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    cfg.write_json("isolation", &rows);
+}

@@ -1,0 +1,66 @@
+//! Table I — simulation parameter settings.
+//!
+//! Prints the parameter table the evaluation runs under, both at the
+//! paper's full scale and at the default scaled-down experiment size.
+
+use nela::Params;
+use nela_bench::{print_table, ExpConfig};
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    let paper = Params::table1();
+    let scaled = cfg.params();
+    let rows: Vec<Vec<String>> = vec![
+        vec![
+            "# of users".into(),
+            paper.n_users.to_string(),
+            scaled.n_users.to_string(),
+        ],
+        vec![
+            "distance threshold δ".into(),
+            format!("{:.1e}", paper.delta),
+            format!("{:.3e}", scaled.delta),
+        ],
+        vec![
+            "max # of connected peers M".into(),
+            paper.max_peers.to_string(),
+            scaled.max_peers.to_string(),
+        ],
+        vec![
+            "k-anonymity k".into(),
+            paper.k.to_string(),
+            scaled.k.to_string(),
+        ],
+        vec![
+            "bounding cost Cb".into(),
+            format!("{}", paper.cb),
+            format!("{}", scaled.cb),
+        ],
+        vec![
+            "service request cost Cr".into(),
+            format!("{}", paper.cr),
+            format!("{}", scaled.cr),
+        ],
+        vec![
+            "uniform distribution bound U".into(),
+            "N/104770".into(),
+            format!("N/{}", scaled.n_users),
+        ],
+        vec![
+            "initial bound X".into(),
+            "N/104770".into(),
+            format!("N/{}", scaled.n_users),
+        ],
+        vec![
+            "# of user requests S".into(),
+            paper.requests.to_string(),
+            scaled.requests.to_string(),
+        ],
+    ];
+    print_table(
+        "Table I — simulation parameter settings (paper / this run)",
+        &["parameter", "paper", "this run"],
+        &rows,
+    );
+    cfg.write_json("table1", &scaled);
+}

@@ -1,0 +1,109 @@
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the paper's §VI (see `DESIGN.md` for the experiment index
+//! and `EXPERIMENTS.md` for recorded outcomes).
+//!
+//! Each `src/bin/exp_*.rs` binary prints the paper-matching series as an
+//! aligned table on stdout and, when `NELA_RESULTS_DIR` is set, also writes
+//! machine-readable JSON there (consumed when updating `EXPERIMENTS.md`).
+//!
+//! Scaling: the full paper population (104,770 users) is expensive to sweep
+//! repeatedly; by default experiments run a proportionally scaled system
+//! (`NELA_USERS`, default 20,000) with δ and S adjusted to preserve the WPG
+//! density and the request fraction. Run with `NELA_USERS=104770` for the
+//! full-size reproduction.
+
+use nela::{Params, System};
+use serde::Serialize;
+
+/// Experiment-wide configuration from the environment.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// Population size (`NELA_USERS`, default 20,000).
+    pub users: usize,
+    /// Directory for JSON result dumps (`NELA_RESULTS_DIR`, optional).
+    pub results_dir: Option<std::path::PathBuf>,
+}
+
+impl ExpConfig {
+    /// Reads the configuration from the environment.
+    pub fn from_env() -> Self {
+        let users = std::env::var("NELA_USERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20_000);
+        let results_dir = std::env::var_os("NELA_RESULTS_DIR").map(Into::into);
+        ExpConfig { users, results_dir }
+    }
+
+    /// Baseline parameters at this scale (Table I, proportionally scaled).
+    pub fn params(&self) -> Params {
+        Params::scaled(self.users)
+    }
+
+    /// Builds a system, echoing its shape.
+    pub fn build(&self, params: &Params) -> System {
+        eprintln!(
+            "[build] {} users, δ={:.2e}, M={}, k={} ...",
+            params.n_users, params.delta, params.max_peers, params.k
+        );
+        let system = System::build(params);
+        eprintln!(
+            "[build] WPG: {} edges, avg degree {:.2}",
+            system.wpg.m(),
+            system.avg_degree()
+        );
+        system
+    }
+
+    /// Writes a JSON result dump when `NELA_RESULTS_DIR` is set.
+    pub fn write_json<T: Serialize>(&self, name: &str, value: &T) {
+        let Some(dir) = &self.results_dir else {
+            return;
+        };
+        std::fs::create_dir_all(dir).expect("create results dir");
+        let path = dir.join(format!("{name}.json"));
+        let json = serde_json::to_string_pretty(value).expect("serialize results");
+        std::fs::write(&path, json).expect("write results");
+        eprintln!("[results] wrote {}", path.display());
+    }
+}
+
+/// Prints an aligned table: a title line, a header row, then rows of
+/// preformatted cells.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a float in short scientific or fixed form for table cells.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.01 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.2}")
+    }
+}

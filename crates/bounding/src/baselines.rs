@@ -1,0 +1,129 @@
+//! The competitor bounding algorithms of §VI-D.
+//!
+//! - **Linear** — the bound grows by a fixed amount each round: the most
+//!   conservative strategy, most rounds, tightest bound.
+//! - **Exponential** — the bound doubles each round (the increment equals
+//!   the length of the current bound): fewest rounds, loosest bound.
+//! - **Optimal (OPT)** — every user reports its exact extreme coordinates;
+//!   one message per user, perfectly tight — and no privacy. Used purely as
+//!   the benchmark.
+
+use crate::protocol::IncrementPolicy;
+
+/// Fixed-increment policy (the paper's *linear* baseline).
+#[derive(Debug, Clone, Copy)]
+pub struct LinearPolicy {
+    /// The constant per-round increment.
+    pub step: f64,
+}
+
+impl LinearPolicy {
+    /// Creates a linear policy with a positive step.
+    pub fn new(step: f64) -> Self {
+        assert!(step > 0.0 && step.is_finite(), "step must be positive");
+        LinearPolicy { step }
+    }
+}
+
+impl IncrementPolicy for LinearPolicy {
+    fn increment(&mut self, _n: usize, _round: usize, _current_excess: f64) -> f64 {
+        self.step
+    }
+}
+
+/// Doubling policy (the paper's *exponential* baseline): the first round
+/// proposes `initial`, every later round adds the full excess accumulated so
+/// far, doubling the bound's distance from X₀.
+#[derive(Debug, Clone, Copy)]
+pub struct ExponentialPolicy {
+    /// The first round's increment (the paper's "initial bound").
+    pub initial: f64,
+}
+
+impl ExponentialPolicy {
+    /// Creates an exponential policy with a positive initial bound.
+    pub fn new(initial: f64) -> Self {
+        assert!(
+            initial > 0.0 && initial.is_finite(),
+            "initial must be positive"
+        );
+        ExponentialPolicy { initial }
+    }
+}
+
+impl IncrementPolicy for ExponentialPolicy {
+    fn increment(&mut self, _n: usize, round: usize, current_excess: f64) -> f64 {
+        if round == 1 {
+            self.initial
+        } else {
+            current_excess
+        }
+    }
+}
+
+/// Outcome of the non-private optimal bounding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimalRun {
+    /// The exact maximum of the values.
+    pub bound: f64,
+    /// One message per user (each reports its value).
+    pub messages: u64,
+}
+
+/// OPT: collect every value and take the exact maximum. One message per
+/// user; zero slack; every coordinate exposed.
+pub fn optimal_bound(values: &[f64]) -> OptimalRun {
+    assert!(!values.is_empty(), "cannot bound an empty cluster");
+    OptimalRun {
+        bound: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        messages: values.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::progressive_upper_bound;
+
+    #[test]
+    fn linear_is_tight_but_chatty() {
+        let values = [0.11, 0.52, 0.37];
+        let step = 0.01;
+        let run = progressive_upper_bound(&values, 0.0, 0.0, &mut LinearPolicy::new(step));
+        assert!(run.slack(&values) <= step + 1e-12);
+        assert_eq!(run.rounds, 52); // ⌈0.52/0.01⌉
+    }
+
+    #[test]
+    fn exponential_doubles_the_excess() {
+        let values = [0.9];
+        let run = progressive_upper_bound(&values, 0.0, 0.0, &mut ExponentialPolicy::new(0.1));
+        // Bounds visited: 0.1, 0.2, 0.4, 0.8, 1.6 → 5 rounds.
+        assert_eq!(run.rounds, 5);
+        assert!((run.bound - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_fewer_rounds_than_linear_looser_bound() {
+        let values = [0.03, 0.41, 0.77, 0.12, 0.58];
+        let lin = progressive_upper_bound(&values, 0.0, 0.0, &mut LinearPolicy::new(0.02));
+        let exp = progressive_upper_bound(&values, 0.0, 0.0, &mut ExponentialPolicy::new(0.02));
+        assert!(exp.rounds < lin.rounds);
+        assert!(exp.messages < lin.messages);
+        assert!(exp.slack(&values) > lin.slack(&values));
+    }
+
+    #[test]
+    fn optimal_is_exact_with_one_message_per_user() {
+        let values = [0.4, 0.1, 0.77];
+        let opt = optimal_bound(&values);
+        assert_eq!(opt.bound, 0.77);
+        assert_eq!(opt.messages, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn linear_rejects_zero_step() {
+        LinearPolicy::new(0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! The 2-D cloaked rectangle from four directional 1-D secure bounds.
+//!
+//! The paper presents the protocol for a scalar attribute ξ and notes the
+//! identifier is "without loss of generality" scalar (§V). A rectangular
+//! cloaked region needs four scalar bounds: upper bounds on `x` and `y`, and
+//! lower bounds obtained by upper-bounding the *negated* coordinates. Each
+//! directional run starts from the host's own coordinate — the region must
+//! cover the host anyway, so this anchor reveals nothing beyond the final
+//! region itself.
+
+use crate::protocol::{progressive_upper_bound, BoundingRun, IncrementPolicy};
+use nela_geo::{Point, Rect};
+
+/// The four directional runs and the assembled region.
+#[derive(Debug, Clone)]
+pub struct BboxOutcome {
+    /// The cloaked region (clipped to the domain rectangle).
+    pub rect: Rect,
+    /// Total verification messages across the four runs.
+    pub messages: u64,
+    /// Total rounds across the four runs.
+    pub rounds: usize,
+    /// The individual runs: `[x-high, x-low, y-high, y-low]` (the low runs
+    /// operate on negated coordinates).
+    pub runs: [BoundingRun; 4],
+}
+
+/// Runs secure bounding in all four directions over the cluster members'
+/// `points`, anchored at the host's own position, and assembles the cloaked
+/// rectangle. `policy_factory` builds a fresh increment policy per direction
+/// (policies may carry per-run state).
+pub fn secure_bounding_box(
+    points: &[Point],
+    host: Point,
+    domain: Rect,
+    mut policy_factory: impl FnMut() -> Box<dyn IncrementPolicy>,
+) -> BboxOutcome {
+    assert!(!points.is_empty(), "cannot bound an empty cluster");
+    let xs: Vec<f64> = points.iter().map(|p| p.x).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.y).collect();
+    let neg_xs: Vec<f64> = xs.iter().map(|v| -v).collect();
+    let neg_ys: Vec<f64> = ys.iter().map(|v| -v).collect();
+
+    let x_hi = progressive_upper_bound(&xs, host.x, domain.min_x, &mut *policy_factory());
+    let x_lo = progressive_upper_bound(&neg_xs, -host.x, -domain.max_x, &mut *policy_factory());
+    let y_hi = progressive_upper_bound(&ys, host.y, domain.min_y, &mut *policy_factory());
+    let y_lo = progressive_upper_bound(&neg_ys, -host.y, -domain.max_y, &mut *policy_factory());
+
+    let rect = Rect::new(
+        (-x_lo.bound).clamp(domain.min_x, domain.max_x),
+        (-y_lo.bound).clamp(domain.min_y, domain.max_y),
+        x_hi.bound.clamp(domain.min_x, domain.max_x),
+        y_hi.bound.clamp(domain.min_y, domain.max_y),
+    );
+    let messages = x_hi.messages + x_lo.messages + y_hi.messages + y_lo.messages;
+    let rounds = x_hi.rounds + x_lo.rounds + y_hi.rounds + y_lo.rounds;
+    BboxOutcome {
+        rect,
+        messages,
+        rounds,
+        runs: [x_hi, x_lo, y_hi, y_lo],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::LinearPolicy;
+
+    fn cluster() -> Vec<Point> {
+        vec![
+            Point::new(0.30, 0.40),
+            Point::new(0.35, 0.42),
+            Point::new(0.28, 0.47),
+            Point::new(0.33, 0.38),
+        ]
+    }
+
+    #[test]
+    fn region_covers_every_member() {
+        let pts = cluster();
+        let out = secure_bounding_box(&pts, pts[0], Rect::UNIT, || {
+            Box::new(LinearPolicy::new(0.01))
+        });
+        for p in &pts {
+            assert!(out.rect.contains(p), "{p:?} outside {:?}", out.rect);
+        }
+    }
+
+    #[test]
+    fn region_contains_tight_bbox_with_bounded_slack() {
+        let pts = cluster();
+        let step = 0.005;
+        let out = secure_bounding_box(&pts, pts[0], Rect::UNIT, || {
+            Box::new(LinearPolicy::new(step))
+        });
+        let tight = Rect::bounding(&pts).unwrap();
+        assert!(out.rect.contains_rect(&tight));
+        assert!(out.rect.width() <= tight.width() + 2.0 * step + 1e-12);
+        assert!(out.rect.height() <= tight.height() + 2.0 * step + 1e-12);
+    }
+
+    #[test]
+    fn region_clipped_to_domain() {
+        let pts = vec![Point::new(0.99, 0.99), Point::new(0.97, 0.98)];
+        let out = secure_bounding_box(&pts, pts[0], Rect::UNIT, || {
+            Box::new(LinearPolicy::new(0.05))
+        });
+        assert!(out.rect.max_x <= 1.0 && out.rect.max_y <= 1.0);
+        assert!(Rect::UNIT.contains_rect(&out.rect));
+    }
+
+    #[test]
+    fn messages_are_summed_over_four_runs() {
+        let pts = cluster();
+        let out = secure_bounding_box(&pts, pts[0], Rect::UNIT, || {
+            Box::new(LinearPolicy::new(0.5))
+        });
+        // Step 0.5 covers each direction in one round of 4 messages.
+        assert_eq!(out.rounds, 4);
+        assert_eq!(out.messages, 16);
+    }
+
+    #[test]
+    fn host_is_always_inside() {
+        let pts = cluster();
+        let host = pts[2];
+        let out = secure_bounding_box(&pts, host, Rect::UNIT, || Box::new(LinearPolicy::new(0.02)));
+        assert!(out.rect.contains(&host));
+    }
+}

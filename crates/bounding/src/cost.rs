@@ -1,0 +1,128 @@
+//! The communication-cost model of secure bounding (paper §V-A).
+//!
+//! Two cost sources trade off against each other:
+//!
+//! - every verification round costs a fixed `Cb` per disagreeing user
+//!   (a round-trip, fixed-size message), and
+//! - the eventual service request costs `R(x)`, growing with the bound —
+//!   proportional to the *area* of the cloaked region for range queries
+//!   (`R(x) = Cr·x²`, Examples 5.1/5.3) or to its *length* for 1-D content
+//!   (`R(x) = Cr·x`, Examples 5.2/5.4).
+//!
+//! Small increments → many rounds (high `Cb` total); large increments →
+//! loose bound (high `R`). The optimizers in [`crate::unary`] and
+//! [`crate::nbound`] pick the increment minimizing the expected total.
+
+/// The service-request cost function `R(x)` and its derivative.
+pub trait RequestCost {
+    /// Cost of a service request over a bound of extent `x`.
+    fn r(&self, x: f64) -> f64;
+    /// Derivative `R'(x)`.
+    fn r_prime(&self, x: f64) -> f64;
+}
+
+/// Area-proportional request cost `R(x) = Cr·x²` (range queries over a 2-D
+/// cloaked region whose extent scales with `x`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaCost {
+    pub cr: f64,
+}
+
+impl RequestCost for AreaCost {
+    #[inline]
+    fn r(&self, x: f64) -> f64 {
+        self.cr * x * x
+    }
+
+    #[inline]
+    fn r_prime(&self, x: f64) -> f64 {
+        2.0 * self.cr * x
+    }
+}
+
+/// Length-proportional request cost `R(x) = Cr·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LengthCost {
+    pub cr: f64,
+}
+
+impl RequestCost for LengthCost {
+    #[inline]
+    fn r(&self, x: f64) -> f64 {
+        self.cr * x
+    }
+
+    #[inline]
+    fn r_prime(&self, _x: f64) -> f64 {
+        self.cr
+    }
+}
+
+/// Bundled cost parameters used across the bounding algorithms and the
+/// experiments (Table I: `Cb = 1`, `Cr = 1000`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// Per-user, per-round verification cost.
+    pub cb: f64,
+    /// Service-request cost coefficient.
+    pub cr: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        // Table I defaults: a POI's content is 1000× a bounding message.
+        CostParams {
+            cb: 1.0,
+            cr: 1000.0,
+        }
+    }
+}
+
+impl CostParams {
+    /// Creates cost parameters; both must be positive.
+    pub fn new(cb: f64, cr: f64) -> Self {
+        assert!(cb > 0.0 && cr > 0.0, "costs must be positive");
+        CostParams { cb, cr }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_cost_and_derivative() {
+        let c = AreaCost { cr: 1000.0 };
+        assert_eq!(c.r(0.1), 10.0);
+        assert_eq!(c.r_prime(0.1), 200.0);
+    }
+
+    #[test]
+    fn length_cost_and_derivative() {
+        let c = LengthCost { cr: 5.0 };
+        assert_eq!(c.r(2.0), 10.0);
+        assert_eq!(c.r_prime(123.0), 5.0);
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let a = AreaCost { cr: 7.0 };
+        let x = 0.3;
+        let h = 1e-6;
+        let fd = (a.r(x + h) - a.r(x - h)) / (2.0 * h);
+        assert!((a.r_prime(x) - fd).abs() < 1e-6);
+    }
+
+    #[test]
+    fn default_params_match_table1() {
+        let p = CostParams::default();
+        assert_eq!(p.cb, 1.0);
+        assert_eq!(p.cr, 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "costs must be positive")]
+    fn rejects_non_positive_costs() {
+        CostParams::new(0.0, 1.0);
+    }
+}

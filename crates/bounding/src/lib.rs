@@ -1,0 +1,50 @@
+//! Secure bounding — phase 2 of non-exposure location cloaking (paper §V).
+//!
+//! After phase 1 identifies a k-anonymity cluster, the cloaked region — a
+//! bounding box of the members' coordinates — must be computed **without any
+//! member revealing a coordinate**. Full secure multi-party computation is
+//! rejected by the paper as impractical on mobile devices, so a progressive
+//! "hypothesis–verification" protocol is used instead: the host proposes a
+//! bound, every disagreeing member says only "not yet", and the bound grows
+//! by an increment optimized against a communication-cost model until
+//! everyone agrees.
+//!
+//! Modules:
+//!
+//! - [`distribution`] — models of the "excess" random variable ξ − X₀
+//!   (uniform and exponential, Examples 5.1–5.4),
+//! - [`cost`] — the communication-cost model: per-round verification cost
+//!   `Cb` and service-request cost `R(x)` (area- or length-proportional),
+//! - [`unary`] — the single-user optimal bound (Equation 2): closed forms
+//!   plus Newton's method for the exponential transcendental case,
+//! - [`nbound`] — N-user optimal increments: the paper's approximation
+//!   (Equation 5) and the exact bottom-up dynamic program over Equation 3
+//!   used to validate it,
+//! - [`protocol`] — the progressive bounding engine (Algorithms 3–4) with
+//!   message accounting and per-user agreement transcripts,
+//! - [`baselines`] — the linear, exponential, and (non-private) optimal
+//!   bounding competitors of §VI-D,
+//! - [`bbox`] — the 2-D cloaked rectangle assembled from four directional
+//!   1-D bounds,
+//! - [`privacy`] — the privacy-loss accounting sketched in the paper's
+//!   future work: the interval of ξ each user's transcript exposes.
+
+pub mod baselines;
+pub mod bbox;
+pub mod cost;
+pub mod distribution;
+pub mod nbound;
+pub mod privacy;
+pub mod protocol;
+pub mod unary;
+
+pub use baselines::{optimal_bound, ExponentialPolicy, LinearPolicy};
+pub use bbox::{secure_bounding_box, BboxOutcome};
+pub use cost::{AreaCost, CostParams, LengthCost, RequestCost};
+pub use distribution::{ExcessDistribution, Exponential, Uniform};
+pub use nbound::{exact_dp_increment, n_bounding_increment, SecurePolicy};
+pub use protocol::{
+    progressive_upper_bound, progressive_upper_bound_with, BoundingRun, IncrementPolicy,
+    LocalValues, VerifyTransport,
+};
+pub use unary::{unary_optimal, UnaryOptimum};

@@ -1,0 +1,120 @@
+//! Privacy-loss accounting for progressive bounding.
+//!
+//! The paper's concluding discussion (§VII) observes that a user who rejects
+//! bound `X` and accepts `X'` has exposed `ξ ∈ (X, X']`: the finer the
+//! increments, the narrower the exposed interval — a quantifiable privacy
+//! loss. This module turns a bounding transcript into that metric, enabling
+//! the cost-vs-privacy comparison the paper leaves as future work: linear
+//! bounding (small steps) leaks the most per user, exponential the least,
+//! secure bounding sits between.
+
+use crate::protocol::BoundingRun;
+
+/// Per-run privacy-loss summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeakReport {
+    /// Number of users in the transcript.
+    pub users: usize,
+    /// Narrowest exposed interval across users (worst privacy).
+    pub min_width: f64,
+    /// Mean exposed interval width.
+    pub mean_width: f64,
+    /// Users whose interval is narrower than `threshold` passed to
+    /// [`leak_report`] — "effectively exposed" users.
+    pub exposed_below_threshold: usize,
+}
+
+/// Summarizes the privacy loss of a bounding run. Interval widths of
+/// round-1 agreers may be infinite when the domain minimum is unbounded;
+/// they are excluded from `mean_width` and can never be "exposed".
+pub fn leak_report(run: &BoundingRun, threshold: f64) -> LeakReport {
+    assert!(threshold >= 0.0, "threshold must be non-negative");
+    let mut min_width = f64::INFINITY;
+    let mut sum = 0.0;
+    let mut finite = 0usize;
+    let mut exposed = 0usize;
+    for r in &run.records {
+        let width = r.upper - r.lower;
+        if width.is_finite() {
+            min_width = min_width.min(width);
+            sum += width;
+            finite += 1;
+            if width < threshold {
+                exposed += 1;
+            }
+        }
+    }
+    LeakReport {
+        users: run.records.len(),
+        min_width,
+        mean_width: if finite > 0 {
+            sum / finite as f64
+        } else {
+            f64::INFINITY
+        },
+        exposed_below_threshold: exposed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{ExponentialPolicy, LinearPolicy};
+    use crate::protocol::progressive_upper_bound;
+
+    fn values() -> Vec<f64> {
+        vec![0.04, 0.11, 0.19, 0.33, 0.41, 0.52]
+    }
+
+    #[test]
+    fn finer_steps_leak_more() {
+        let v = values();
+        let fine = progressive_upper_bound(&v, 0.0, 0.0, &mut LinearPolicy::new(0.01));
+        let coarse = progressive_upper_bound(&v, 0.0, 0.0, &mut LinearPolicy::new(0.2));
+        let fine_leak = leak_report(&fine, 0.0);
+        let coarse_leak = leak_report(&coarse, 0.0);
+        assert!(fine_leak.mean_width < coarse_leak.mean_width);
+        assert!(fine_leak.min_width < coarse_leak.min_width);
+    }
+
+    #[test]
+    fn exponential_leaks_less_than_linear() {
+        let v = values();
+        let lin = progressive_upper_bound(&v, 0.0, 0.0, &mut LinearPolicy::new(0.02));
+        let exp = progressive_upper_bound(&v, 0.0, 0.0, &mut ExponentialPolicy::new(0.02));
+        assert!(
+            leak_report(&exp, 0.0).mean_width > leak_report(&lin, 0.0).mean_width,
+            "doubling steps expose wider (safer) intervals"
+        );
+    }
+
+    #[test]
+    fn intervals_always_contain_the_value() {
+        let v = values();
+        let run = progressive_upper_bound(&v, 0.0, -1.0, &mut LinearPolicy::new(0.07));
+        for r in &run.records {
+            assert!(v[r.index] <= r.upper && v[r.index] > r.lower - 1e-12);
+        }
+    }
+
+    #[test]
+    fn exposure_threshold_counts() {
+        let v = values();
+        let run = progressive_upper_bound(&v, 0.0, 0.0, &mut LinearPolicy::new(0.05));
+        let all_exposed = leak_report(&run, 1.0);
+        assert_eq!(all_exposed.exposed_below_threshold, v.len());
+        let none_exposed = leak_report(&run, 0.0);
+        assert_eq!(none_exposed.exposed_below_threshold, 0);
+    }
+
+    #[test]
+    fn unbounded_domain_round1_agreers_are_uncounted() {
+        let v = vec![0.01, 0.9];
+        let run = progressive_upper_bound(&v, 0.0, f64::NEG_INFINITY, &mut LinearPolicy::new(0.5));
+        let leak = leak_report(&run, 0.6);
+        // 0.01 agreed in round 1 with an infinite interval: excluded.
+        assert_eq!(leak.users, 2);
+        assert_eq!(leak.exposed_below_threshold, 1);
+        assert!(leak.min_width.is_finite());
+    }
+}

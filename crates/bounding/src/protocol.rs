@@ -1,0 +1,286 @@
+//! The progressive bounding engine (paper Algorithms 3–4).
+//!
+//! The host maintains a hypothesis bound `X`, initially a reference value
+//! `X₀` (the host's own coordinate in the cloaking pipeline — the region must
+//! cover the host anyway, so this reveals nothing extra). Each round the
+//! bound grows by a policy-chosen increment and every still-disagreeing user
+//! is asked to verify `ξ ≤ X`; a user answers only yes/no, never a value.
+//! The round costs one fixed-size round-trip (`Cb`) per asked user. The
+//! protocol ends when nobody disagrees.
+//!
+//! The engine is strategy-agnostic: secure bounding, the linear and
+//! exponential baselines of §VI-D, and any user-supplied policy plug in via
+//! [`IncrementPolicy`].
+
+/// Chooses the bound increment for the next round.
+pub trait IncrementPolicy {
+    /// The (strictly positive) increment to add to the current bound.
+    ///
+    /// * `n_disagreeing` — number of users who rejected the previous bound
+    ///   (all users before the first round),
+    /// * `round` — 1-based round number about to execute,
+    /// * `current_excess` — how far the bound has already traveled from X₀
+    ///   (what the exponential baseline doubles).
+    fn increment(&mut self, n_disagreeing: usize, round: usize, current_excess: f64) -> f64;
+}
+
+/// What one user's participation in a bounding run revealed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgreementRecord {
+    /// Index into the input `values`.
+    pub index: usize,
+    /// Round at which the user first agreed (1-based).
+    pub round: usize,
+    /// The protocol transcript pins the user's value into `(lower, upper]`.
+    /// For round-1 agreers `lower` is the public domain minimum — nothing
+    /// tighter is learned about them.
+    pub lower: f64,
+    /// Upper end of the revealed interval (the bound the user accepted).
+    pub upper: f64,
+}
+
+/// Outcome of one 1-D progressive bounding run.
+#[derive(Debug, Clone)]
+pub struct BoundingRun {
+    /// The agreed bound: an upper bound of every input value.
+    pub bound: f64,
+    /// Number of hypothesis–verification rounds.
+    pub rounds: usize,
+    /// Total verification messages: Σ over rounds of the number of users
+    /// asked that round (each costs `Cb`).
+    pub messages: u64,
+    /// Per-user agreement transcript (one record per input value), in input
+    /// order.
+    pub records: Vec<AgreementRecord>,
+}
+
+impl BoundingRun {
+    /// Slack between the agreed bound and the true maximum (≥ 0).
+    pub fn slack(&self, values: &[f64]) -> f64 {
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        self.bound - max
+    }
+}
+
+/// Hard cap on rounds; a policy producing vanishing increments is a bug and
+/// is reported loudly instead of hanging.
+const MAX_ROUNDS: usize = 100_000;
+
+/// Transport carrying the per-round yes/no verification question to a user.
+/// Implementations range from a local value array to `nela-netsim`'s
+/// simulated radio network with loss and retries.
+pub trait VerifyTransport {
+    /// Number of participating users.
+    fn len(&self) -> usize;
+    /// True when no users participate.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Ask user `index` whether its private value is ≤ `bound`. `None` means
+    /// the user is unreachable (crashed, messages lost beyond retry).
+    fn verify(&mut self, index: usize, bound: f64) -> Option<bool>;
+}
+
+/// In-memory transport over a slice of values.
+pub struct LocalValues<'a> {
+    values: &'a [f64],
+}
+
+impl<'a> LocalValues<'a> {
+    /// Wraps a value slice.
+    pub fn new(values: &'a [f64]) -> Self {
+        LocalValues { values }
+    }
+}
+
+impl VerifyTransport for LocalValues<'_> {
+    fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    fn verify(&mut self, index: usize, bound: f64) -> Option<bool> {
+        Some(self.values[index] <= bound)
+    }
+}
+
+/// Error from a transport-backed bounding run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UserUnreachable {
+    /// Index of the user that never answered.
+    pub index: usize,
+}
+
+impl std::fmt::Display for UserUnreachable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bounding participant {} is unreachable", self.index)
+    }
+}
+
+impl std::error::Error for UserUnreachable {}
+
+/// Runs progressive upper bounding of `values` starting from `x0`.
+///
+/// `domain_min` is the public lower end of the value domain (used only for
+/// the leak transcript of round-1 agreers). Values at or below `x0` are
+/// covered by the first accepted bound like everyone else.
+///
+/// # Panics
+/// Panics if the policy returns a non-positive/non-finite increment or the
+/// run exceeds the internal round cap (100,000).
+pub fn progressive_upper_bound(
+    values: &[f64],
+    x0: f64,
+    domain_min: f64,
+    policy: &mut dyn IncrementPolicy,
+) -> BoundingRun {
+    let mut transport = LocalValues::new(values);
+    progressive_upper_bound_with(&mut transport, x0, domain_min, policy)
+        .expect("local transport is infallible")
+}
+
+/// Transport-generic progressive upper bounding (Algorithms 3–4).
+///
+/// # Errors
+/// [`UserUnreachable`] when a participant stops answering verifications.
+pub fn progressive_upper_bound_with(
+    transport: &mut dyn VerifyTransport,
+    x0: f64,
+    domain_min: f64,
+    policy: &mut dyn IncrementPolicy,
+) -> Result<BoundingRun, UserUnreachable> {
+    assert!(!transport.is_empty(), "cannot bound an empty cluster");
+    let mut disagreeing: Vec<usize> = (0..transport.len()).collect();
+    let mut x = x0;
+    let mut rounds = 0usize;
+    let mut messages = 0u64;
+    let mut records: Vec<AgreementRecord> = Vec::with_capacity(transport.len());
+
+    while !disagreeing.is_empty() {
+        rounds += 1;
+        assert!(
+            rounds <= MAX_ROUNDS,
+            "bounding did not terminate: policy produced {rounds} rounds"
+        );
+        let inc = policy.increment(disagreeing.len(), rounds, x - x0);
+        assert!(
+            inc.is_finite() && inc > 0.0,
+            "policy produced invalid increment {inc} at round {rounds}"
+        );
+        let prev = x;
+        x += inc;
+        messages += disagreeing.len() as u64;
+        let mut still = Vec::with_capacity(disagreeing.len());
+        for &i in &disagreeing {
+            match transport.verify(i, x) {
+                Some(true) => records.push(AgreementRecord {
+                    index: i,
+                    round: rounds,
+                    lower: if rounds == 1 { domain_min } else { prev },
+                    upper: x,
+                }),
+                Some(false) => still.push(i),
+                None => return Err(UserUnreachable { index: i }),
+            }
+        }
+        disagreeing = still;
+    }
+    records.sort_by_key(|r| r.index);
+    Ok(BoundingRun {
+        bound: x,
+        rounds,
+        messages,
+        records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fixed-step policy for tests.
+    struct Step(f64);
+    impl IncrementPolicy for Step {
+        fn increment(&mut self, _n: usize, _round: usize, _excess: f64) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn bound_covers_all_values() {
+        let values = [0.31, 0.12, 0.48, 0.05];
+        let run = progressive_upper_bound(&values, 0.0, 0.0, &mut Step(0.1));
+        assert!(run.bound >= 0.48);
+        assert_eq!(run.records.len(), 4);
+    }
+
+    #[test]
+    fn rounds_and_messages_accounting() {
+        // Values 0.05, 0.15, 0.25 with step 0.1 from 0:
+        // round 1 (X=0.1): 3 asked, one agrees; round 2 (X=0.2): 2 asked,
+        // one agrees; round 3 (X=0.3): 1 asked, agrees. 3+2+1 = 6 messages.
+        let values = [0.05, 0.15, 0.25];
+        let run = progressive_upper_bound(&values, 0.0, 0.0, &mut Step(0.1));
+        assert_eq!(run.rounds, 3);
+        assert_eq!(run.messages, 6);
+        assert!((run.bound - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transcript_intervals_contain_true_values() {
+        let values = [0.07, 0.33, 0.18, 0.0, 0.51];
+        let run = progressive_upper_bound(&values, 0.0, -1.0, &mut Step(0.08));
+        for r in &run.records {
+            let v = values[r.index];
+            assert!(
+                v > r.lower || (r.round == 1 && v >= r.lower),
+                "{r:?} vs {v}"
+            );
+            assert!(v <= r.upper, "{r:?} vs {v}");
+        }
+    }
+
+    #[test]
+    fn round1_agreers_leak_only_domain_floor() {
+        let values = [0.01, 0.9];
+        let run = progressive_upper_bound(&values, 0.0, -2.5, &mut Step(0.5));
+        let r0 = run.records.iter().find(|r| r.index == 0).unwrap();
+        assert_eq!(r0.round, 1);
+        assert_eq!(r0.lower, -2.5);
+    }
+
+    #[test]
+    fn values_below_x0_agree_in_round_one() {
+        let values = [-0.3, 0.2];
+        let run = progressive_upper_bound(&values, 0.0, -1.0, &mut Step(0.25));
+        let r0 = run.records.iter().find(|r| r.index == 0).unwrap();
+        assert_eq!(r0.round, 1);
+    }
+
+    #[test]
+    fn slack_is_nonnegative() {
+        let values = [0.2, 0.6];
+        let run = progressive_upper_bound(&values, 0.0, 0.0, &mut Step(0.07));
+        assert!(run.slack(&values) >= 0.0);
+        assert!(run.slack(&values) < 0.07 + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid increment")]
+    fn zero_increment_is_rejected() {
+        progressive_upper_bound(&[0.5], 0.0, 0.0, &mut Step(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot bound an empty cluster")]
+    fn empty_values_rejected() {
+        progressive_upper_bound(&[], 0.0, 0.0, &mut Step(0.1));
+    }
+
+    #[test]
+    fn single_round_when_step_covers_everything() {
+        let values = [0.1, 0.2, 0.3];
+        let run = progressive_upper_bound(&values, 0.0, 0.0, &mut Step(1.0));
+        assert_eq!(run.rounds, 1);
+        assert_eq!(run.messages, 3);
+    }
+}

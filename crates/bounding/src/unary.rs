@@ -1,0 +1,210 @@
+//! Unary bounding: the optimal bound for a single disagreeing user
+//! (paper §V-A, Equation 2).
+//!
+//! For one user whose excess follows `P(x)`, proposing bound `x` costs
+//! `C(x) = Cb + R(x) + (1 − P(x))·C*`, and at the optimum `C* = min C(x)`,
+//! which rearranges to the stationary condition `P(x)·R'(x) = (Cb + R(x))·p(x)`
+//! — equivalently, `C* = (Cb + R(x*)) / P(x*)`. The generic solver minimizes
+//! that ratio; the closed forms of Examples 5.1 and 5.2 are provided and
+//! differentially tested against it.
+
+use crate::cost::RequestCost;
+use crate::distribution::ExcessDistribution;
+
+/// The solution of the unary bounding optimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnaryOptimum {
+    /// Optimal proposed bound x* (capped at the distribution's span: beyond
+    /// it the user always agrees and larger proposals only cost more).
+    pub x: f64,
+    /// Expected total communication cost C*.
+    pub cost: f64,
+    /// Service-request cost at the optimum, R* = R(x*).
+    pub request_cost: f64,
+}
+
+/// Generic numeric solution: golden-section minimization of
+/// `(Cb + R(x)) / P(x)` over `(0, span]`. The objective is unimodal for the
+/// cost/distribution families used in the paper.
+pub fn unary_optimal(
+    dist: &dyn ExcessDistribution,
+    cost: &dyn RequestCost,
+    cb: f64,
+) -> UnaryOptimum {
+    assert!(cb > 0.0, "Cb must be positive");
+    let hi = dist.effective_span();
+    let lo = hi * 1e-9;
+    let objective = |x: f64| -> f64 {
+        let p = dist.cdf(x);
+        if p <= 0.0 {
+            f64::INFINITY
+        } else {
+            (cb + cost.r(x)) / p
+        }
+    };
+    let x = golden_section_min(objective, lo, hi);
+    // If the interior optimum is essentially the span, snap to it: proposing
+    // the full span always succeeds in one round.
+    let x = x.min(hi);
+    UnaryOptimum {
+        x,
+        cost: objective(x),
+        request_cost: cost.r(x),
+    }
+}
+
+/// Example 5.1 closed form — uniform excess on `(0, U)`, area cost
+/// `R = Cr·x²`: the optimum is `x* = √(Cb/Cr)` (independent of U), capped
+/// at U.
+pub fn unary_uniform_area(cb: f64, cr: f64, span: f64) -> UnaryOptimum {
+    assert!(cb > 0.0 && cr > 0.0 && span > 0.0);
+    let x = (cb / cr).sqrt().min(span);
+    let p = (x / span).min(1.0);
+    let r = cr * x * x;
+    UnaryOptimum {
+        x,
+        cost: (cb + r) / p,
+        request_cost: r,
+    }
+}
+
+/// Example 5.2 closed form — exponential excess with rate λ, length cost
+/// `R = Cr·x`: solve the transcendental `e^{λx} = 1 + λ·Cb/Cr + λx` by
+/// Newton's method (convex, so Newton from the right of the root converges
+/// monotonically).
+pub fn unary_exponential_length(cb: f64, cr: f64, lambda: f64) -> UnaryOptimum {
+    assert!(cb > 0.0 && cr > 0.0 && lambda > 0.0);
+    let a = lambda * cb / cr;
+    // f(x) = e^{λx} − 1 − a − λx; f(0) = −a < 0 and f → ∞: unique positive root.
+    let f = |x: f64| (lambda * x).exp() - 1.0 - a - lambda * x;
+    let fp = |x: f64| lambda * ((lambda * x).exp() - 1.0);
+    // Start right of the root: e^{λx} ≥ 1+a+λx is implied by λx ≥ ln(1+a)+… —
+    // (2·(ln(1+a)+1))/λ overshoots comfortably for all a > 0.
+    let mut x = 2.0 * ((1.0 + a).ln() + 1.0) / lambda;
+    for _ in 0..64 {
+        let step = f(x) / fp(x);
+        x -= step;
+        if step.abs() < 1e-14 * (1.0 + x.abs()) {
+            break;
+        }
+    }
+    let p = 1.0 - (-lambda * x).exp();
+    let r = cr * x;
+    UnaryOptimum {
+        x,
+        cost: (cb + r) / p,
+        request_cost: r,
+    }
+}
+
+/// Golden-section search for the minimum of a unimodal `f` on `[lo, hi]`.
+pub(crate) fn golden_section_min(f: impl Fn(f64) -> f64, mut lo: f64, mut hi: f64) -> f64 {
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let mut c = hi - INV_PHI * (hi - lo);
+    let mut d = lo + INV_PHI * (hi - lo);
+    let (mut fc, mut fd) = (f(c), f(d));
+    for _ in 0..200 {
+        if fc < fd {
+            hi = d;
+            d = c;
+            fd = fc;
+            c = hi - INV_PHI * (hi - lo);
+            fc = f(c);
+        } else {
+            lo = c;
+            c = d;
+            fc = fd;
+            d = lo + INV_PHI * (hi - lo);
+            fd = f(d);
+        }
+        if (hi - lo).abs() < 1e-14 * (1.0 + hi.abs()) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{AreaCost, LengthCost};
+    use crate::distribution::{Exponential, Uniform};
+
+    #[test]
+    fn uniform_area_closed_form_matches_example_5_1() {
+        // x* = √(Cb/Cr), independent of U when it fits inside the span.
+        let o = unary_uniform_area(1.0, 100.0, 1.0);
+        assert!((o.x - 0.1).abs() < 1e-12);
+        assert!((o.request_cost - 1.0).abs() < 1e-12); // Cr·x*² = Cb always
+        let o2 = unary_uniform_area(1.0, 100.0, 0.5);
+        assert!((o2.x - 0.1).abs() < 1e-12, "still independent of U");
+    }
+
+    #[test]
+    fn uniform_area_caps_at_span() {
+        // √(Cb/Cr) = 1.0 but U = 0.01: cap, one guaranteed round.
+        let o = unary_uniform_area(1.0, 1.0, 0.01);
+        assert_eq!(o.x, 0.01);
+        assert!((o.cost - (1.0 + 1e-4)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generic_solver_matches_uniform_closed_form() {
+        for (cb, cr, span) in [(1.0, 100.0, 1.0), (2.0, 50.0, 0.4), (1.0, 1000.0, 0.02)] {
+            let closed = unary_uniform_area(cb, cr, span);
+            let numeric = unary_optimal(&Uniform::new(span), &AreaCost { cr }, cb);
+            assert!(
+                (closed.x - numeric.x).abs() < 1e-5 * span,
+                "x mismatch: closed {} numeric {} (cb={cb},cr={cr},U={span})",
+                closed.x,
+                numeric.x
+            );
+            assert!((closed.cost - numeric.cost).abs() / closed.cost < 1e-6);
+        }
+    }
+
+    #[test]
+    fn exponential_newton_satisfies_stationarity() {
+        for (cb, cr, lambda) in [(1.0, 1.0, 1.0), (1.0, 1000.0, 50.0), (5.0, 2.0, 0.3)] {
+            let o = unary_exponential_length(cb, cr, lambda);
+            let lhs = (lambda * o.x).exp();
+            let rhs = 1.0 + lambda * cb / cr + lambda * o.x;
+            assert!(
+                (lhs - rhs).abs() / rhs < 1e-9,
+                "transcendental not satisfied: {lhs} vs {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn generic_solver_close_to_exponential_closed_form() {
+        let (cb, cr, lambda) = (1.0, 10.0, 2.0);
+        let closed = unary_exponential_length(cb, cr, lambda);
+        let numeric = unary_optimal(&Exponential::new(lambda), &LengthCost { cr }, cb);
+        // Numeric caps at the 99.9% quantile; the closed root is far inside.
+        assert!(
+            (closed.x - numeric.x).abs() < 1e-4,
+            "closed {} vs numeric {}",
+            closed.x,
+            numeric.x
+        );
+        assert!((closed.cost - numeric.cost).abs() / closed.cost < 1e-4);
+    }
+
+    #[test]
+    fn optimum_beats_neighbors() {
+        let dist = Uniform::new(0.3);
+        let cost = AreaCost { cr: 40.0 };
+        let o = unary_optimal(&dist, &cost, 1.0);
+        let c = |x: f64| (1.0 + cost.r(x)) / dist.cdf(x);
+        assert!(o.cost <= c(o.x * 0.9) + 1e-9);
+        assert!(o.cost <= c((o.x * 1.1).min(0.3)) + 1e-9);
+    }
+
+    #[test]
+    fn cost_is_at_least_cb() {
+        // One verification round is unavoidable.
+        let o = unary_optimal(&Uniform::new(1.0), &AreaCost { cr: 10.0 }, 1.0);
+        assert!(o.cost >= 1.0);
+    }
+}

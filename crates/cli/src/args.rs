@@ -1,0 +1,139 @@
+//! Minimal dependency-free flag parsing for the `nela` CLI.
+//!
+//! Supports `--flag value`, `--flag=value` and boolean `--flag` forms.
+//! Unknown flags are errors (catching typos beats silently ignoring them).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    options: HashMap<String, String>,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments (after the subcommand), validating every flag
+    /// against `allowed`.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        raw: I,
+        allowed: &[&str],
+    ) -> Result<Args, ArgError> {
+        let mut options = HashMap::new();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(token) = iter.next() {
+            let Some(stripped) = token.strip_prefix("--") else {
+                return Err(ArgError(format!(
+                    "unexpected positional argument `{token}`"
+                )));
+            };
+            let (key, inline_value) = match stripped.split_once('=') {
+                Some((k, v)) => (k.to_string(), Some(v.to_string())),
+                None => (stripped.to_string(), None),
+            };
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown flag `--{key}` (expected one of: {})",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+            let value = match inline_value {
+                Some(v) => v,
+                None => match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().expect("peeked"),
+                    _ => "true".to_string(), // boolean flag
+                },
+            };
+            if options.insert(key.clone(), value).is_some() {
+                return Err(ArgError(format!("flag `--{key}` given twice")));
+            }
+        }
+        Ok(Args { options })
+    }
+
+    /// String option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Parsed numeric option with a default.
+    pub fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("flag `--{key}`: cannot parse `{v}`"))),
+        }
+    }
+
+    /// Boolean flag presence.
+    pub fn flag(&self, key: &str) -> bool {
+        matches!(
+            self.options.get(key).map(String::as_str),
+            Some("true") | Some("1") | Some("yes")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_space_and_equals_forms() {
+        let a = Args::parse(v(&["--users", "500", "--k=5"]), &["users", "k"]).unwrap();
+        assert_eq!(a.num_or("users", 0usize).unwrap(), 500);
+        assert_eq!(a.num_or("k", 0usize).unwrap(), 5);
+    }
+
+    #[test]
+    fn boolean_flags() {
+        let a = Args::parse(v(&["--json", "--k", "3"]), &["json", "k"]).unwrap();
+        assert!(a.flag("json"));
+        assert!(!a.flag("verbose"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(v(&[]), &["users"]).unwrap();
+        assert_eq!(a.num_or("users", 7usize).unwrap(), 7);
+        assert_eq!(a.get_or("algo", "tconn"), "tconn");
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let err = Args::parse(v(&["--bogus", "1"]), &["users"]).unwrap_err();
+        assert!(err.0.contains("unknown flag"));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_positionals() {
+        assert!(Args::parse(v(&["--k", "1", "--k", "2"]), &["k"]).is_err());
+        assert!(Args::parse(v(&["stray"]), &["k"]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let a = Args::parse(v(&["--k", "soup"]), &["k"]).unwrap();
+        assert!(a.num_or("k", 0usize).is_err());
+    }
+}

@@ -1,0 +1,323 @@
+//! The CLI subcommands.
+
+use crate::args::{ArgError, Args};
+use nela::cluster::knn::TieBreak;
+use nela::geo::UserId;
+use nela::lbs::{refine_knn, CloakedQuery, LbsServer, PoiStore};
+use nela::metrics::run_workload;
+use nela::{
+    anonymity_of, audit_result, center_attack, intersection_attack, BoundingAlgo, CloakingEngine,
+    ClusteringAlgo, Params, System,
+};
+
+const COMMON: &[&str] = &[
+    "users", "seed", "k", "m", "algo", "bounding", "requests", "host", "json", "knn",
+];
+
+fn build_params(args: &Args) -> Result<Params, ArgError> {
+    let users: usize = args.num_or("users", 20_000)?;
+    let mut params = Params::scaled(users);
+    params.k = args.num_or("k", params.k)?;
+    params.max_peers = args.num_or("m", params.max_peers)?;
+    params.seed = args.num_or("seed", 1u64)?;
+    params.requests = args.num_or("requests", params.requests)?;
+    Ok(params)
+}
+
+fn clustering_algo(args: &Args) -> Result<ClusteringAlgo, ArgError> {
+    match args.get_or("algo", "tconn") {
+        "tconn" => Ok(ClusteringAlgo::TConnDistributed),
+        "central" => Ok(ClusteringAlgo::TConnCentralized),
+        "knn" => Ok(ClusteringAlgo::Knn(TieBreak::Id)),
+        "hilbasr" => Ok(ClusteringAlgo::HilbAsr),
+        other => Err(ArgError(format!(
+            "--algo {other}: expected tconn | central | knn | hilbasr"
+        ))),
+    }
+}
+
+fn bounding_algo(args: &Args) -> Result<BoundingAlgo, ArgError> {
+    match args.get_or("bounding", "secure") {
+        "secure" => Ok(BoundingAlgo::Secure),
+        "optimal" => Ok(BoundingAlgo::Optimal),
+        "linear" => Ok(BoundingAlgo::Linear),
+        "exp" | "exponential" => Ok(BoundingAlgo::Exponential),
+        other => Err(ArgError(format!(
+            "--bounding {other}: expected secure | optimal | linear | exp"
+        ))),
+    }
+}
+
+/// Picks the requested host or the first servable one.
+fn choose_host(system: &System, args: &Args) -> Result<UserId, ArgError> {
+    if let Some(h) = args
+        .num_or::<i64>("host", -1)?
+        .try_into()
+        .ok()
+        .filter(|&h: &u32| (h as usize) < system.points.len())
+    {
+        return Ok(h);
+    }
+    system
+        .host_sequence(500, 7)
+        .into_iter()
+        .find(|&h| {
+            nela::cluster::distributed_k_clustering(&system.wpg, h, system.params.k, &|_| false)
+                .is_ok()
+        })
+        .ok_or_else(|| ArgError("no servable host found in sample".into()))
+}
+
+/// `nela inspect`
+pub fn inspect(raw: Vec<String>) -> Result<(), ArgError> {
+    let args = Args::parse(raw, COMMON)?;
+    let params = build_params(&args)?;
+    let system = System::build(&params);
+    let g = &system.wpg;
+    let mut degrees: Vec<usize> = (0..g.n() as UserId).map(|u| g.degree(u)).collect();
+    degrees.sort_unstable();
+    let global = nela::cluster::centralized_k_clustering(g, params.k);
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::json!({
+                "users": g.n(),
+                "edges": g.m(),
+                "avg_degree": g.avg_degree(),
+                "degree_p50": degrees[g.n() / 2],
+                "degree_max": degrees[g.n() - 1],
+                "isolated_users": degrees.iter().filter(|&&d| d == 0).count(),
+                "clusters": global.clusters.len(),
+                "clustered_users": global.clusters.iter().map(|c| c.len()).sum::<usize>(),
+                "underfilled_components": global.underfilled.len(),
+            })
+        );
+        return Ok(());
+    }
+    println!("population      : {} users (seed {})", g.n(), params.seed);
+    println!("radio range δ   : {:.3e}", params.delta);
+    println!("peer cap M      : {}", params.max_peers);
+    println!(
+        "WPG             : {} edges, avg degree {:.2}",
+        g.m(),
+        g.avg_degree()
+    );
+    println!(
+        "degrees         : p50 {}, max {}, isolated {}",
+        degrees[g.n() / 2],
+        degrees[g.n() - 1],
+        degrees.iter().filter(|&&d| d == 0).count()
+    );
+    println!(
+        "k-clustering    : {} clusters cover {} users at k = {}; {} components below k",
+        global.clusters.len(),
+        global.clusters.iter().map(|c| c.len()).sum::<usize>(),
+        params.k,
+        global.underfilled.len()
+    );
+    Ok(())
+}
+
+/// `nela cloak`
+pub fn cloak(raw: Vec<String>) -> Result<(), ArgError> {
+    let args = Args::parse(raw, COMMON)?;
+    let params = build_params(&args)?;
+    let system = System::build(&params);
+    let mut engine = CloakingEngine::new(&system, clustering_algo(&args)?, bounding_algo(&args)?);
+    let host = choose_host(&system, &args)?;
+    let result = engine
+        .request(host)
+        .map_err(|e| ArgError(format!("request failed: {e}")))?;
+    let audit = audit_result(&system, &result);
+    let anon = anonymity_of(&system, &result.region);
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::json!({
+                "host": result.host,
+                "region": result.region,
+                "area": result.region.area(),
+                "cluster_size": result.cluster_size,
+                "clustering_messages": result.clustering_messages,
+                "bounding_messages": result.bounding_messages,
+                "bounding_rounds": result.bounding_rounds,
+                "audit_passed": audit.passed(),
+                "candidates_in_region": anon.candidates,
+                "entropy_bits": anon.entropy_bits,
+            })
+        );
+        return Ok(());
+    }
+    println!("host            : {}", result.host);
+    println!(
+        "cloaked region  : [{:.6}, {:.6}] × [{:.6}, {:.6}]",
+        result.region.min_x, result.region.max_x, result.region.min_y, result.region.max_y
+    );
+    println!("area            : {:.4e}", result.region.area());
+    println!("cluster size    : {}", result.cluster_size);
+    println!(
+        "messages        : {} clustering + {} bounding ({} rounds)",
+        result.clustering_messages, result.bounding_messages, result.bounding_rounds
+    );
+    println!(
+        "anonymity       : {} candidate users in region ({:.2} bits), audit {}",
+        anon.candidates,
+        anon.entropy_bits,
+        if audit.passed() { "PASS" } else { "FAIL" }
+    );
+    Ok(())
+}
+
+/// `nela simulate`
+pub fn simulate(raw: Vec<String>) -> Result<(), ArgError> {
+    let args = Args::parse(raw, COMMON)?;
+    let params = build_params(&args)?;
+    let system = System::build(&params);
+    let hosts = system.host_sequence(params.requests, 1);
+    let stats = run_workload(
+        &system,
+        clustering_algo(&args)?,
+        bounding_algo(&args)?,
+        &hosts,
+    );
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&stats).expect("serialize")
+        );
+        return Ok(());
+    }
+    println!(
+        "requests        : {} ({} served, {} failed, {} reused)",
+        hosts.len(),
+        stats.served,
+        stats.failed,
+        stats.reused
+    );
+    println!(
+        "clustering msgs : {:.2} per request",
+        stats.avg_clustering_messages
+    );
+    println!(
+        "bounding msgs   : {:.2} per request",
+        stats.avg_bounding_messages
+    );
+    println!("cloaked area    : {:.4e} average", stats.avg_cloaked_area);
+    println!(
+        "request cost    : {:.1} units average",
+        stats.avg_request_cost
+    );
+    println!("cluster size    : {:.1} average", stats.avg_cluster_size);
+    println!(
+        "bounding CPU    : {:.4} ms average",
+        stats.avg_bounding_cpu_ms
+    );
+    Ok(())
+}
+
+/// `nela query`
+pub fn query(raw: Vec<String>) -> Result<(), ArgError> {
+    let args = Args::parse(raw, COMMON)?;
+    let params = build_params(&args)?;
+    let system = System::build(&params);
+    let mut server = LbsServer::new(PoiStore::from_points(&system.points, params.cr as u32));
+    let mut engine = CloakingEngine::new(&system, clustering_algo(&args)?, bounding_algo(&args)?);
+    let host = choose_host(&system, &args)?;
+    let result = engine
+        .request(host)
+        .map_err(|e| ArgError(format!("request failed: {e}")))?;
+    let k: usize = args.num_or("knn", 5)?;
+    let response = server.handle(&result.region, &CloakedQuery::Knn { k });
+    let me = system.points[host as usize];
+    let refined = refine_knn(server.store(), &response.candidates, me, k);
+    let exact = server.store().knn(me, k);
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::json!({
+                "host": host,
+                "region_area": result.region.area(),
+                "candidates": response.candidates.len(),
+                "transfer_units": response.transfer_units,
+                "answer": refined,
+                "exact": refined == exact,
+            })
+        );
+        return Ok(());
+    }
+    println!("host            : {host}");
+    println!("region area     : {:.4e}", result.region.area());
+    println!(
+        "server returned : {} candidate POIs ({} transfer units) — it saw only the region",
+        response.candidates.len(),
+        response.transfer_units
+    );
+    println!("refined answer  : {refined:?}");
+    println!(
+        "matches the non-private exact query: {}",
+        if refined == exact { "yes" } else { "NO" }
+    );
+    Ok(())
+}
+
+/// `nela attack`
+pub fn attack(raw: Vec<String>) -> Result<(), ArgError> {
+    let args = Args::parse(raw, COMMON)?;
+    let params = build_params(&args)?;
+    let system = System::build(&params);
+    let mut engine = CloakingEngine::new(&system, clustering_algo(&args)?, bounding_algo(&args)?);
+    let hosts = system.host_sequence(params.requests, 1);
+    let (mut served, mut min_cand, mut violations) = (0usize, usize::MAX, 0usize);
+    let mut sum_entropy = 0.0;
+    let mut sum_err_ratio = 0.0;
+    let (mut leaks, mut trials) = (0usize, 0usize);
+    for &h in &hosts {
+        let Ok(first) = engine.request(h) else {
+            continue;
+        };
+        served += 1;
+        let anon = anonymity_of(&system, &first.region);
+        min_cand = min_cand.min(anon.candidates);
+        violations += usize::from(!anon.meets_k);
+        sum_entropy += anon.entropy_bits;
+        let atk = center_attack(&system, &first);
+        if atk.half_diagonal > 0.0 {
+            sum_err_ratio += atk.guess_error / atk.half_diagonal;
+        }
+        if served % 5 == 0 {
+            if let Ok(second) = engine.request(h) {
+                trials += 1;
+                if intersection_attack(&system, &[first.region, second.region]).len() < params.k {
+                    leaks += 1;
+                }
+            }
+        }
+    }
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::json!({
+                "served": served,
+                "min_candidates": min_cand,
+                "k_violations": violations,
+                "mean_entropy_bits": sum_entropy / served.max(1) as f64,
+                "mean_center_error_ratio": sum_err_ratio / served.max(1) as f64,
+                "intersection_leaks": leaks,
+                "intersection_trials": trials,
+            })
+        );
+        return Ok(());
+    }
+    println!("served          : {served}");
+    println!("k-anonymity     : min {min_cand} candidates, {violations} violations");
+    println!(
+        "entropy         : {:.2} bits mean",
+        sum_entropy / served.max(1) as f64
+    );
+    println!(
+        "center attack   : error/half-diagonal {:.2} mean",
+        sum_err_ratio / served.max(1) as f64
+    );
+    println!("intersection    : {leaks}/{trials} repeat-request leaks below k");
+    Ok(())
+}

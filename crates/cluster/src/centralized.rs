@@ -1,0 +1,1141 @@
+//! Centralized t-connectivity k-clustering (paper Algorithm 1).
+//!
+//! The algorithm partitions each connected component into *smallest valid
+//! t-connectivity clusters*: clusters of ≥ k users whose internal maximum
+//! edge weight (MEW) cannot be reduced without invalidating some cluster.
+//!
+//! # The two readings of Algorithm 1, and which one this module ships
+//!
+//! The paper's pseudocode removes edges *one at a time* in descending weight
+//! order and stops a cluster's partition at the first disconnection whose
+//! sides are not all valid. On graphs with many equal weights — exactly what
+//! the evaluation's RSS-rank weights (1..M) produce — that binary rule
+//! suffers classic single-linkage *chaining*: the first disconnection almost
+//! always splits off a tiny straggler (< k), so the partition aborts and
+//! clusters degenerate to near-whole components (thousands of users), which
+//! contradicts the cluster sizes and cloaked-region areas the paper reports.
+//!
+//! The reading consistent with the paper's own evaluation treats weights as
+//! *levels*: partitioning a cluster at level t removes **all** edges of
+//! weight t, recurses into every resulting component that is still valid,
+//! and re-attaches each undersized component to its graph-nearest surviving
+//! cluster (the attachment edge has weight t, so the receiving cluster's
+//! connectivity stays t — exactly the level that was being cut). Every
+//! produced cluster is a t-connectivity class (plus stragglers glued at its
+//! own connectivity level) that cannot be validly partitioned further.
+//!
+//! A final *packing* pass then serves the minimum-k-clustering objective
+//! (clusters of size **at least** k with minimum connectivity, §IV): a
+//! t-class whose sub-classes are all undersized cannot be split by levels,
+//! but it can still be divided into several t-connected groups of ≥ k users
+//! along a spanning tree of its ≤ t edges. Packing leaves each group's
+//! connectivity at t while shrinking group sizes toward k — which is what
+//! keeps cloaked regions near the k-user neighborhood scale the paper
+//! reports.
+//!
+//! This module provides:
+//!
+//! - [`centralized_k_clustering`] — the production *level-based* algorithm
+//!   (fast: one Kruskal pass builds the class-merge forest, a top-down cut
+//!   and an ascending attachment scan finish in `O(E α(V))` after sorting),
+//! - [`level_reference_k_clustering`] — a literal-minded slow
+//!   implementation of the same level semantics (differential oracle),
+//! - [`single_linkage_k_clustering`] — the fast binary-dendrogram cut
+//!   implementing the pseudocode's one-edge-at-a-time reading (kept for the
+//!   chaining ablation in `nela-bench`),
+//! - [`reference_k_clustering`] — the O(E²) literal transcription of the
+//!   pseudocode (differential oracle for the single-linkage variant).
+
+use crate::Cluster;
+use nela_geo::UserId;
+use nela_wpg::{DisjointSets, Edge, Wpg};
+
+/// The result of clustering an entire WPG (or an induced subgraph).
+#[derive(Debug, Clone)]
+pub struct GlobalClustering {
+    /// Valid clusters, each of size ≥ k.
+    pub clusters: Vec<Cluster>,
+    /// Connected components smaller than k: their users cannot reach
+    /// k-anonymity at all (paper Fig. 5's "disconnected problem").
+    pub underfilled: Vec<Vec<UserId>>,
+}
+
+impl GlobalClustering {
+    /// Index of the valid cluster containing `u`, if any.
+    pub fn cluster_of(&self, u: UserId) -> Option<usize> {
+        self.clusters.iter().position(|c| c.contains(u))
+    }
+
+    /// Every user appears in exactly one cluster or underfilled component;
+    /// used by the property tests.
+    pub fn is_partition_of(&self, n: usize) -> bool {
+        let mut seen = vec![false; n];
+        for m in self
+            .clusters
+            .iter()
+            .flat_map(|c| &c.members)
+            .chain(self.underfilled.iter().flatten())
+        {
+            let i = *m as usize;
+            if i >= n || seen[i] {
+                return false;
+            }
+            seen[i] = true;
+        }
+        seen.into_iter().all(|s| s)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Level-based algorithm (production).
+// ---------------------------------------------------------------------------
+
+/// Node of the class-merge forest: a t-connectivity class formed at `level`,
+/// merging `children` classes of strictly lower levels.
+struct ClassNode {
+    level: u32,
+    size: u32,
+    children: Vec<u32>,
+    /// Leaf vertex id (leaves only).
+    vertex: UserId,
+    /// True for nodes created (and possibly extended) at the level
+    /// currently being processed; reset between levels.
+    open: bool,
+}
+
+/// Runs the level-based Algorithm 1 over the whole graph.
+pub fn centralized_k_clustering(g: &Wpg, k: usize) -> GlobalClustering {
+    assert!(k >= 1, "anonymity level must be at least 1");
+    let mut edges: Vec<Edge> = g.edges().collect();
+    level_cluster_edge_list(g.n(), None, &mut edges, k)
+}
+
+/// Level-based Algorithm 1 restricted to the induced subgraph on `members` —
+/// the third step of the distributed algorithm (Algorithm 2, line 16).
+pub fn centralized_k_clustering_subset(g: &Wpg, members: &[UserId], k: usize) -> GlobalClustering {
+    let member_set: std::collections::HashSet<UserId> = members.iter().copied().collect();
+    let edges: Vec<Edge> = g
+        .edges()
+        .filter(|e| member_set.contains(&e.u) && member_set.contains(&e.v))
+        .collect();
+    centralized_k_clustering_edges(members, &edges, k)
+}
+
+/// Level-based Algorithm 1 over an explicit vertex set and edge list — used
+/// by the distributed algorithm, whose host only holds the adjacency it
+/// gathered over the network. Every edge must join two members.
+pub fn centralized_k_clustering_edges(
+    members: &[UserId],
+    edges: &[Edge],
+    k: usize,
+) -> GlobalClustering {
+    assert!(k >= 1, "anonymity level must be at least 1");
+    let n = members
+        .iter()
+        .copied()
+        .max()
+        .map(|m| m as usize + 1)
+        .unwrap_or(0);
+    let mut edges = edges.to_vec();
+    level_cluster_edge_list(n, Some(members), &mut edges, k)
+}
+
+/// Shared core of the level-based algorithm.
+fn level_cluster_edge_list(
+    n: usize,
+    vertices: Option<&[UserId]>,
+    edges: &mut [Edge],
+    k: usize,
+) -> GlobalClustering {
+    edges.sort_unstable_by_key(|e| (e.w, e.u, e.v));
+    let vertex_list: Vec<UserId> = match vertices {
+        Some(vs) => vs.to_vec(),
+        None => (0..n as UserId).collect(),
+    };
+
+    // ---- Pass 1: build the class-merge forest by ascending weight levels.
+    let mut nodes: Vec<ClassNode> = Vec::with_capacity(2 * vertex_list.len());
+    let mut node_of_root = vec![u32::MAX; n];
+    for &v in &vertex_list {
+        node_of_root[v as usize] = nodes.len() as u32;
+        nodes.push(ClassNode {
+            level: 0,
+            size: 1,
+            children: Vec::new(),
+            vertex: v,
+            open: false,
+        });
+    }
+    let mut ds = DisjointSets::new(n);
+    let mut level_start = 0;
+    let mut opened: Vec<u32> = Vec::new();
+    while level_start < edges.len() {
+        let w = edges[level_start].w;
+        let mut i = level_start;
+        while i < edges.len() && edges[i].w == w {
+            let e = edges[i];
+            i += 1;
+            let (ru, rv) = (ds.find(e.u), ds.find(e.v));
+            if ru == rv {
+                continue;
+            }
+            let (nu, nv) = (node_of_root[ru as usize], node_of_root[rv as usize]);
+            ds.union(e.u, e.v);
+            let r = ds.find(e.u);
+            let merged = match (nodes[nu as usize].open, nodes[nv as usize].open) {
+                (true, false) => {
+                    nodes[nu as usize].children.push(nv);
+                    nodes[nu as usize].size += nodes[nv as usize].size;
+                    nu
+                }
+                (false, true) => {
+                    nodes[nv as usize].children.push(nu);
+                    nodes[nv as usize].size += nodes[nu as usize].size;
+                    nv
+                }
+                (true, true) => {
+                    // Two open level-w nodes fuse: move nv's children into nu.
+                    let moved = std::mem::take(&mut nodes[nv as usize].children);
+                    let moved_size = nodes[nv as usize].size;
+                    nodes[nu as usize].children.extend(moved);
+                    nodes[nu as usize].size += moved_size;
+                    nodes[nv as usize].open = false;
+                    nu
+                }
+                (false, false) => {
+                    let id = nodes.len() as u32;
+                    let size = nodes[nu as usize].size + nodes[nv as usize].size;
+                    nodes.push(ClassNode {
+                        level: w,
+                        size,
+                        children: vec![nu, nv],
+                        vertex: UserId::MAX,
+                        open: true,
+                    });
+                    opened.push(id);
+                    id
+                }
+            };
+            node_of_root[r as usize] = merged;
+        }
+        for &o in &opened {
+            nodes[o as usize].open = false;
+        }
+        opened.clear();
+        level_start = i;
+    }
+
+    // ---- Pass 2: top-down cut — recurse into valid children only.
+    let mut roots: Vec<u32> = Vec::new();
+    {
+        let mut seen = std::collections::HashSet::new();
+        for &v in &vertex_list {
+            let r = ds.find(v);
+            if seen.insert(r) {
+                roots.push(node_of_root[r as usize]);
+            }
+        }
+    }
+    let mut finals: Vec<u32> = Vec::new(); // final cluster nodes
+    let mut stragglers: Vec<u32> = Vec::new(); // undersized side branches
+    let mut underfilled_nodes: Vec<u32> = Vec::new();
+    let mut stack: Vec<u32> = Vec::new();
+    for root in roots {
+        if (nodes[root as usize].size as usize) < k {
+            underfilled_nodes.push(root);
+            continue;
+        }
+        stack.push(root);
+        while let Some(ni) = stack.pop() {
+            let node = &nodes[ni as usize];
+            let any_valid = node
+                .children
+                .iter()
+                .any(|&c| nodes[c as usize].size as usize >= k);
+            if !any_valid {
+                finals.push(ni);
+                continue;
+            }
+            for &c in &node.children {
+                if nodes[c as usize].size as usize >= k {
+                    stack.push(c);
+                } else {
+                    stragglers.push(c);
+                }
+            }
+        }
+    }
+
+    // ---- Pass 3: attach stragglers to their graph-nearest final cluster.
+    // Group id per vertex via a second union-find; a group is "settled" when
+    // it contains a final cluster. Scanning edges ascending and unioning any
+    // pair not both-settled glues every straggler chain to the lightest
+    // reachable final cluster deterministically.
+    let mut ds2 = DisjointSets::new(n);
+    let mut settled = vec![false; n]; // indexed by ds2 root (maintained on union)
+    let mut connectivity = vec![0u32; n]; // per ds2 root: internal MEW so far
+    let mut members_buf: Vec<UserId> = Vec::new();
+    let mut unsettled_groups = 0usize;
+    let seed_group = |nodes: &[ClassNode],
+                      ni: u32,
+                      is_final: bool,
+                      ds2: &mut DisjointSets,
+                      settled: &mut [bool],
+                      connectivity: &mut [u32],
+                      members_buf: &mut Vec<UserId>| {
+        members_buf.clear();
+        collect_leaves(nodes, ni, members_buf);
+        let first = members_buf[0];
+        for &m in members_buf.iter().skip(1) {
+            ds2.union(first, m);
+        }
+        let r = ds2.find(first);
+        settled[r as usize] = is_final;
+        connectivity[r as usize] = nodes[ni as usize].level;
+    };
+    for &f in &finals {
+        seed_group(
+            &nodes,
+            f,
+            true,
+            &mut ds2,
+            &mut settled,
+            &mut connectivity,
+            &mut members_buf,
+        );
+    }
+    for &s in &stragglers {
+        seed_group(
+            &nodes,
+            s,
+            false,
+            &mut ds2,
+            &mut settled,
+            &mut connectivity,
+            &mut members_buf,
+        );
+        unsettled_groups += 1;
+    }
+    // Vertices of underfilled components have no seeded group; their edges
+    // must not perturb the unsettled-group accounting.
+    let mut in_underfilled = vec![false; n];
+    for &u in &underfilled_nodes {
+        members_buf.clear();
+        collect_leaves(&nodes, u, &mut members_buf);
+        for &m in &members_buf {
+            in_underfilled[m as usize] = true;
+        }
+    }
+    if unsettled_groups > 0 {
+        for e in edges.iter() {
+            if in_underfilled[e.u as usize] {
+                continue; // edges never cross components
+            }
+            let (ra, rb) = (ds2.find(e.u), ds2.find(e.v));
+            if ra == rb || (settled[ra as usize] && settled[rb as usize]) {
+                continue;
+            }
+            let was_settled = settled[ra as usize] || settled[rb as usize];
+            let conn = connectivity[ra as usize]
+                .max(connectivity[rb as usize])
+                .max(e.w);
+            let both_unsettled = !settled[ra as usize] && !settled[rb as usize];
+            ds2.union(e.u, e.v);
+            let r = ds2.find(e.u);
+            settled[r as usize] = was_settled;
+            connectivity[r as usize] = conn;
+            // Either a straggler group joined a settled one, or two
+            // straggler groups fused: one fewer unsettled group either way.
+            if was_settled || both_unsettled {
+                unsettled_groups -= 1;
+            }
+            if unsettled_groups == 0 {
+                break;
+            }
+        }
+    }
+
+    // ---- Collect output.
+    let mut underfilled = Vec::new();
+    for &u in &underfilled_nodes {
+        members_buf.clear();
+        collect_leaves(&nodes, u, &mut members_buf);
+        let mut m = members_buf.clone();
+        m.sort_unstable();
+        underfilled.push(m);
+    }
+    let mut by_root: std::collections::HashMap<u32, Vec<UserId>> = std::collections::HashMap::new();
+    let underfilled_set: std::collections::HashSet<UserId> =
+        underfilled.iter().flatten().copied().collect();
+    for &v in &vertex_list {
+        if !underfilled_set.contains(&v) {
+            by_root.entry(ds2.find(v)).or_default().push(v);
+        }
+    }
+    let mut clusters: Vec<Cluster> = by_root
+        .into_iter()
+        .map(|(root, mut members)| {
+            members.sort_unstable();
+            Cluster {
+                members,
+                connectivity: connectivity[root as usize],
+            }
+        })
+        .collect();
+    clusters.sort_by_key(|c| c.members[0]);
+    debug_assert!(
+        clusters.iter().all(|c| c.members.len() >= k),
+        "straggler attachment left an undersized cluster"
+    );
+    underfilled.sort();
+    let clusters = pack_oversized_clusters(clusters, edges, k);
+    GlobalClustering {
+        clusters,
+        underfilled,
+    }
+}
+
+/// Divides every cluster of size ≥ 2k into t-connected groups of size ≥ k
+/// (the packing pass; see module docs). Groups are carved bottom-up along a
+/// BFS spanning tree of the cluster's ≤ t edges: whenever a residual subtree
+/// reaches k vertices it becomes a group, and the undersized root remainder
+/// merges into an adjacent group. Deterministic for a fixed edge order.
+pub(crate) fn pack_oversized_clusters(
+    clusters: Vec<Cluster>,
+    edges: &[Edge],
+    k: usize,
+) -> Vec<Cluster> {
+    let mut out = Vec::with_capacity(clusters.len());
+    for cluster in clusters {
+        if cluster.members.len() < 2 * k {
+            out.push(cluster);
+            continue;
+        }
+        for members in pack_one(&cluster, edges, k) {
+            out.push(Cluster {
+                members,
+                connectivity: cluster.connectivity,
+            });
+        }
+    }
+    out.sort_by_key(|c| c.members[0]);
+    out
+}
+
+/// Packs a single oversized cluster; returns ≥ 1 groups, each of size ≥ k,
+/// each connected through the cluster's ≤ t edges.
+fn pack_one(cluster: &Cluster, edges: &[Edge], k: usize) -> Vec<Vec<UserId>> {
+    use std::collections::{HashMap, HashSet, VecDeque};
+    let set: HashSet<UserId> = cluster.members.iter().copied().collect();
+    let mut adj: HashMap<UserId, Vec<UserId>> = HashMap::new();
+    for e in edges {
+        if e.w <= cluster.connectivity && set.contains(&e.u) && set.contains(&e.v) {
+            adj.entry(e.u).or_default().push(e.v);
+            adj.entry(e.v).or_default().push(e.u);
+        }
+    }
+    for nbrs in adj.values_mut() {
+        nbrs.sort_unstable();
+    }
+    // BFS spanning tree from the smallest member.
+    let root = cluster.members[0];
+    let mut parent: HashMap<UserId, UserId> = HashMap::from([(root, root)]);
+    let mut order: Vec<UserId> = vec![root];
+    let mut queue: VecDeque<UserId> = VecDeque::from([root]);
+    while let Some(v) = queue.pop_front() {
+        if let Some(nbrs) = adj.get(&v) {
+            for &y in nbrs {
+                if let std::collections::hash_map::Entry::Vacant(slot) = parent.entry(y) {
+                    slot.insert(v);
+                    order.push(y);
+                    queue.push_back(y);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(
+        order.len(),
+        cluster.members.len(),
+        "cluster not t-connected"
+    );
+
+    // Carve in reverse BFS order: when a residual subtree reaches k, it
+    // becomes a group and detaches.
+    let mut residual: HashMap<UserId, usize> = order.iter().map(|&v| (v, 1)).collect();
+    let mut group_of: HashMap<UserId, u32> = HashMap::new();
+    // Children still attached, per vertex (built reverse so carves prune).
+    let mut attached_children: HashMap<UserId, Vec<UserId>> = HashMap::new();
+    for &v in order.iter().skip(1) {
+        attached_children.entry(parent[&v]).or_default().push(v);
+    }
+    let mut groups: Vec<Vec<UserId>> = Vec::new();
+    for &v in order.iter().rev() {
+        let size: usize = 1 + attached_children
+            .get(&v)
+            .map(|cs| cs.iter().map(|c| residual[c]).sum())
+            .unwrap_or(0);
+        residual.insert(v, size);
+        if size >= k && v != root {
+            // Carve the residual subtree rooted at v.
+            let gid = groups.len() as u32;
+            let mut grp = Vec::with_capacity(size);
+            let mut stack = vec![v];
+            while let Some(x) = stack.pop() {
+                grp.push(x);
+                group_of.insert(x, gid);
+                if let Some(cs) = attached_children.get(&x) {
+                    stack.extend(cs.iter().copied());
+                }
+            }
+            groups.push(grp);
+            // Detach from parent.
+            if let Some(cs) = attached_children.get_mut(&parent[&v]) {
+                cs.retain(|&c| c != v);
+            }
+            residual.insert(v, 0);
+        }
+    }
+    // Root remainder.
+    let mut leftover: Vec<UserId> = Vec::new();
+    {
+        let mut stack = vec![root];
+        while let Some(x) = stack.pop() {
+            leftover.push(x);
+            if let Some(cs) = attached_children.get(&x) {
+                stack.extend(cs.iter().copied());
+            }
+        }
+    }
+    if leftover.len() >= k || groups.is_empty() {
+        groups.push(leftover);
+    } else {
+        // Merge the undersized remainder into the adjacent group reached by
+        // the smallest carved child of any leftover vertex.
+        let leftover_set: HashSet<UserId> = leftover.iter().copied().collect();
+        let target = order
+            .iter()
+            .filter(|&&v| !leftover_set.contains(&v) && leftover_set.contains(&parent[&v]))
+            .min()
+            .map(|&v| group_of[&v])
+            .expect("tree connectivity guarantees an adjacent group");
+        groups[target as usize].extend(leftover);
+    }
+    for g in &mut groups {
+        g.sort_unstable();
+    }
+    groups.sort_by_key(|g| g[0]);
+    debug_assert!(groups.iter().all(|g| g.len() >= k));
+    groups
+}
+
+fn collect_leaves(nodes: &[ClassNode], root: u32, out: &mut Vec<UserId>) {
+    let mut stack = vec![root];
+    while let Some(ni) = stack.pop() {
+        let node = &nodes[ni as usize];
+        if node.children.is_empty() {
+            out.push(node.vertex);
+        } else {
+            stack.extend(node.children.iter().copied());
+        }
+    }
+}
+
+/// A slow, direct implementation of the level-based semantics used as the
+/// differential-testing oracle for [`centralized_k_clustering`]: recompute
+/// connectivity components per weight level by BFS, recurse, then attach
+/// stragglers by ascending edge scan.
+pub fn level_reference_k_clustering(g: &Wpg, k: usize) -> GlobalClustering {
+    assert!(k >= 1, "anonymity level must be at least 1");
+    let all_edges: Vec<Edge> = g.edges().collect();
+    let comps = components_of(&(0..g.n() as UserId).collect::<Vec<_>>(), &all_edges);
+    let mut finals: Vec<(Vec<UserId>, u32)> = Vec::new();
+    let mut stragglers: Vec<(Vec<UserId>, u32)> = Vec::new();
+    let mut underfilled: Vec<Vec<UserId>> = Vec::new();
+    let mut queue: Vec<Vec<UserId>> = Vec::new();
+    for c in comps {
+        if c.len() < k {
+            underfilled.push(c);
+        } else {
+            queue.push(c);
+        }
+    }
+    while let Some(members) = queue.pop() {
+        let set: std::collections::HashSet<UserId> = members.iter().copied().collect();
+        let internal: Vec<Edge> = all_edges
+            .iter()
+            .copied()
+            .filter(|e| set.contains(&e.u) && set.contains(&e.v))
+            .collect();
+        // The class formation level is the MST bottleneck, not the raw MEW:
+        // heavier cycle edges never decide connectivity.
+        let t = min_spanning_mew(&members, &internal);
+        if t == 0 {
+            finals.push((members, 0));
+            continue;
+        }
+        // Removing every edge of weight ≥ t disconnects (the MST needs a
+        // weight-t edge), so the recursion strictly descends.
+        let below: Vec<Edge> = internal.iter().copied().filter(|e| e.w < t).collect();
+        let sub = components_of(&members, &below);
+        debug_assert!(sub.len() >= 2, "bottleneck removal must disconnect");
+        if sub.iter().all(|c| c.len() < k) {
+            finals.push((members, t));
+            continue;
+        }
+        for c in sub {
+            if c.len() >= k {
+                queue.push(c);
+            } else {
+                let cset: std::collections::HashSet<UserId> = c.iter().copied().collect();
+                let cedges: Vec<Edge> = below
+                    .iter()
+                    .copied()
+                    .filter(|e| cset.contains(&e.u) && cset.contains(&e.v))
+                    .collect();
+                let own_level = min_spanning_mew(&c, &cedges);
+                stragglers.push((c, own_level));
+            }
+        }
+    }
+    // Attach stragglers: ascending edge scan, never merging two finals.
+    let n = g.n();
+    let mut ds = DisjointSets::new(n);
+    let mut settled = vec![false; n];
+    let mut conn = vec![0u32; n];
+    let mut unsettled = stragglers.len();
+    let seed = |members: &[UserId],
+                level: u32,
+                is_final: bool,
+                ds: &mut DisjointSets,
+                settled: &mut [bool],
+                conn: &mut [u32]| {
+        for w in members.windows(2) {
+            ds.union(w[0], w[1]);
+        }
+        let r = ds.find(members[0]);
+        settled[r as usize] = is_final;
+        conn[r as usize] = level;
+    };
+    for (m, l) in &finals {
+        seed(m, *l, true, &mut ds, &mut settled, &mut conn);
+    }
+    for (m, l) in &stragglers {
+        seed(m, *l, false, &mut ds, &mut settled, &mut conn);
+    }
+    if unsettled > 0 {
+        let mut sorted = all_edges.clone();
+        sorted.sort_unstable_by_key(|e| (e.w, e.u, e.v));
+        let underfilled_set: std::collections::HashSet<UserId> =
+            underfilled.iter().flatten().copied().collect();
+        for e in sorted {
+            if underfilled_set.contains(&e.u) {
+                continue;
+            }
+            let (ra, rb) = (ds.find(e.u), ds.find(e.v));
+            if ra == rb || (settled[ra as usize] && settled[rb as usize]) {
+                continue;
+            }
+            let was = settled[ra as usize] || settled[rb as usize];
+            let c = conn[ra as usize].max(conn[rb as usize]).max(e.w);
+            let both_un = !settled[ra as usize] && !settled[rb as usize];
+            ds.union(e.u, e.v);
+            let r = ds.find(e.u);
+            settled[r as usize] = was;
+            conn[r as usize] = c;
+            if was || both_un {
+                unsettled -= 1;
+            }
+            if unsettled == 0 {
+                break;
+            }
+        }
+    }
+    let underfilled_set: std::collections::HashSet<UserId> =
+        underfilled.iter().flatten().copied().collect();
+    let mut by_root: std::collections::HashMap<u32, Vec<UserId>> = std::collections::HashMap::new();
+    for v in 0..n as UserId {
+        if !underfilled_set.contains(&v) {
+            by_root.entry(ds.find(v)).or_default().push(v);
+        }
+    }
+    let mut clusters: Vec<Cluster> = by_root
+        .into_iter()
+        .map(|(root, mut members)| {
+            members.sort_unstable();
+            Cluster {
+                members,
+                connectivity: conn[root as usize],
+            }
+        })
+        .collect();
+    clusters.sort_by_key(|c| c.members[0]);
+    underfilled.sort();
+    let clusters = pack_oversized_clusters(clusters, &all_edges, k);
+    GlobalClustering {
+        clusters,
+        underfilled,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-linkage (one-edge-at-a-time) variants — the pseudocode's literal
+// reading, kept for differential testing and the chaining ablation.
+// ---------------------------------------------------------------------------
+
+/// Dendrogram node for the binary single-linkage cut.
+struct MergeNode {
+    weight: u32,
+    size: u32,
+    children: Option<(u32, u32)>,
+    vertex: UserId,
+}
+
+/// The fast binary-dendrogram implementation of the pseudocode's literal
+/// one-edge-at-a-time reading: removing edges in descending `(w, u, v)`
+/// order and stopping at the first disconnection is the time-reverse of an
+/// ascending Kruskal pass, so the recursion equals a top-down cut of the
+/// Kruskal merge tree where a node splits only when **both** children hold
+/// ≥ k vertices. Suffers chaining on tie-heavy weights (see module docs).
+pub fn single_linkage_k_clustering(g: &Wpg, k: usize) -> GlobalClustering {
+    assert!(k >= 1, "anonymity level must be at least 1");
+    let mut edges: Vec<Edge> = g.edges().collect();
+    edges.sort_unstable_by_key(|e| (e.w, e.u, e.v));
+
+    let n = g.n();
+    let mut nodes: Vec<MergeNode> = Vec::with_capacity(2 * n);
+    let mut node_of_root = vec![u32::MAX; n];
+    for v in 0..n as UserId {
+        node_of_root[v as usize] = nodes.len() as u32;
+        nodes.push(MergeNode {
+            weight: 0,
+            size: 1,
+            children: None,
+            vertex: v,
+        });
+    }
+    let mut ds = DisjointSets::new(n);
+    for e in &edges {
+        let (ru, rv) = (ds.find(e.u), ds.find(e.v));
+        if ru == rv {
+            continue;
+        }
+        let (nu, nv) = (node_of_root[ru as usize], node_of_root[rv as usize]);
+        let mi = nodes.len() as u32;
+        nodes.push(MergeNode {
+            weight: e.w,
+            size: nodes[nu as usize].size + nodes[nv as usize].size,
+            children: Some((nu, nv)),
+            vertex: UserId::MAX,
+        });
+        ds.union(e.u, e.v);
+        node_of_root[ds.find(e.u) as usize] = mi;
+    }
+
+    let mut roots: Vec<u32> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for v in 0..n as UserId {
+        let r = ds.find(v);
+        if seen.insert(r) {
+            roots.push(node_of_root[r as usize]);
+        }
+    }
+    let mut clusters = Vec::new();
+    let mut underfilled = Vec::new();
+    let mut stack: Vec<u32> = Vec::new();
+    let collect = |nodes: &[MergeNode], root: u32| -> Vec<UserId> {
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(ni) = stack.pop() {
+            match nodes[ni as usize].children {
+                Some((a, b)) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                None => out.push(nodes[ni as usize].vertex),
+            }
+        }
+        out.sort_unstable();
+        out
+    };
+    for root in roots {
+        if (nodes[root as usize].size as usize) < k {
+            underfilled.push(collect(&nodes, root));
+            continue;
+        }
+        stack.push(root);
+        while let Some(ni) = stack.pop() {
+            let node = &nodes[ni as usize];
+            match node.children {
+                Some((a, b))
+                    if nodes[a as usize].size as usize >= k
+                        && nodes[b as usize].size as usize >= k =>
+                {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                _ => clusters.push(Cluster {
+                    members: collect(&nodes, ni),
+                    connectivity: node.weight,
+                }),
+            }
+        }
+    }
+    clusters.sort_by_key(|c| c.members[0]);
+    underfilled.sort();
+    GlobalClustering {
+        clusters,
+        underfilled,
+    }
+}
+
+/// The O(E²) literal transcription of the paper's Algorithm 1 pseudocode:
+/// repeated descending-order single-edge removal with a connectivity check
+/// after every removal. Differential oracle for
+/// [`single_linkage_k_clustering`].
+pub fn reference_k_clustering(g: &Wpg, k: usize) -> GlobalClustering {
+    assert!(k >= 1, "anonymity level must be at least 1");
+    let mut all_edges: Vec<Edge> = g.edges().collect();
+    all_edges.sort_unstable_by_key(|e| std::cmp::Reverse((e.w, e.u, e.v)));
+
+    let comps = nela_wpg::connectivity::components_under(
+        g,
+        g.max_weight().unwrap_or(0),
+        &nela_wpg::connectivity::nothing_removed,
+    );
+    let mut clusters = Vec::new();
+    let mut underfilled = Vec::new();
+    let mut queue: Vec<(Vec<UserId>, Vec<Edge>)> = comps
+        .into_iter()
+        .map(|members| {
+            let set: std::collections::HashSet<UserId> = members.iter().copied().collect();
+            let edges: Vec<Edge> = all_edges
+                .iter()
+                .copied()
+                .filter(|e| set.contains(&e.u) && set.contains(&e.v))
+                .collect();
+            (members, edges)
+        })
+        .collect();
+
+    while let Some((members, edges)) = queue.pop() {
+        if members.len() < k {
+            underfilled.push(members);
+            continue;
+        }
+        let mut split = None;
+        for removed_prefix in 1..=edges.len() {
+            let remaining = &edges[removed_prefix..];
+            let comps = components_of(&members, remaining);
+            if comps.len() > 1 {
+                split = Some((removed_prefix, comps));
+                break;
+            }
+        }
+        match split {
+            Some((prefix, comps)) if comps.iter().all(|c| c.len() >= k) => {
+                for part in comps {
+                    let set: std::collections::HashSet<UserId> = part.iter().copied().collect();
+                    let part_edges: Vec<Edge> = edges[prefix..]
+                        .iter()
+                        .copied()
+                        .filter(|e| set.contains(&e.u) && set.contains(&e.v))
+                        .collect();
+                    queue.push((part, part_edges));
+                }
+            }
+            _ => {
+                let connectivity = min_spanning_mew(&members, &edges);
+                let mut members = members;
+                members.sort_unstable();
+                clusters.push(Cluster {
+                    members,
+                    connectivity,
+                });
+            }
+        }
+    }
+    clusters.sort_by_key(|c| c.members[0]);
+    underfilled.sort();
+    GlobalClustering {
+        clusters,
+        underfilled,
+    }
+}
+
+/// Connected components of `members` under the given edge list.
+fn components_of(members: &[UserId], edges: &[Edge]) -> Vec<Vec<UserId>> {
+    let mut index: std::collections::HashMap<UserId, u32> = std::collections::HashMap::new();
+    for (i, &m) in members.iter().enumerate() {
+        index.insert(m, i as u32);
+    }
+    let mut ds = DisjointSets::new(members.len());
+    for e in edges {
+        ds.union(index[&e.u], index[&e.v]);
+    }
+    let mut by_root: std::collections::HashMap<u32, Vec<UserId>> = std::collections::HashMap::new();
+    for (i, &m) in members.iter().enumerate() {
+        by_root.entry(ds.find(i as u32)).or_default().push(m);
+    }
+    let mut comps: Vec<Vec<UserId>> = by_root.into_values().collect();
+    for c in &mut comps {
+        c.sort_unstable();
+    }
+    comps.sort_by_key(|c| c[0]);
+    comps
+}
+
+/// Bottleneck (maximum) weight of a minimum spanning tree over `members`;
+/// 0 for singletons.
+fn min_spanning_mew(members: &[UserId], edges: &[Edge]) -> u32 {
+    if members.len() <= 1 {
+        return 0;
+    }
+    let mut index: std::collections::HashMap<UserId, u32> = std::collections::HashMap::new();
+    for (i, &m) in members.iter().enumerate() {
+        index.insert(m, i as u32);
+    }
+    let mut sorted: Vec<Edge> = edges.to_vec();
+    sorted.sort_unstable_by_key(|e| (e.w, e.u, e.v));
+    let mut ds = DisjointSets::new(members.len());
+    let mut mew = 0;
+    let mut merges = 0;
+    for e in &sorted {
+        if ds.union(index[&e.u], index[&e.v]) {
+            mew = mew.max(e.w);
+            merges += 1;
+            if merges == members.len() - 1 {
+                break;
+            }
+        }
+    }
+    mew
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nela_wpg::topology;
+
+    /// The worked example of paper Fig. 6 (reconstructed so the 2-clustering
+    /// flows exactly as described in §IV-A): a left pentagon, a bridge of
+    /// weight 8, and a right pentagon that splits once more.
+    fn fig6_like() -> Wpg {
+        Wpg::from_edges(
+            10,
+            &[
+                Edge::new(0, 1, 6),
+                Edge::new(1, 2, 7),
+                Edge::new(2, 3, 5),
+                Edge::new(3, 4, 3),
+                Edge::new(4, 0, 7),
+                Edge::new(2, 5, 8),
+                Edge::new(5, 6, 6),
+                Edge::new(6, 7, 4),
+                Edge::new(7, 8, 3),
+                Edge::new(8, 9, 6),
+                Edge::new(9, 5, 6),
+            ],
+        )
+    }
+
+    #[test]
+    fn two_clustering_of_fig6_like_graph() {
+        let g = fig6_like();
+        let r = centralized_k_clustering(&g, 2);
+        assert!(r.underfilled.is_empty());
+        assert!(r.is_partition_of(10));
+        for c in &r.clusters {
+            assert!(c.len() >= 2);
+        }
+        // The bridge edge (weight 8) must never be inside a cluster: 0..=4
+        // and 5..=9 must not share one.
+        let left = r.cluster_of(2).unwrap();
+        let right = r.cluster_of(5).unwrap();
+        assert_ne!(left, right);
+    }
+
+    #[test]
+    fn cluster_connectivity_is_internal_mew() {
+        // Path 0-1-2-3 with weights 1,5,2: 2-clustering splits at 5 into
+        // {0,1} (t=1) and {2,3} (t=2).
+        let g = Wpg::from_edges(
+            4,
+            &[Edge::new(0, 1, 1), Edge::new(1, 2, 5), Edge::new(2, 3, 2)],
+        );
+        let r = centralized_k_clustering(&g, 2);
+        assert_eq!(r.clusters.len(), 2);
+        assert_eq!(r.clusters[0].members, vec![0, 1]);
+        assert_eq!(r.clusters[0].connectivity, 1);
+        assert_eq!(r.clusters[1].members, vec![2, 3]);
+        assert_eq!(r.clusters[1].connectivity, 2);
+    }
+
+    #[test]
+    fn straggler_is_attached_not_blocking() {
+        // Path a-b:1, b-c:2 with k=2: level-2 cut leaves {a,b} valid and {c}
+        // a straggler, which is re-attached — one cluster of all three, with
+        // connectivity 2 (the attachment level).
+        let g = Wpg::from_edges(3, &[Edge::new(0, 1, 1), Edge::new(1, 2, 2)]);
+        let r = centralized_k_clustering(&g, 2);
+        assert_eq!(r.clusters.len(), 1);
+        assert_eq!(r.clusters[0].members, vec![0, 1, 2]);
+        assert_eq!(r.clusters[0].connectivity, 2);
+    }
+
+    #[test]
+    fn level_cut_beats_single_linkage_on_tie_heavy_graph() {
+        // Two weight-1 blobs of 4 vertices joined by a few weight-2 edges
+        // and a weight-2 pendant: single linkage chains, the level cut
+        // separates the blobs.
+        let mut edges = vec![
+            // blob A: 0-3 (clique-ish at weight 1)
+            Edge::new(0, 1, 1),
+            Edge::new(1, 2, 1),
+            Edge::new(2, 3, 1),
+            Edge::new(3, 0, 1),
+            // blob B: 4-7
+            Edge::new(4, 5, 1),
+            Edge::new(5, 6, 1),
+            Edge::new(6, 7, 1),
+            Edge::new(7, 4, 1),
+            // weight-2 bridges and pendant 8
+            Edge::new(3, 4, 2),
+            Edge::new(0, 7, 2),
+            Edge::new(8, 2, 2),
+        ];
+        edges.sort_unstable_by_key(|e| (e.w, e.u, e.v));
+        let g = Wpg::from_edges(9, &edges);
+        let level = centralized_k_clustering(&g, 4);
+        assert_eq!(level.clusters.len(), 2, "{:?}", level.clusters);
+        // Pendant 8 joins blob A (attached via its weight-2 edge to 2).
+        let a = level.cluster_of(0).unwrap();
+        assert_eq!(level.cluster_of(8).unwrap(), a);
+        assert_eq!(level.clusters[a].connectivity, 2);
+        let b = level.cluster_of(4).unwrap();
+        assert_eq!(level.clusters[b].connectivity, 1);
+        // Single linkage cannot split: first disconnection strands a tiny
+        // side (the pendant), so everything stays one cluster.
+        let sl = single_linkage_k_clustering(&g, 4);
+        assert_eq!(sl.clusters.len(), 1);
+    }
+
+    #[test]
+    fn underfilled_components_are_reported() {
+        let g = Wpg::from_edges(5, &[Edge::new(0, 1, 1), Edge::new(1, 2, 1)]);
+        // Vertices 3 and 4 are isolated; k=3.
+        let r = centralized_k_clustering(&g, 3);
+        assert_eq!(r.clusters.len(), 1);
+        assert_eq!(r.clusters[0].members, vec![0, 1, 2]);
+        assert_eq!(r.underfilled.len(), 2);
+        assert!(r.is_partition_of(5));
+    }
+
+    #[test]
+    fn k_equal_one_yields_singletons_where_possible() {
+        let g = Wpg::from_edges(3, &[Edge::new(0, 1, 1), Edge::new(1, 2, 2)]);
+        let r = centralized_k_clustering(&g, 1);
+        assert_eq!(r.clusters.len(), 3);
+        for c in &r.clusters {
+            assert_eq!(c.len(), 1);
+            assert_eq!(c.connectivity, 0);
+        }
+    }
+
+    #[test]
+    fn subset_clustering_ignores_outside_vertices() {
+        let g = fig6_like();
+        let members = vec![5, 6, 7, 8, 9];
+        let r = centralized_k_clustering_subset(&g, &members, 2);
+        let clustered: Vec<UserId> = r
+            .clusters
+            .iter()
+            .flat_map(|c| c.members.clone())
+            .chain(r.underfilled.iter().flatten().copied())
+            .collect();
+        let mut clustered_sorted = clustered.clone();
+        clustered_sorted.sort_unstable();
+        assert_eq!(clustered_sorted, members);
+    }
+
+    #[test]
+    fn fast_level_algorithm_matches_slow_reference() {
+        for seed in 0..8u64 {
+            let g = topology::small_world(30, 4, 0.3, 5, seed);
+            for k in [2usize, 3, 5] {
+                let fast = centralized_k_clustering(&g, k);
+                let slow = level_reference_k_clustering(&g, k);
+                assert_eq!(fast.clusters, slow.clusters, "seed={seed} k={k}");
+                assert_eq!(fast.underfilled, slow.underfilled, "seed={seed} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_level_matches_reference_on_grids() {
+        for seed in 0..4u64 {
+            let g = topology::grid_graph(5, 6, 4, seed);
+            for k in [2usize, 4] {
+                let fast = centralized_k_clustering(&g, k);
+                let slow = level_reference_k_clustering(&g, k);
+                assert_eq!(fast.clusters, slow.clusters, "seed={seed} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_linkage_matches_literal_pseudocode() {
+        let g = fig6_like();
+        for k in 1..=5 {
+            let fast = single_linkage_k_clustering(&g, k);
+            let slow = reference_k_clustering(&g, k);
+            assert_eq!(fast.clusters, slow.clusters, "k={k}");
+        }
+        for seed in 0..6u64 {
+            let g = topology::small_world(24, 4, 0.3, 6, seed);
+            for k in [2usize, 3, 5] {
+                let fast = single_linkage_k_clustering(&g, k);
+                let slow = reference_k_clustering(&g, k);
+                assert_eq!(fast.clusters, slow.clusters, "seed={seed} k={k}");
+                assert_eq!(fast.underfilled, slow.underfilled, "seed={seed} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_level_clusters_are_connected_at_reported_t() {
+        let g = topology::small_world(40, 4, 0.2, 8, 9);
+        let r = centralized_k_clustering(&g, 4);
+        assert!(r.is_partition_of(40));
+        for c in &r.clusters {
+            let set: std::collections::HashSet<UserId> = c.members.iter().copied().collect();
+            let internal: Vec<Edge> = g
+                .edges()
+                .filter(|e| set.contains(&e.u) && set.contains(&e.v) && e.w <= c.connectivity)
+                .collect();
+            let comps = components_of(&c.members, &internal);
+            assert_eq!(comps.len(), 1, "cluster not t-connected at reported t");
+        }
+    }
+
+    #[test]
+    fn level_clusters_never_smaller_than_k() {
+        for seed in 0..5u64 {
+            let g = topology::random_regular(40, 4, 6, seed);
+            for k in [2usize, 5, 10] {
+                let r = centralized_k_clustering(&g, k);
+                for c in &r.clusters {
+                    assert!(c.len() >= k, "seed {seed} k {k}: {:?}", c.members);
+                }
+                assert!(r.is_partition_of(40));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_clusters_nothing() {
+        let g = Wpg::from_edges(0, &[]);
+        let r = centralized_k_clustering(&g, 2);
+        assert!(r.clusters.is_empty());
+        assert!(r.underfilled.is_empty());
+    }
+}

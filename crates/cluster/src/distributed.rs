@@ -1,0 +1,439 @@
+//! Distributed t-connectivity k-clustering (paper Algorithm 2).
+//!
+//! Run by a host vertex that discovers the WPG incrementally by asking peers
+//! for their adjacency lists. Three steps:
+//!
+//! 1. **Span** (lines 1–6): grow a cluster from the host through edges in
+//!    increasing weight order (Prim-style) until it holds exactly k vertices;
+//!    the spanning bottleneck is the connectivity t. (The Prim bottleneck
+//!    equals the minimum threshold at which the host's t-connectivity class
+//!    reaches size k, so C is a size-k certificate of the smallest valid
+//!    t-connectivity cluster. C is deliberately *not* expanded to the full
+//!    equivalence class here: under coarse rank weights the class can
+//!    percolate to thousands of users, and the paper's reported costs —
+//!    ≈ |C| + |border(C)| messages — only arise for the size-k cluster.)
+//! 2. **Border validation** (lines 7–15): every external border vertex must
+//!    itself own a valid t-connectivity k-cluster in the remaining WPG
+//!    (Theorem 4.4's sufficient condition for isolation). A failing border
+//!    vertex is absorbed, t grows to the lightest edge joining it to C, the
+//!    cluster is then *spanned with the new t* (closed under t-reachability,
+//!    per line 14), and newly exposed border vertices join the queue. A
+//!    vertex that passed once is not rechecked (t only increases).
+//! 3. **Partition** (lines 16–17): the absorbed super-cluster is cut by the
+//!    centralized algorithm (over the adjacency the host has already
+//!    gathered — no further messages); the host's piece is its k-anonymity
+//!    cluster, and *every* piece is returned so the caller can register them
+//!    all — subsequent requests by any super-cluster member are then served
+//!    with zero communication (paper §VI-C).
+//!
+//! Communication accounting follows §VI: "if a user is involved in the
+//! k-clustering process, only a single message containing the adjacent
+//! vertices as well as the edge weights is sent to the host vertex", so the
+//! cost equals the number of distinct users whose adjacency the host
+//! fetched (the host's own list is local and free). The algorithm is written
+//! against [`crate::fetch::PeerFetch`], so the identical code runs over an
+//! in-memory graph or over `nela-netsim`'s simulated radio network.
+
+use crate::centralized::centralized_k_clustering_edges;
+use crate::fetch::{AdjCache, LocalFetch, PeerFetch};
+use crate::{Cluster, ClusterError};
+use nela_geo::UserId;
+use nela_wpg::{Weight, Wpg};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+/// Result of a distributed clustering request.
+#[derive(Debug, Clone)]
+pub struct DistributedOutcome {
+    /// The host's k-anonymity cluster (a piece of the super-cluster).
+    pub host_cluster: Cluster,
+    /// Every cluster produced by partitioning the super-cluster, including
+    /// the host's. All are valid (size ≥ k).
+    pub all_clusters: Vec<Cluster>,
+    /// The super-cluster: the host's spanned cluster after border
+    /// absorption (sorted).
+    pub super_cluster: Vec<UserId>,
+    /// Final connectivity threshold t of the super-cluster.
+    pub connectivity: Weight,
+    /// Number of peers whose adjacency list the host had to fetch — the
+    /// per-request communication cost of §VI.
+    pub involved_users: usize,
+}
+
+/// Runs Algorithm 2 for `host` on an in-memory WPG. See
+/// [`distributed_k_clustering_with`] for the transport-generic version.
+pub fn distributed_k_clustering(
+    g: &Wpg,
+    host: UserId,
+    k: usize,
+    removed: &dyn Fn(UserId) -> bool,
+) -> Result<DistributedOutcome, ClusterError> {
+    let mut fetch = LocalFetch::new(g);
+    distributed_k_clustering_with(&mut fetch, host, k, removed)
+}
+
+/// Runs Algorithm 2 for `host`, fetching peer adjacency through `fetch`.
+/// Vertices with `removed(v) == true` (previously clustered users) are
+/// treated as absent from the remaining WPG.
+///
+/// # Errors
+/// - [`ClusterError::ComponentTooSmall`] when fewer than k users are
+///   reachable from the host in the remaining WPG.
+/// - [`ClusterError::PeerUnreachable`] when a required peer cannot be
+///   contacted (only possible with fallible transports).
+pub fn distributed_k_clustering_with(
+    fetch: &mut dyn PeerFetch,
+    host: UserId,
+    k: usize,
+    removed: &dyn Fn(UserId) -> bool,
+) -> Result<DistributedOutcome, ClusterError> {
+    assert!(k >= 1, "anonymity level must be at least 1");
+    assert!(!removed(host), "host must not be already clustered");
+    let mut adj = AdjCache::new(fetch, host);
+    let mut in_c: HashSet<UserId> = HashSet::from([host]);
+    let mut t: Weight = 0;
+
+    // ---- Step 1: Prim-style span to size k.
+    let mut heap: BinaryHeap<Reverse<(Weight, UserId)>> = BinaryHeap::new();
+    for &(v, w) in adj.get(host)? {
+        if !removed(v) {
+            heap.push(Reverse((w, v)));
+        }
+    }
+    while in_c.len() < k {
+        let Some(Reverse((w, v))) = heap.pop() else {
+            return Err(ClusterError::ComponentTooSmall {
+                reachable: in_c.len(),
+            });
+        };
+        if in_c.contains(&v) {
+            continue;
+        }
+        in_c.insert(v);
+        t = t.max(w);
+        for &(y, wy) in adj.get(v)? {
+            if !removed(y) && !in_c.contains(&y) {
+                heap.push(Reverse((wy, y)));
+            }
+        }
+    }
+
+    // ---- Step 2: border validation loop.
+    let mut queue: VecDeque<UserId> = VecDeque::new();
+    let mut enqueued: HashSet<UserId> = HashSet::new();
+    collect_border(&mut adj, &in_c, removed, &mut queue, &mut enqueued)?;
+
+    while let Some(v) = queue.pop_front() {
+        if in_c.contains(&v) {
+            continue; // absorbed since it was enqueued
+        }
+        if border_has_valid_cluster(&mut adj, v, t, k, removed, &in_c)? {
+            continue; // passes now, passes forever (t only increases)
+        }
+        // Absorb v; t rises to the lightest edge joining v to C.
+        let join_w = adj
+            .get(v)?
+            .iter()
+            .filter(|(y, _)| in_c.contains(y))
+            .map(|&(_, w)| w)
+            .min()
+            .expect("border vertex must touch the cluster");
+        in_c.insert(v);
+        t = t.max(join_w);
+        close_under_t(&mut adj, &mut in_c, t, removed)?;
+        collect_border(&mut adj, &in_c, removed, &mut queue, &mut enqueued)?;
+    }
+
+    // ---- Step 3: centralized partition of the super-cluster, over the
+    // adjacency already gathered (every member's list is cached).
+    let mut super_cluster: Vec<UserId> = in_c.iter().copied().collect();
+    super_cluster.sort_unstable();
+    let edges = adj.internal_edges(&super_cluster);
+    let partition = centralized_k_clustering_edges(&super_cluster, &edges, k);
+    debug_assert!(
+        partition.underfilled.is_empty(),
+        "super-cluster is connected and ≥ k, its partition cannot underfill"
+    );
+    let host_idx = partition
+        .cluster_of(host)
+        .expect("host is in the super-cluster");
+    let host_cluster = partition.clusters[host_idx].clone();
+
+    Ok(DistributedOutcome {
+        host_cluster,
+        all_clusters: partition.clusters,
+        super_cluster,
+        connectivity: t,
+        involved_users: adj.contacted(),
+    })
+}
+
+/// Adds every not-yet-enqueued border vertex of C to the check queue. The
+/// adjacency of C members is already cached at the host, so this costs no
+/// new messages. Members are visited in id order so the border queue — and
+/// with it the whole absorption sequence — is deterministic.
+fn collect_border(
+    adj: &mut AdjCache<'_>,
+    in_c: &HashSet<UserId>,
+    removed: &dyn Fn(UserId) -> bool,
+    queue: &mut VecDeque<UserId>,
+    enqueued: &mut HashSet<UserId>,
+) -> Result<(), ClusterError> {
+    let mut members: Vec<UserId> = in_c.iter().copied().collect();
+    members.sort_unstable();
+    for c in members {
+        for &(v, _) in adj.get(c)? {
+            if !in_c.contains(&v) && !removed(v) && enqueued.insert(v) {
+                queue.push_back(v);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Expands `in_c` to its t-reachability closure ("span C with new t",
+/// Algorithm 2 line 14), fetching adjacency of every vertex that enters.
+fn close_under_t(
+    adj: &mut AdjCache<'_>,
+    in_c: &mut HashSet<UserId>,
+    t: Weight,
+    removed: &dyn Fn(UserId) -> bool,
+) -> Result<(), ClusterError> {
+    let mut stack: Vec<UserId> = in_c.iter().copied().collect();
+    while let Some(x) = stack.pop() {
+        let nbrs: Vec<(UserId, Weight)> = adj.get(x)?.to_vec();
+        for (y, w) in nbrs {
+            if w <= t && !removed(y) && !in_c.contains(&y) {
+                in_c.insert(y);
+                stack.push(y);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Does border vertex `v` own a t-connectivity cluster of size ≥ k in the
+/// remaining WPG (previous removals plus the current super-cluster)? The
+/// bounded BFS fetches adjacency of every vertex it must expand, so the
+/// check only contacts ~k peers in the common passing case.
+fn border_has_valid_cluster(
+    adj: &mut AdjCache<'_>,
+    v: UserId,
+    t: Weight,
+    k: usize,
+    removed: &dyn Fn(UserId) -> bool,
+    in_c: &HashSet<UserId>,
+) -> Result<bool, ClusterError> {
+    if k <= 1 {
+        return Ok(true);
+    }
+    let mut visited: HashSet<UserId> = HashSet::from([v]);
+    let mut queue: VecDeque<UserId> = VecDeque::from([v]);
+    while let Some(x) = queue.pop_front() {
+        let nbrs: Vec<(UserId, Weight)> = adj.get(x)?.to_vec();
+        for (y, w) in nbrs {
+            if w <= t && !removed(y) && !in_c.contains(&y) && visited.insert(y) {
+                if visited.len() >= k {
+                    return Ok(true);
+                }
+                queue.push_back(y);
+            }
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nela_wpg::{topology, Edge};
+
+    fn no_removed(_: UserId) -> bool {
+        false
+    }
+
+    /// Paper Fig. 7's walk-through graph: host u spans {u, v} at t = 5;
+    /// border vertex w fails the 2-cluster check and is absorbed; border
+    /// vertex x passes. Reconstructed with ids:
+    /// u=0, v=1, w=2, x=3, plus two more vertices forming x's 2-cluster and
+    /// a vertex completing the border of {u,v}.
+    fn fig7_like() -> Wpg {
+        Wpg::from_edges(
+            6,
+            &[
+                Edge::new(0, 1, 5), // u-v: the initial 2-cluster at t=5
+                Edge::new(0, 2, 7), // u-w
+                Edge::new(1, 4, 8), // v-(another border vertex)
+                Edge::new(2, 3, 6), // w-x
+                Edge::new(3, 5, 3), // x and 5 form a 2-cluster at t=5
+                Edge::new(4, 5, 4), // 4 and 5 connected under t=5 too
+            ],
+        )
+    }
+
+    #[test]
+    fn fig7_walkthrough() {
+        let g = fig7_like();
+        let out = distributed_k_clustering(&g, 0, 2, &no_removed).unwrap();
+        // w(=2) has no 5-connected companion once {0,1} is carved out, so it
+        // must be absorbed; t rises to 7 (edge u-w), and the closure under 7
+        // pulls in the rest of the graph, whose partition still gives the
+        // host the tight {u, v} cluster.
+        assert!(out.super_cluster.contains(&2), "w must be absorbed");
+        assert!(out.host_cluster.contains(0));
+        assert!(out.host_cluster.is_valid(2));
+        assert!(out.involved_users > 0);
+    }
+
+    #[test]
+    fn spans_minimum_weight_first() {
+        // Star around 0 with distinct weights: 2-cluster takes the lightest.
+        let g = Wpg::from_edges(
+            4,
+            &[Edge::new(0, 1, 3), Edge::new(0, 2, 1), Edge::new(0, 3, 2)],
+        );
+        let out = distributed_k_clustering(&g, 0, 2, &no_removed).unwrap();
+        assert!(out.host_cluster.contains(2), "lightest neighbor chosen");
+    }
+
+    #[test]
+    fn unreachable_k_errors() {
+        let g = Wpg::from_edges(3, &[Edge::new(0, 1, 1)]);
+        let err = distributed_k_clustering(&g, 0, 3, &no_removed).unwrap_err();
+        assert_eq!(err, ClusterError::ComponentTooSmall { reachable: 2 });
+    }
+
+    #[test]
+    fn host_cluster_is_valid_and_contains_host() {
+        let g = topology::small_world(60, 4, 0.2, 8, 21);
+        for host in [0u32, 7, 33, 59] {
+            let out = distributed_k_clustering(&g, host, 5, &no_removed).unwrap();
+            assert!(out.host_cluster.contains(host));
+            assert!(out.host_cluster.is_valid(5));
+            // host cluster is inside the super-cluster
+            for m in &out.host_cluster.members {
+                assert!(out.super_cluster.binary_search(m).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn all_clusters_partition_super_cluster() {
+        let g = topology::small_world(80, 6, 0.3, 10, 5);
+        let out = distributed_k_clustering(&g, 11, 6, &no_removed).unwrap();
+        let mut all: Vec<UserId> = out
+            .all_clusters
+            .iter()
+            .flat_map(|c| c.members.clone())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, out.super_cluster);
+        for c in &out.all_clusters {
+            assert!(c.is_valid(6));
+        }
+    }
+
+    #[test]
+    fn removed_users_are_never_clustered() {
+        let g = topology::ring_lattice(30, 4, 5, 3);
+        let removed = |u: UserId| u % 3 == 0 && u != 6; // host 6 stays
+        let out = distributed_k_clustering(&g, 6, 3, &removed).unwrap();
+        for &m in &out.super_cluster {
+            assert!(!(removed)(m), "clustered a removed user {m}");
+        }
+    }
+
+    #[test]
+    fn super_cluster_is_internally_t_connected() {
+        // C must be mutually t-connected through internal edges at the
+        // reported connectivity (it was spanned through edges ≤ t).
+        let g = topology::small_world(50, 4, 0.25, 7, 13);
+        let out = distributed_k_clustering(&g, 3, 4, &no_removed).unwrap();
+        let set: HashSet<UserId> = out.super_cluster.iter().copied().collect();
+        let outside = |u: UserId| !set.contains(&u);
+        let mut reached = nela_wpg::connectivity::t_cluster_of(&g, 3, out.connectivity, &outside);
+        reached.sort_unstable();
+        assert_eq!(reached, out.super_cluster);
+    }
+
+    #[test]
+    fn no_failure_case_keeps_cluster_at_exactly_k() {
+        // Dense lattice: every border vertex trivially has a valid cluster,
+        // so C stays at the k vertices Prim found (the paper's common case
+        // with cost ≈ |C| + |border|).
+        let g = topology::ring_lattice(60, 6, 3, 4);
+        let out = distributed_k_clustering(&g, 10, 5, &no_removed).unwrap();
+        assert_eq!(out.super_cluster.len(), 5);
+        assert_eq!(out.host_cluster.len(), 5);
+    }
+
+    #[test]
+    fn border_condition_holds_at_termination() {
+        // Theorem 4.4's sufficient condition: every border vertex has a
+        // valid t-connectivity cluster in the remaining WPG.
+        let g = topology::small_world(60, 4, 0.2, 6, 17);
+        let out = distributed_k_clustering(&g, 20, 4, &no_removed).unwrap();
+        let set: HashSet<UserId> = out.super_cluster.iter().copied().collect();
+        let mut border: HashSet<UserId> = HashSet::new();
+        for &c in &out.super_cluster {
+            for (v, _) in g.neighbors(c) {
+                if !set.contains(&v) {
+                    border.insert(v);
+                }
+            }
+        }
+        for &b in &border {
+            let removed = |u: UserId| set.contains(&u);
+            assert!(
+                nela_wpg::connectivity::has_t_cluster_of_size(&g, b, out.connectivity, 4, &removed),
+                "border vertex {b} lacks a valid cluster"
+            );
+        }
+    }
+
+    #[test]
+    fn involved_users_at_least_cluster_size() {
+        let g = topology::ring_lattice(40, 4, 5, 1);
+        let out = distributed_k_clustering(&g, 0, 5, &no_removed).unwrap();
+        // The host contacted at least every other super-cluster member.
+        assert!(out.involved_users >= out.super_cluster.len() - 1);
+    }
+
+    #[test]
+    fn k1_returns_quickly() {
+        let g = Wpg::from_edges(2, &[Edge::new(0, 1, 1)]);
+        let out = distributed_k_clustering(&g, 0, 1, &no_removed).unwrap();
+        assert!(out.host_cluster.contains(0));
+    }
+
+    #[test]
+    fn dead_peer_aborts_with_unreachable() {
+        struct DeadPeer<'a> {
+            inner: LocalFetch<'a>,
+            dead: UserId,
+        }
+        impl PeerFetch for DeadPeer<'_> {
+            fn fetch(&mut self, u: UserId) -> Option<Vec<(UserId, Weight)>> {
+                if u == self.dead {
+                    None
+                } else {
+                    self.inner.fetch(u)
+                }
+            }
+        }
+        let g = topology::ring_lattice(20, 2, 3, 2);
+        let mut f = DeadPeer {
+            inner: LocalFetch::new(&g),
+            dead: 1,
+        };
+        // Host 0 needs its ring neighbors; peer 1 never answers.
+        let err = distributed_k_clustering_with(&mut f, 0, 5, &no_removed);
+        assert!(matches!(
+            err,
+            Err(ClusterError::PeerUnreachable { .. }) | Ok(_)
+        ));
+        if let Err(ClusterError::PeerUnreachable { peer }) = err {
+            assert_eq!(peer, 1);
+        }
+    }
+}

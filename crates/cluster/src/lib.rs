@@ -1,0 +1,105 @@
+//! Proximity minimum k-clustering — phase 1 of non-exposure location
+//! cloaking (paper §IV).
+//!
+//! Given a weighted proximity graph, a host user and an anonymity level `k`,
+//! find a cluster of ≥ k users containing the host with minimum maximum edge
+//! weight (MEW — the paper's surrogate for cluster diameter, Corollary 4.2),
+//! such that carving the cluster out of the graph does not change any other
+//! user's future cluster (*cluster-isolation*, Property 4.1).
+//!
+//! Modules:
+//!
+//! - [`centralized`] — Algorithm 1, the centralized t-connectivity
+//!   k-clustering that partitions a whole WPG; implemented both as a fast
+//!   Kruskal-dendrogram cut and as a literal transcription of the paper's
+//!   pseudocode (used for differential testing).
+//! - [`distributed`] — Algorithm 2, the distributed, cluster-isolated
+//!   t-connectivity k-clustering run by a host vertex, with per-request
+//!   communication accounting (number of involved users, §VI).
+//! - [`knn`] — the kNN baseline (and its smallest-degree tie-break revision
+//!   from Fig. 4(b)) the paper compares against.
+//! - [`registry`] — cluster membership bookkeeping across a sequence of host
+//!   requests, enforcing the reciprocity property.
+//! - [`isolation`] — an executable checker of the cluster-isolation property
+//!   used by the test suite.
+
+pub mod centralized;
+pub mod distributed;
+pub mod fetch;
+pub mod hilbert;
+pub mod isolation;
+pub mod knn;
+pub mod registry;
+
+pub use centralized::{centralized_k_clustering, reference_k_clustering, GlobalClustering};
+pub use distributed::{
+    distributed_k_clustering, distributed_k_clustering_with, DistributedOutcome,
+};
+pub use fetch::{LocalFetch, PeerFetch};
+pub use knn::{knn_cluster, knn_cluster_with, KnnOutcome, TieBreak};
+pub use registry::ClusterRegistry;
+
+use nela_geo::UserId;
+use nela_wpg::Weight;
+
+/// A finished k-anonymity cluster: its members (sorted) and its connectivity
+/// `t` — the smallest threshold under which the members are mutually
+/// t-connected through internal edges (equals the cluster's MEW in its
+/// minimum spanning tree; `0` for singleton clusters, which only arise for
+/// `k = 1`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster {
+    pub members: Vec<UserId>,
+    pub connectivity: Weight,
+}
+
+impl Cluster {
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the cluster has no members (never produced by the
+    /// algorithms; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// True when the cluster meets the anonymity requirement `k`.
+    pub fn is_valid(&self, k: usize) -> bool {
+        self.members.len() >= k
+    }
+
+    /// True when `u` is a member (members are sorted, so binary search).
+    pub fn contains(&self, u: UserId) -> bool {
+        self.members.binary_search(&u).is_ok()
+    }
+}
+
+/// Why a clustering request could not be served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The host's connected component in the remaining WPG has fewer than k
+    /// users — the "disconnected problem" of paper Fig. 5: no algorithm can
+    /// reach k-anonymity for this host.
+    ComponentTooSmall { reachable: usize },
+    /// A peer required by the protocol never answered (crashed or all
+    /// retransmissions lost). Only produced by fallible transports.
+    PeerUnreachable { peer: UserId },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::ComponentTooSmall { reachable } => write!(
+                f,
+                "host's component has only {reachable} reachable users, below the anonymity level"
+            ),
+            ClusterError::PeerUnreachable { peer } => {
+                write!(f, "peer {peer} is unreachable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}

@@ -1,0 +1,178 @@
+//! Cluster membership bookkeeping across a sequence of host requests.
+//!
+//! The system model (paper §III, Fig. 3) makes the cluster — and later its
+//! cloaked region — shared state: once a user is a member of any cluster,
+//! every future service request by that user reuses the same cluster/region
+//! with zero cloaking cost (workflow arrow ®), and the *reciprocity*
+//! property requires all members to map to the same set. The registry is
+//! that shared state.
+
+use crate::Cluster;
+use nela_geo::{Rect, UserId};
+
+/// Identifier of a registered cluster.
+pub type ClusterId = u32;
+
+/// A cluster as stored in the registry, optionally with its cloaked region
+/// (filled in once phase 2 has run for the cluster).
+#[derive(Debug, Clone)]
+pub struct RegisteredCluster {
+    pub cluster: Cluster,
+    pub region: Option<Rect>,
+}
+
+/// Tracks which users belong to which cluster over a request workload.
+#[derive(Debug, Clone)]
+pub struct ClusterRegistry {
+    assignment: Vec<Option<ClusterId>>,
+    clusters: Vec<RegisteredCluster>,
+}
+
+impl ClusterRegistry {
+    /// An empty registry over a population of `n` users.
+    pub fn new(n: usize) -> Self {
+        ClusterRegistry {
+            assignment: vec![None; n],
+            clusters: Vec::new(),
+        }
+    }
+
+    /// Population size.
+    pub fn population(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of registered clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Number of users currently assigned to some cluster.
+    pub fn clustered_users(&self) -> usize {
+        self.assignment.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// True when `u` already belongs to a cluster.
+    pub fn is_clustered(&self, u: UserId) -> bool {
+        self.assignment[u as usize].is_some()
+    }
+
+    /// The cluster id of `u`, if assigned.
+    pub fn cluster_id_of(&self, u: UserId) -> Option<ClusterId> {
+        self.assignment[u as usize]
+    }
+
+    /// The registered cluster of `u`, if assigned.
+    pub fn cluster_of(&self, u: UserId) -> Option<&RegisteredCluster> {
+        self.assignment[u as usize].map(|id| &self.clusters[id as usize])
+    }
+
+    /// Look up a registered cluster by id.
+    pub fn get(&self, id: ClusterId) -> &RegisteredCluster {
+        &self.clusters[id as usize]
+    }
+
+    /// Registers a cluster, assigning every member to it.
+    ///
+    /// # Panics
+    /// Panics if any member is already assigned — clusters must be disjoint
+    /// (a user joins exactly one cluster; reciprocity breaks otherwise).
+    pub fn register(&mut self, cluster: Cluster) -> ClusterId {
+        let id = self.clusters.len() as ClusterId;
+        for &m in &cluster.members {
+            assert!(
+                self.assignment[m as usize].is_none(),
+                "user {m} is already in cluster {:?}",
+                self.assignment[m as usize]
+            );
+            self.assignment[m as usize] = Some(id);
+        }
+        self.clusters.push(RegisteredCluster {
+            cluster,
+            region: None,
+        });
+        id
+    }
+
+    /// Stores the cloaked region computed for cluster `id` by phase 2.
+    pub fn set_region(&mut self, id: ClusterId, region: Rect) {
+        self.clusters[id as usize].region = Some(region);
+    }
+
+    /// Predicate suitable for the clustering algorithms' `removed` argument:
+    /// a user is removed from the remaining WPG iff already clustered.
+    pub fn removed_predicate(&self) -> impl Fn(UserId) -> bool + '_ {
+        move |u| self.is_clustered(u)
+    }
+
+    /// Verifies the reciprocity property: every member of every cluster maps
+    /// back to that same cluster. Returns the first violating user, if any.
+    pub fn reciprocity_violation(&self) -> Option<UserId> {
+        for (id, rc) in self.clusters.iter().enumerate() {
+            for &m in &rc.cluster.members {
+                if self.assignment[m as usize] != Some(id as ClusterId) {
+                    return Some(m);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(members: &[UserId]) -> Cluster {
+        Cluster {
+            members: members.to_vec(),
+            connectivity: 1,
+        }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = ClusterRegistry::new(10);
+        let id = reg.register(cluster(&[1, 2, 3]));
+        assert!(reg.is_clustered(2));
+        assert!(!reg.is_clustered(4));
+        assert_eq!(reg.cluster_id_of(3), Some(id));
+        assert_eq!(reg.cluster_of(1).unwrap().cluster.members, vec![1, 2, 3]);
+        assert_eq!(reg.clustered_users(), 3);
+        assert_eq!(reg.cluster_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in cluster")]
+    fn double_registration_panics() {
+        let mut reg = ClusterRegistry::new(5);
+        reg.register(cluster(&[0, 1]));
+        reg.register(cluster(&[1, 2]));
+    }
+
+    #[test]
+    fn region_storage() {
+        let mut reg = ClusterRegistry::new(5);
+        let id = reg.register(cluster(&[0, 1]));
+        assert!(reg.get(id).region.is_none());
+        reg.set_region(id, Rect::new(0.0, 0.0, 0.5, 0.5));
+        assert_eq!(reg.cluster_of(1).unwrap().region.unwrap().area(), 0.25);
+    }
+
+    #[test]
+    fn removed_predicate_reflects_assignment() {
+        let mut reg = ClusterRegistry::new(5);
+        reg.register(cluster(&[3, 4]));
+        let removed = reg.removed_predicate();
+        assert!(removed(3));
+        assert!(!removed(0));
+    }
+
+    #[test]
+    fn reciprocity_holds_for_registered_clusters() {
+        let mut reg = ClusterRegistry::new(8);
+        reg.register(cluster(&[0, 1, 2]));
+        reg.register(cluster(&[5, 6]));
+        assert_eq!(reg.reciprocity_violation(), None);
+    }
+}

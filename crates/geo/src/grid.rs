@@ -1,0 +1,294 @@
+//! Uniform-grid spatial index for δ-range neighbor queries.
+//!
+//! Building a weighted proximity graph over ~10⁵ users requires, for every
+//! user, all peers within the radio range δ. A uniform grid whose cell side
+//! equals δ answers such a query by scanning at most the 3×3 cell block
+//! around the query point, which is optimal for the short, fixed radii used
+//! in the paper (δ = 2×10⁻³ in the unit square).
+//!
+//! The index is built once over the full population (users do not move during
+//! an experiment, matching the paper's static snapshot model) and stores
+//! point indices bucketed per cell in a flat CSR-style layout to keep the
+//! ~10⁵-point index allocation-light.
+
+use crate::point::Point;
+use crate::UserId;
+
+/// A static uniform-grid index over a set of points in the unit square.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    /// Number of cells per axis.
+    cells: usize,
+    /// Side length of one cell.
+    cell_side: f64,
+    /// CSR offsets: `bucket[c]..bucket[c+1]` slices `entries` for cell `c`.
+    bucket_offsets: Vec<u32>,
+    /// Point ids, grouped by cell.
+    entries: Vec<UserId>,
+    /// The indexed points (owned copy so queries need no external lookup).
+    points: Vec<Point>,
+}
+
+impl GridIndex {
+    /// Builds an index whose cell side is at least `min_cell_side` (typically
+    /// the radio range δ, so any δ-ball is covered by a 3×3 cell block).
+    ///
+    /// # Panics
+    /// Panics if `min_cell_side` is not finite and positive.
+    pub fn build(points: &[Point], min_cell_side: f64) -> Self {
+        assert!(
+            min_cell_side.is_finite() && min_cell_side > 0.0,
+            "cell side must be positive, got {min_cell_side}"
+        );
+        // At least one cell; at most what keeps memory reasonable for the
+        // unit square (1/δ cells per axis, capped to avoid pathological tiny δ).
+        let cells = ((1.0 / min_cell_side).floor() as usize).clamp(1, 4096);
+        let cell_side = 1.0 / cells as f64;
+
+        let n_cells = cells * cells;
+        let mut counts = vec![0u32; n_cells + 1];
+        let cell_of = |p: &Point| -> usize {
+            let cx = ((p.x / cell_side) as usize).min(cells - 1);
+            let cy = ((p.y / cell_side) as usize).min(cells - 1);
+            cy * cells + cx
+        };
+        for p in points {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for i in 1..=n_cells {
+            counts[i] += counts[i - 1];
+        }
+        let mut entries = vec![0 as UserId; points.len()];
+        let mut cursor = counts.clone();
+        for (i, p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            entries[cursor[c] as usize] = i as UserId;
+            cursor[c] += 1;
+        }
+        GridIndex {
+            cells,
+            cell_side,
+            bucket_offsets: counts,
+            entries,
+            points: points.to_vec(),
+        }
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the index holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The indexed points.
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// All point ids strictly within Euclidean distance `radius` of point
+    /// `query_id`, excluding `query_id` itself. Results are appended to `out`
+    /// (cleared first) as `(id, squared distance)` pairs in arbitrary order.
+    pub fn neighbors_within(&self, query_id: UserId, radius: f64, out: &mut Vec<(UserId, f64)>) {
+        out.clear();
+        let q = self.points[query_id as usize];
+        let r_sq = radius * radius;
+        // Cells overlapping the query ball.
+        let span = (radius / self.cell_side).ceil() as isize;
+        let qcx = ((q.x / self.cell_side) as isize).min(self.cells as isize - 1);
+        let qcy = ((q.y / self.cell_side) as isize).min(self.cells as isize - 1);
+        for cy in (qcy - span).max(0)..=(qcy + span).min(self.cells as isize - 1) {
+            for cx in (qcx - span).max(0)..=(qcx + span).min(self.cells as isize - 1) {
+                let c = cy as usize * self.cells + cx as usize;
+                let lo = self.bucket_offsets[c] as usize;
+                let hi = self.bucket_offsets[c + 1] as usize;
+                for &id in &self.entries[lo..hi] {
+                    if id == query_id {
+                        continue;
+                    }
+                    let d_sq = q.dist_sq(&self.points[id as usize]);
+                    if d_sq < r_sq {
+                        out.push((id, d_sq));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Convenience wrapper around [`GridIndex::neighbors_within`] returning a
+    /// freshly allocated, distance-sorted vector. Prefer the buffer-reusing
+    /// variant in hot loops.
+    pub fn neighbors_within_sorted(&self, query_id: UserId, radius: f64) -> Vec<(UserId, f64)> {
+        let mut out = Vec::new();
+        self.neighbors_within(query_id, radius, &mut out);
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Ids of all points inside `rect` (inclusive bounds), ascending.
+    pub fn ids_in_rect(&self, rect: &crate::rect::Rect) -> Vec<UserId> {
+        let lo_cx = ((rect.min_x / self.cell_side) as isize).clamp(0, self.cells as isize - 1);
+        let hi_cx = ((rect.max_x / self.cell_side) as isize).clamp(0, self.cells as isize - 1);
+        let lo_cy = ((rect.min_y / self.cell_side) as isize).clamp(0, self.cells as isize - 1);
+        let hi_cy = ((rect.max_y / self.cell_side) as isize).clamp(0, self.cells as isize - 1);
+        let mut out = Vec::new();
+        for cy in lo_cy..=hi_cy {
+            for cx in lo_cx..=hi_cx {
+                let c = cy as usize * self.cells + cx as usize;
+                let lo = self.bucket_offsets[c] as usize;
+                let hi = self.bucket_offsets[c + 1] as usize;
+                for &id in &self.entries[lo..hi] {
+                    if rect.contains(&self.points[id as usize]) {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Count of points inside `rect` (inclusive bounds). Used to evaluate how
+    /// many users a cloaked region actually covers (k-anonymity audit).
+    pub fn count_in_rect(&self, rect: &crate::rect::Rect) -> usize {
+        let lo_cx = ((rect.min_x / self.cell_side) as isize).clamp(0, self.cells as isize - 1);
+        let hi_cx = ((rect.max_x / self.cell_side) as isize).clamp(0, self.cells as isize - 1);
+        let lo_cy = ((rect.min_y / self.cell_side) as isize).clamp(0, self.cells as isize - 1);
+        let hi_cy = ((rect.max_y / self.cell_side) as isize).clamp(0, self.cells as isize - 1);
+        let mut n = 0;
+        for cy in lo_cy..=hi_cy {
+            for cx in lo_cx..=hi_cx {
+                let c = cy as usize * self.cells + cx as usize;
+                let lo = self.bucket_offsets[c] as usize;
+                let hi = self.bucket_offsets[c + 1] as usize;
+                for &id in &self.entries[lo..hi] {
+                    if rect.contains(&self.points[id as usize]) {
+                        n += 1;
+                    }
+                }
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rect::Rect;
+
+    fn brute_neighbors(points: &[Point], q: usize, radius: f64) -> Vec<UserId> {
+        let r_sq = radius * radius;
+        let mut v: Vec<UserId> = (0..points.len())
+            .filter(|&i| i != q && points[q].dist_sq(&points[i]) < r_sq)
+            .map(|i| i as UserId)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn sample_points() -> Vec<Point> {
+        // Deterministic pseudo-grid jittered by a simple LCG.
+        let mut s: u64 = 42;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        (0..500).map(|_| Point::new(next(), next())).collect()
+    }
+
+    #[test]
+    fn matches_brute_force_range_query() {
+        let pts = sample_points();
+        let idx = GridIndex::build(&pts, 0.05);
+        for q in [0usize, 7, 123, 499] {
+            let mut got: Vec<UserId> = idx
+                .neighbors_within_sorted(q as UserId, 0.05)
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect();
+            got.sort_unstable();
+            assert_eq!(got, brute_neighbors(&pts, q, 0.05), "query {q}");
+        }
+    }
+
+    #[test]
+    fn radius_larger_than_cell_side_still_correct() {
+        let pts = sample_points();
+        // cell side ends up 0.02 but we query with radius 0.1 (5 cells).
+        let idx = GridIndex::build(&pts, 0.02);
+        let mut got: Vec<UserId> = idx
+            .neighbors_within_sorted(3, 0.1)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, brute_neighbors(&pts, 3, 0.1));
+    }
+
+    #[test]
+    fn sorted_output_is_distance_ordered() {
+        let pts = sample_points();
+        let idx = GridIndex::build(&pts, 0.05);
+        let res = idx.neighbors_within_sorted(10, 0.2);
+        for w in res.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn excludes_query_point() {
+        let pts = vec![Point::new(0.5, 0.5), Point::new(0.5, 0.5)];
+        let idx = GridIndex::build(&pts, 0.01);
+        let res = idx.neighbors_within_sorted(0, 0.1);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].0, 1);
+    }
+
+    #[test]
+    fn count_in_rect_matches_linear_scan() {
+        let pts = sample_points();
+        let idx = GridIndex::build(&pts, 0.05);
+        let r = Rect::new(0.25, 0.25, 0.75, 0.5);
+        let expect = pts.iter().filter(|p| r.contains(p)).count();
+        assert_eq!(idx.count_in_rect(&r), expect);
+    }
+
+    #[test]
+    fn ids_in_rect_matches_linear_scan() {
+        let pts = sample_points();
+        let idx = GridIndex::build(&pts, 0.05);
+        for r in [
+            Rect::new(0.25, 0.25, 0.75, 0.5),
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::new(0.9, 0.9, 0.91, 0.91),
+        ] {
+            let expect: Vec<UserId> = (0..pts.len() as UserId)
+                .filter(|&i| r.contains(&pts[i as usize]))
+                .collect();
+            assert_eq!(idx.ids_in_rect(&r), expect);
+        }
+    }
+
+    #[test]
+    fn boundary_coordinates_are_indexed() {
+        let pts = vec![Point::new(1.0, 1.0), Point::new(0.999, 0.999)];
+        let idx = GridIndex::build(&pts, 0.01);
+        let res = idx.neighbors_within_sorted(0, 0.01);
+        assert_eq!(res.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell side must be positive")]
+    fn rejects_zero_cell_side() {
+        GridIndex::build(&[Point::ORIGIN], 0.0);
+    }
+}

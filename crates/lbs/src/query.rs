@@ -1,0 +1,193 @@
+//! Cloaked-region query processing and client-side refinement.
+//!
+//! The server receives only a cloaked rectangle and must return a candidate
+//! set that is a superset of the exact answer for *any* possible user
+//! position inside the rectangle (Casper-style processing, paper \[3\]). The
+//! client — who alone knows the true position — refines locally.
+
+use crate::store::PoiStore;
+use nela_geo::{Point, Rect};
+
+/// Server-side range query over a cloaked region: a user anywhere in
+/// `region` asking for POIs within `radius` of itself is answered by the
+/// POIs within `radius` of the *region* (its Minkowski expansion) — the
+/// minimal position-oblivious superset for this query class.
+pub fn cloaked_range(store: &PoiStore, region: &Rect, radius: f64) -> Vec<u32> {
+    assert!(radius >= 0.0, "radius must be non-negative");
+    let expanded = Rect::new(
+        (region.min_x - radius).max(0.0),
+        (region.min_y - radius).max(0.0),
+        (region.max_x + radius).min(1.0),
+        (region.max_y + radius).min(1.0),
+    );
+    // Rectangle pre-filter, then exact distance-to-rectangle test so the
+    // candidate set is tight for the query semantics.
+    store
+        .range(&expanded)
+        .into_iter()
+        .filter(|&id| dist_to_rect(store.get(id).position, region) <= radius)
+        .collect()
+}
+
+/// Server-side k-range-nearest-neighbor (kRNN) query: a candidate set
+/// guaranteed to contain the k nearest POIs of every point in `region`.
+///
+/// Bound: let `d_max` be the largest k-th-NN distance over the region's four
+/// corners. For any point p in the region and its nearest corner c,
+/// `|pc| ≤ diag(region)`, so p's k-th NN lies within `|pc| + kth(c) ≤ diag +
+/// d_max`. All POIs within that distance of the region are returned — a
+/// correct, conservative superset (the classic corner bound).
+pub fn cloaked_krnn(store: &PoiStore, region: &Rect, k: usize) -> Vec<u32> {
+    assert!(k >= 1, "k must be positive");
+    let corners = [
+        Point::new(region.min_x, region.min_y),
+        Point::new(region.min_x, region.max_y),
+        Point::new(region.max_x, region.min_y),
+        Point::new(region.max_x, region.max_y),
+    ];
+    let d_max = corners
+        .iter()
+        .map(|&c| store.kth_nn_dist(c, k))
+        .fold(0.0f64, f64::max);
+    let diag = region.width().hypot(region.height());
+    cloaked_range(store, region, d_max + diag)
+}
+
+/// Client-side refinement of a range candidate set: keep candidates within
+/// `radius` of the true position.
+pub fn refine_range(
+    store: &PoiStore,
+    candidates: &[u32],
+    position: Point,
+    radius: f64,
+) -> Vec<u32> {
+    candidates
+        .iter()
+        .copied()
+        .filter(|&id| store.get(id).position.dist(&position) <= radius)
+        .collect()
+}
+
+/// Client-side refinement of a kRNN candidate set: the exact k nearest
+/// among the candidates (ascending by distance, ties by id).
+pub fn refine_knn(store: &PoiStore, candidates: &[u32], position: Point, k: usize) -> Vec<u32> {
+    let mut scored: Vec<(f64, u32)> = candidates
+        .iter()
+        .map(|&id| (store.get(id).position.dist_sq(&position), id))
+        .collect();
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    scored.truncate(k);
+    scored.into_iter().map(|(_, id)| id).collect()
+}
+
+/// Euclidean distance from a point to a rectangle (0 inside).
+fn dist_to_rect(p: Point, r: &Rect) -> f64 {
+    let dx = (r.min_x - p.x).max(0.0).max(p.x - r.max_x);
+    let dy = (r.min_y - p.y).max(0.0).max(p.y - r.max_y);
+    dx.hypot(dy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn store(n: usize, seed: u64) -> PoiStore {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let points: Vec<Point> = (0..n).map(|_| Point::new(rng.gen(), rng.gen())).collect();
+        PoiStore::from_points(&points, 1000)
+    }
+
+    fn random_inner_points(region: &Rect, n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point::new(
+                    region.min_x + rng.gen::<f64>() * region.width(),
+                    region.min_y + rng.gen::<f64>() * region.height(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cloaked_range_is_superset_for_any_inner_position() {
+        let s = store(800, 1);
+        let region = Rect::new(0.4, 0.4, 0.48, 0.46);
+        let radius = 0.05;
+        let candidates = cloaked_range(&s, &region, radius);
+        for p in random_inner_points(&region, 25, 9) {
+            let exact: Vec<u32> = (0..s.len() as u32)
+                .filter(|&i| s.get(i).position.dist(&p) <= radius)
+                .collect();
+            for id in exact {
+                assert!(candidates.contains(&id), "missing POI {id} for {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn refined_range_equals_direct_query() {
+        let s = store(600, 2);
+        let region = Rect::new(0.2, 0.7, 0.3, 0.78);
+        let radius = 0.04;
+        let candidates = cloaked_range(&s, &region, radius);
+        for p in random_inner_points(&region, 10, 5) {
+            let refined = refine_range(&s, &candidates, p, radius);
+            let exact: Vec<u32> = (0..s.len() as u32)
+                .filter(|&i| s.get(i).position.dist(&p) <= radius)
+                .collect();
+            assert_eq!(refined, exact);
+        }
+    }
+
+    #[test]
+    fn cloaked_krnn_contains_knn_of_every_inner_position() {
+        let s = store(700, 3);
+        let region = Rect::new(0.55, 0.3, 0.62, 0.37);
+        for k in [1usize, 5, 10] {
+            let candidates = cloaked_krnn(&s, &region, k);
+            for p in random_inner_points(&region, 20, 11) {
+                let exact = s.knn(p, k);
+                for id in &exact {
+                    assert!(candidates.contains(id), "k={k}: missing {id} for {p:?}");
+                }
+                assert_eq!(refine_knn(&s, &candidates, p, k), exact);
+            }
+        }
+    }
+
+    #[test]
+    fn krnn_candidates_are_not_everything() {
+        // The superset must stay far smaller than the dataset for a small
+        // region — otherwise cloaking would be pointless.
+        let s = store(2000, 4);
+        let region = Rect::new(0.5, 0.5, 0.52, 0.52);
+        let candidates = cloaked_krnn(&s, &region, 5);
+        assert!(
+            candidates.len() < s.len() / 4,
+            "{} of {} returned",
+            candidates.len(),
+            s.len()
+        );
+    }
+
+    #[test]
+    fn dist_to_rect_basics() {
+        let r = Rect::new(0.2, 0.2, 0.4, 0.4);
+        assert_eq!(dist_to_rect(Point::new(0.3, 0.3), &r), 0.0);
+        assert!((dist_to_rect(Point::new(0.5, 0.3), &r) - 0.1).abs() < 1e-12);
+        let d = dist_to_rect(Point::new(0.5, 0.5), &r);
+        assert!((d - (0.1f64.hypot(0.1))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_radius_range_returns_pois_inside_region_only() {
+        let s = store(400, 6);
+        let region = Rect::new(0.1, 0.1, 0.5, 0.5);
+        let got = cloaked_range(&s, &region, 0.0);
+        let expect = s.range(&region);
+        assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,134 @@
+//! The LBS server façade with transfer accounting.
+
+use crate::query::{cloaked_krnn, cloaked_range};
+use crate::store::PoiStore;
+use nela_geo::Rect;
+use serde::{Deserialize, Serialize};
+
+/// A service request as the server sees it: a cloaked region and a query —
+/// never a position.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CloakedQuery {
+    /// "POIs within `radius` of me."
+    Range { radius: f64 },
+    /// "My `k` nearest POIs."
+    Knn { k: usize },
+}
+
+/// A server response: candidate POI ids plus the transfer cost of shipping
+/// their content.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Candidate POI ids (a guaranteed superset of the exact answer for any
+    /// position inside the requested region).
+    pub candidates: Vec<u32>,
+    /// Total content units transferred (the paper's service-request
+    /// communication cost).
+    pub transfer_units: u64,
+}
+
+/// The untrusted LBS server: holds the POI dataset, answers cloaked
+/// queries, and keeps aggregate accounting.
+#[derive(Debug)]
+pub struct LbsServer {
+    store: PoiStore,
+    queries_served: u64,
+    total_transfer: u64,
+}
+
+impl LbsServer {
+    /// Creates a server over a POI dataset.
+    pub fn new(store: PoiStore) -> Self {
+        LbsServer {
+            store,
+            queries_served: 0,
+            total_transfer: 0,
+        }
+    }
+
+    /// The underlying dataset.
+    pub fn store(&self) -> &PoiStore {
+        &self.store
+    }
+
+    /// Handles one cloaked query.
+    pub fn handle(&mut self, region: &Rect, query: &CloakedQuery) -> Response {
+        let candidates = match query {
+            CloakedQuery::Range { radius } => cloaked_range(&self.store, region, *radius),
+            CloakedQuery::Knn { k } => cloaked_krnn(&self.store, region, *k),
+        };
+        let transfer_units = self.store.transfer_units(&candidates);
+        self.queries_served += 1;
+        self.total_transfer += transfer_units;
+        Response {
+            candidates,
+            transfer_units,
+        }
+    }
+
+    /// Queries served so far.
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served
+    }
+
+    /// Mean transfer units per query.
+    pub fn mean_transfer(&self) -> f64 {
+        if self.queries_served == 0 {
+            0.0
+        } else {
+            self.total_transfer as f64 / self.queries_served as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{refine_knn, refine_range};
+    use nela_geo::Point;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn server(n: usize, seed: u64) -> LbsServer {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let points: Vec<Point> = (0..n).map(|_| Point::new(rng.gen(), rng.gen())).collect();
+        LbsServer::new(PoiStore::from_points(&points, 1000))
+    }
+
+    #[test]
+    fn end_to_end_range_roundtrip() {
+        let mut srv = server(1000, 1);
+        let position = Point::new(0.33, 0.61);
+        let region = Rect::new(0.30, 0.58, 0.36, 0.64); // cloak around it
+        let radius = 0.03;
+        let resp = srv.handle(&region, &CloakedQuery::Range { radius });
+        let refined = refine_range(srv.store(), &resp.candidates, position, radius);
+        let exact: Vec<u32> = (0..srv.store().len() as u32)
+            .filter(|&i| srv.store().get(i).position.dist(&position) <= radius)
+            .collect();
+        assert_eq!(refined, exact);
+        assert_eq!(resp.transfer_units, 1000 * resp.candidates.len() as u64);
+    }
+
+    #[test]
+    fn end_to_end_knn_roundtrip() {
+        let mut srv = server(1000, 2);
+        let position = Point::new(0.7, 0.2);
+        let region = Rect::new(0.68, 0.18, 0.73, 0.23);
+        let resp = srv.handle(&region, &CloakedQuery::Knn { k: 7 });
+        let refined = refine_knn(srv.store(), &resp.candidates, position, 7);
+        assert_eq!(refined, srv.store().knn(position, 7));
+    }
+
+    #[test]
+    fn larger_region_costs_more() {
+        let mut srv = server(2000, 3);
+        let small = Rect::new(0.5, 0.5, 0.52, 0.52);
+        let large = Rect::new(0.4, 0.4, 0.62, 0.62);
+        let a = srv.handle(&small, &CloakedQuery::Range { radius: 0.01 });
+        let b = srv.handle(&large, &CloakedQuery::Range { radius: 0.01 });
+        assert!(b.transfer_units > a.transfer_units);
+        assert_eq!(srv.queries_served(), 2);
+        assert!(srv.mean_transfer() > 0.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Grid-indexed POI storage with exact spatial queries.
+
+use nela_geo::{GridIndex, Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// One point of interest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Poi {
+    /// Dense id (index into the store).
+    pub id: u32,
+    /// Location in the unit square.
+    pub position: Point,
+    /// Category tag (restaurant, gas station, …) for filtered queries.
+    pub category: u16,
+    /// Content size in message units (the paper's Cr: a POI's content is
+    /// ~1000 bounding messages).
+    pub content_units: u32,
+}
+
+/// An immutable POI dataset with a uniform-grid index.
+#[derive(Debug, Clone)]
+pub struct PoiStore {
+    pois: Vec<Poi>,
+    grid: GridIndex,
+}
+
+impl PoiStore {
+    /// Builds a store over the given POIs. `grid_cell` controls the index
+    /// resolution (use the typical query radius).
+    pub fn new(pois: Vec<Poi>, grid_cell: f64) -> Self {
+        assert!(!pois.is_empty(), "empty POI dataset");
+        for (i, p) in pois.iter().enumerate() {
+            assert_eq!(p.id as usize, i, "POI ids must be dense indices");
+        }
+        let points: Vec<Point> = pois.iter().map(|p| p.position).collect();
+        PoiStore {
+            grid: GridIndex::build(&points, grid_cell),
+            pois,
+        }
+    }
+
+    /// Builds a store where every position is a POI with uniform content
+    /// size and a cycling category — the evaluation setup ("each POI
+    /// represents a user standing right at its coordinates" and queries run
+    /// over the same dataset).
+    pub fn from_points(points: &[Point], content_units: u32) -> Self {
+        let pois = points
+            .iter()
+            .enumerate()
+            .map(|(i, &position)| Poi {
+                id: i as u32,
+                position,
+                category: (i % 7) as u16,
+                content_units,
+            })
+            .collect();
+        PoiStore::new(pois, 5e-3)
+    }
+
+    /// Number of POIs.
+    pub fn len(&self) -> usize {
+        self.pois.len()
+    }
+
+    /// True when the store is empty (never constructible; for API
+    /// completeness).
+    pub fn is_empty(&self) -> bool {
+        self.pois.is_empty()
+    }
+
+    /// All POIs.
+    pub fn pois(&self) -> &[Poi] {
+        &self.pois
+    }
+
+    /// POI by id.
+    pub fn get(&self, id: u32) -> &Poi {
+        &self.pois[id as usize]
+    }
+
+    /// Exact range query: ids of POIs inside `rect`, ascending.
+    pub fn range(&self, rect: &Rect) -> Vec<u32> {
+        self.grid.ids_in_rect(rect)
+    }
+
+    /// Id of the POI nearest to `p` (ties by id).
+    pub fn nearest_id(&self, p: Point) -> u32 {
+        self.knn(p, 1)[0]
+    }
+
+    /// The k nearest POIs to `p` (ascending by distance, ties by id),
+    /// via expanding-square search over the grid.
+    pub fn knn(&self, p: Point, k: usize) -> Vec<u32> {
+        let k = k.min(self.pois.len());
+        // Grow a square window until it holds ≥ k POIs, then widen once more
+        // by the window's half-diagonal so no closer POI outside the square
+        // is missed, and rank exactly.
+        let mut half = 0.01f64;
+        loop {
+            let window = Rect::new(
+                (p.x - half).max(0.0),
+                (p.y - half).max(0.0),
+                (p.x + half).min(1.0),
+                (p.y + half).min(1.0),
+            );
+            if self.grid.count_in_rect(&window) >= k || half >= 2.0 {
+                break;
+            }
+            half *= 2.0;
+        }
+        // Points within Chebyshev distance `half` are found; their max
+        // Euclidean distance is half·√2, so that radius is a safe cover.
+        let cover = half * std::f64::consts::SQRT_2;
+        let window = Rect::new(
+            (p.x - cover).max(0.0),
+            (p.y - cover).max(0.0),
+            (p.x + cover).min(1.0),
+            (p.y + cover).min(1.0),
+        );
+        let mut scored: Vec<(f64, u32)> = self
+            .grid
+            .ids_in_rect(&window)
+            .into_iter()
+            .map(|id| (self.pois[id as usize].position.dist_sq(&p), id))
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        scored.truncate(k);
+        scored.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Distance from `p` to its k-th nearest POI.
+    pub fn kth_nn_dist(&self, p: Point, k: usize) -> f64 {
+        let ids = self.knn(p, k);
+        ids.last()
+            .map(|&id| self.pois[id as usize].position.dist(&p))
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Total content units of the given POIs — the transfer cost of
+    /// returning them.
+    pub fn transfer_units(&self, ids: &[u32]) -> u64 {
+        ids.iter()
+            .map(|&id| self.pois[id as usize].content_units as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn store(n: usize, seed: u64) -> PoiStore {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let points: Vec<Point> = (0..n).map(|_| Point::new(rng.gen(), rng.gen())).collect();
+        PoiStore::from_points(&points, 1000)
+    }
+
+    #[test]
+    fn range_matches_linear_scan() {
+        let s = store(500, 1);
+        for rect in [
+            Rect::new(0.1, 0.1, 0.3, 0.25),
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::new(0.45, 0.45, 0.46, 0.46),
+        ] {
+            let got = s.range(&rect);
+            let expect: Vec<u32> = (0..s.len() as u32)
+                .filter(|&i| rect.contains(&s.get(i).position))
+                .collect();
+            assert_eq!(got, expect, "rect {rect:?}");
+        }
+    }
+
+    #[test]
+    fn knn_is_sorted_and_correct() {
+        let s = store(300, 2);
+        let q = Point::new(0.5, 0.5);
+        let ids = s.knn(q, 10);
+        assert_eq!(ids.len(), 10);
+        let mut dists: Vec<f64> = ids.iter().map(|&id| s.get(id).position.dist(&q)).collect();
+        let sorted = dists.clone();
+        dists.sort_by(f64::total_cmp);
+        assert_eq!(dists, sorted, "ascending by distance");
+        // The 10th distance bounds every non-member.
+        let kth = dists[9];
+        for i in 0..s.len() as u32 {
+            if !ids.contains(&i) {
+                assert!(s.get(i).position.dist(&q) >= kth - 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_is_knn_first() {
+        let s = store(200, 3);
+        let q = Point::new(0.123, 0.876);
+        assert_eq!(s.nearest_id(q), s.knn(q, 1)[0]);
+    }
+
+    #[test]
+    fn transfer_units_sum_contents() {
+        let s = store(10, 4);
+        assert_eq!(s.transfer_units(&[0, 1, 2]), 3000);
+        assert_eq!(s.transfer_units(&[]), 0);
+    }
+
+    #[test]
+    fn kth_nn_dist_matches_knn() {
+        let s = store(100, 5);
+        let q = Point::new(0.4, 0.6);
+        let ids = s.knn(q, 5);
+        let expect = s.get(*ids.last().unwrap()).position.dist(&q);
+        assert_eq!(s.kth_nn_dist(q, 5), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense indices")]
+    fn rejects_non_dense_ids() {
+        let poi = Poi {
+            id: 5,
+            position: Point::new(0.1, 0.1),
+            category: 0,
+            content_units: 1,
+        };
+        PoiStore::new(vec![poi], 0.01);
+    }
+}

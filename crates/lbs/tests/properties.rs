@@ -1,0 +1,81 @@
+//! Property-based tests for the LBS query processor.
+
+use nela_geo::{Point, Rect};
+use nela_lbs::query::{cloaked_krnn, cloaked_range, refine_knn, refine_range};
+use nela_lbs::store::PoiStore;
+use proptest::prelude::*;
+
+fn arb_store() -> impl Strategy<Value = PoiStore> {
+    proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 20..150).prop_map(|v| {
+        let points: Vec<Point> = v.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+        PoiStore::from_points(&points, 100)
+    })
+}
+
+fn arb_region() -> impl Strategy<Value = Rect> {
+    (0.0f64..0.8, 0.0f64..0.8, 0.01f64..0.2, 0.01f64..0.2)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, (x + w).min(1.0), (y + h).min(1.0)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn store_knn_matches_linear_scan(store in arb_store(), qx in 0.0f64..1.0, qy in 0.0f64..1.0, k in 1usize..12) {
+        let q = Point::new(qx, qy);
+        let got = store.knn(q, k);
+        let mut expect: Vec<(f64, u32)> = (0..store.len() as u32)
+            .map(|i| (store.get(i).position.dist_sq(&q), i))
+            .collect();
+        expect.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        expect.truncate(k.min(store.len()));
+        prop_assert_eq!(got, expect.into_iter().map(|(_, i)| i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_matches_linear_scan(store in arb_store(), region in arb_region()) {
+        let got = store.range(&region);
+        let expect: Vec<u32> = (0..store.len() as u32)
+            .filter(|&i| region.contains(&store.get(i).position))
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn cloaked_range_refines_exactly(
+        store in arb_store(),
+        region in arb_region(),
+        radius in 0.0f64..0.2,
+        px in 0.0f64..1.0,
+        py in 0.0f64..1.0,
+    ) {
+        // Clamp the "true position" into the region (the contract).
+        let p = Point::new(
+            px.clamp(region.min_x, region.max_x),
+            py.clamp(region.min_y, region.max_y),
+        );
+        let candidates = cloaked_range(&store, &region, radius);
+        let refined = refine_range(&store, &candidates, p, radius);
+        let exact: Vec<u32> = (0..store.len() as u32)
+            .filter(|&i| store.get(i).position.dist(&p) <= radius)
+            .collect();
+        prop_assert_eq!(refined, exact);
+    }
+
+    #[test]
+    fn cloaked_krnn_refines_exactly(
+        store in arb_store(),
+        region in arb_region(),
+        k in 1usize..8,
+        px in 0.0f64..1.0,
+        py in 0.0f64..1.0,
+    ) {
+        let p = Point::new(
+            px.clamp(region.min_x, region.max_x),
+            py.clamp(region.min_y, region.max_y),
+        );
+        let candidates = cloaked_krnn(&store, &region, k);
+        let refined = refine_knn(&store, &candidates, p, k);
+        prop_assert_eq!(refined, store.knn(p, k));
+    }
+}

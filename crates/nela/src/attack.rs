@@ -1,0 +1,211 @@
+//! Adversary models: what an attacker who intercepts service requests can
+//! (and cannot) learn.
+//!
+//! The paper's threat model (§III): an adversary intercepting a request
+//! sees the cloaked region and "cannot distinguish its owner from any of the
+//! other k − 1 users" sharing it. This module makes the guarantee
+//! measurable against ground truth:
+//!
+//! - [`anonymity_of`] — how many users actually fall inside a region and
+//!   the corresponding identification entropy,
+//! - [`center_attack`] — the classic localization heuristic (guess the
+//!   region's center) and its error,
+//! - [`intersection_attack`] — a longitudinal attack over several regions
+//!   attributed to the same user: intersect them and count survivors.
+//!   Reciprocity defeats it (a member's region never changes, so the
+//!   intersection is the region itself); the kNN baseline, which forms a
+//!   fresh group per request, is vulnerable — the paper's rationale for the
+//!   reciprocity property, demonstrated.
+
+use crate::engine::CloakingResult;
+use crate::system::System;
+use nela_geo::{Rect, UserId};
+use serde::Serialize;
+
+/// What a single intercepted region reveals about the requester's identity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct AnonymityReport {
+    /// Users of the population inside the region — the adversary's candidate
+    /// set (the true requester is among them).
+    pub candidates: usize,
+    /// Identification entropy in bits (`log₂ candidates`): the adversary's
+    /// uncertainty under a uniform posterior.
+    pub entropy_bits: f64,
+    /// True when the candidate set meets the system's k.
+    pub meets_k: bool,
+}
+
+/// Evaluates the identity protection of a cloaked region against the ground
+/// truth population.
+pub fn anonymity_of(system: &System, region: &Rect) -> AnonymityReport {
+    let candidates = system.grid.count_in_rect(region);
+    AnonymityReport {
+        candidates,
+        entropy_bits: if candidates > 0 {
+            (candidates as f64).log2()
+        } else {
+            0.0
+        },
+        meets_k: candidates >= system.params.k,
+    }
+}
+
+/// The center-guess localization attack on one request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CenterAttack {
+    /// Distance from the region's center to the host's true position.
+    pub guess_error: f64,
+    /// Half the region diagonal — the attack's worst-case error bound; an
+    /// error close to this bound means the host gained the full benefit of
+    /// the region's extent.
+    pub half_diagonal: f64,
+}
+
+/// Runs the center-guess attack against a cloaking result.
+pub fn center_attack(system: &System, result: &CloakingResult) -> CenterAttack {
+    let center = result.region.center();
+    let truth = system.points[result.host as usize];
+    CenterAttack {
+        guess_error: center.dist(&truth),
+        half_diagonal: 0.5 * result.region.width().hypot(result.region.height()),
+    }
+}
+
+/// Intersects several regions attributed to the same (unknown) user and
+/// returns the surviving candidate ids. An empty intersection means the
+/// attribution was wrong — or the cloaking scheme leaked inconsistent
+/// regions.
+pub fn intersection_attack(system: &System, regions: &[Rect]) -> Vec<UserId> {
+    let Some((first, rest)) = regions.split_first() else {
+        return Vec::new();
+    };
+    let mut survivors = system.grid.ids_in_rect(first);
+    for r in rest {
+        survivors.retain(|&u| r.contains(&system.points[u as usize]));
+    }
+    survivors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{BoundingAlgo, CloakingEngine, ClusteringAlgo};
+    use crate::params::Params;
+    use nela_cluster::knn::TieBreak;
+
+    fn system() -> System {
+        System::build(&Params {
+            k: 5,
+            ..Params::scaled(3_000)
+        })
+    }
+
+    #[test]
+    fn served_requests_meet_k_anonymity() {
+        let system = system();
+        let mut engine = CloakingEngine::new(
+            &system,
+            ClusteringAlgo::TConnDistributed,
+            BoundingAlgo::Secure,
+        );
+        let mut checked = 0;
+        for h in system.host_sequence(60, 3) {
+            if let Ok(r) = engine.request(h) {
+                let report = anonymity_of(&system, &r.region);
+                assert!(
+                    report.meets_k,
+                    "host {h}: only {} candidates",
+                    report.candidates
+                );
+                assert!(report.entropy_bits >= (system.params.k as f64).log2() - 1e-9);
+                checked += 1;
+            }
+        }
+        assert!(checked > 10);
+    }
+
+    #[test]
+    fn center_attack_error_is_bounded_by_the_region() {
+        let system = system();
+        let mut engine = CloakingEngine::new(
+            &system,
+            ClusteringAlgo::TConnDistributed,
+            BoundingAlgo::Optimal,
+        );
+        for h in system.host_sequence(40, 5) {
+            if let Ok(r) = engine.request(h) {
+                let atk = center_attack(&system, &r);
+                assert!(
+                    atk.guess_error <= atk.half_diagonal + 1e-12,
+                    "center guess cannot beat the geometry"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reciprocity_defeats_the_intersection_attack() {
+        // A t-Conn user requesting repeatedly reuses one region: the
+        // intersection never shrinks below k.
+        let system = system();
+        let mut engine = CloakingEngine::new(
+            &system,
+            ClusteringAlgo::TConnDistributed,
+            BoundingAlgo::Secure,
+        );
+        let host = system
+            .host_sequence(200, 7)
+            .into_iter()
+            .find(|&h| engine.request(h).is_ok())
+            .expect("servable host");
+        let regions: Vec<Rect> = (0..3)
+            .map(|_| engine.request(host).unwrap().region)
+            .collect();
+        let survivors = intersection_attack(&system, &regions);
+        assert!(
+            survivors.len() >= system.params.k,
+            "reciprocity should keep ≥ k candidates, got {}",
+            survivors.len()
+        );
+    }
+
+    #[test]
+    fn fresh_groups_leak_under_the_intersection_attack() {
+        // The kNN baseline re-groups per request; intersecting a user's
+        // successive regions shrinks the candidate set — in the common case
+        // all the way to a candidate set below k (the host plus whatever
+        // users happen to fall in the overlap).
+        let system = system();
+        let mut engine = CloakingEngine::new(
+            &system,
+            ClusteringAlgo::Knn(TieBreak::Id),
+            BoundingAlgo::Optimal,
+        );
+        let mut leaked = false;
+        for h in system.host_sequence(200, 9) {
+            let Ok(a) = engine.request(h) else { continue };
+            let Ok(b) = engine.request(h) else { continue };
+            if a.region == b.region {
+                continue; // identical groups — no signal this time
+            }
+            let survivors = intersection_attack(&system, &[a.region, b.region]);
+            assert!(
+                survivors.contains(&h),
+                "the true host always survives the intersection"
+            );
+            if survivors.len() < system.params.k {
+                leaked = true;
+                break;
+            }
+        }
+        assert!(leaked, "kNN never leaked below k across the whole workload");
+    }
+
+    #[test]
+    fn intersection_attack_edge_cases() {
+        let system = system();
+        assert!(intersection_attack(&system, &[]).is_empty());
+        let everything = intersection_attack(&system, &[Rect::UNIT]);
+        assert_eq!(everything.len(), system.points.len());
+    }
+}

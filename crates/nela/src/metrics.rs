@@ -1,0 +1,205 @@
+//! Workload metrics matching the paper's §VI measurements.
+
+use crate::engine::{BoundingAlgo, CloakingEngine, CloakingResult, ClusteringAlgo};
+use crate::params::Params;
+use crate::system::System;
+use nela_geo::UserId;
+use serde::Serialize;
+
+/// Expected service-request transfer cost over a cloaked region of the
+/// given `area`, in bounding-message units: the region returns about
+/// `area · n_users` POIs, each `Cr` messages large (paper §VI: "the
+/// communication cost is (approximately) proportional to \[the\] area of the
+/// bound").
+pub fn service_request_cost(area: f64, params: &Params) -> f64 {
+    params.cr * params.n_users as f64 * area
+}
+
+/// Aggregated metrics over a workload of cloaking requests — the quantities
+/// plotted in Figs. 9–13, all averaged over the total number of requests
+/// (including zero-cost reuses, as the paper does).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct WorkloadStats {
+    /// Requests served (including reuses).
+    pub served: usize,
+    /// Requests that failed (host could not reach k users).
+    pub failed: usize,
+    /// Requests answered entirely from the registry.
+    pub reused: usize,
+    /// Average phase-1 messages per request.
+    pub avg_clustering_messages: f64,
+    /// Average cloaked-region area per request.
+    pub avg_cloaked_area: f64,
+    /// Average phase-2 verification messages per request.
+    pub avg_bounding_messages: f64,
+    /// Average service-request transfer cost per request.
+    pub avg_request_cost: f64,
+    /// Average phase-2 CPU time per request, in milliseconds.
+    pub avg_bounding_cpu_ms: f64,
+    /// Average cluster size per served request.
+    pub avg_cluster_size: f64,
+}
+
+/// Accumulator for [`WorkloadStats`].
+#[derive(Debug, Default, Clone)]
+pub struct StatsCollector {
+    served: usize,
+    failed: usize,
+    reused: usize,
+    clustering_messages: f64,
+    area: f64,
+    bounding_messages: f64,
+    request_cost: f64,
+    cpu_ms: f64,
+    cluster_size: f64,
+}
+
+impl StatsCollector {
+    /// A fresh collector.
+    pub fn new() -> Self {
+        StatsCollector::default()
+    }
+
+    /// Records one successful request.
+    pub fn push(&mut self, r: &CloakingResult, params: &Params) {
+        self.served += 1;
+        self.reused += usize::from(r.reused);
+        self.clustering_messages += r.clustering_messages as f64;
+        self.area += r.region.area();
+        self.bounding_messages += r.bounding_messages as f64;
+        self.request_cost += service_request_cost(r.region.area(), params);
+        self.cpu_ms += r.bounding_cpu.as_secs_f64() * 1e3;
+        self.cluster_size += r.cluster_size as f64;
+    }
+
+    /// Records one failed request.
+    pub fn push_failure(&mut self) {
+        self.failed += 1;
+    }
+
+    /// Finalizes the averages (over served requests).
+    pub fn finish(self) -> WorkloadStats {
+        let n = self.served.max(1) as f64;
+        WorkloadStats {
+            served: self.served,
+            failed: self.failed,
+            reused: self.reused,
+            avg_clustering_messages: self.clustering_messages / n,
+            avg_cloaked_area: self.area / n,
+            avg_bounding_messages: self.bounding_messages / n,
+            avg_request_cost: self.request_cost / n,
+            avg_bounding_cpu_ms: self.cpu_ms / n,
+            avg_cluster_size: self.cluster_size / n,
+        }
+    }
+}
+
+/// Runs a full request workload and aggregates the paper's metrics.
+pub fn run_workload(
+    system: &System,
+    clustering: ClusteringAlgo,
+    bounding: BoundingAlgo,
+    hosts: &[UserId],
+) -> WorkloadStats {
+    let mut engine = CloakingEngine::new(system, clustering, bounding);
+    let mut stats = StatsCollector::new();
+    for &h in hosts {
+        match engine.request(h) {
+            Ok(r) => stats.push(&r, &system.params),
+            Err(_) => stats.push_failure(),
+        }
+    }
+    stats.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nela_cluster::knn::TieBreak;
+
+    fn small_system() -> System {
+        System::build(&Params {
+            k: 5,
+            ..Params::scaled(2_000)
+        })
+    }
+
+    #[test]
+    fn request_cost_scales_with_area() {
+        let p = Params::table1();
+        let c1 = service_request_cost(1e-4, &p);
+        let c2 = service_request_cost(2e-4, &p);
+        assert!((c2 / c1 - 2.0).abs() < 1e-12);
+        // Table I numbers: 1e-4 · 104770 · 1000 ≈ 10477.
+        assert!((c1 - 10_477.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn workload_stats_are_populated() {
+        let s = small_system();
+        let hosts = s.host_sequence(40, 9);
+        let stats = run_workload(
+            &s,
+            ClusteringAlgo::TConnDistributed,
+            BoundingAlgo::Optimal,
+            &hosts,
+        );
+        assert!(stats.served + stats.failed == 40);
+        assert!(stats.avg_cloaked_area > 0.0);
+        assert!(stats.avg_cluster_size >= 5.0);
+    }
+
+    #[test]
+    fn tconn_stays_flat_while_knn_degrades_under_sustained_load() {
+        // The mechanism behind Figs. 9(b)/11(b)/12(b): as cloaking requests
+        // accumulate, kNN's regions grow (free users must be found farther
+        // away) while t-Conn's stay flat (cluster-isolation), so under a
+        // sustained workload t-Conn ends up with the tighter regions.
+        let s = small_system();
+        let light = s.host_sequence(40, 11);
+        let heavy = s.host_sequence(340, 11); // ~85% of users consumed by kNN groups
+        let run =
+            |algo, hosts: &[nela_geo::UserId]| run_workload(&s, algo, BoundingAlgo::Optimal, hosts);
+        let knn_light = run(ClusteringAlgo::Knn(TieBreak::Id), &light);
+        let knn_heavy = run(ClusteringAlgo::Knn(TieBreak::Id), &heavy);
+        let tconn_light = run(ClusteringAlgo::TConnDistributed, &light);
+        let tconn_heavy = run(ClusteringAlgo::TConnDistributed, &heavy);
+        assert!(
+            knn_heavy.avg_cloaked_area > 1.3 * knn_light.avg_cloaked_area,
+            "kNN should degrade: light {} heavy {}",
+            knn_light.avg_cloaked_area,
+            knn_heavy.avg_cloaked_area
+        );
+        assert!(
+            tconn_heavy.avg_cloaked_area < 1.3 * tconn_light.avg_cloaked_area,
+            "t-Conn should stay flat: light {} heavy {}",
+            tconn_light.avg_cloaked_area,
+            tconn_heavy.avg_cloaked_area
+        );
+        assert!(
+            tconn_heavy.avg_cloaked_area < knn_heavy.avg_cloaked_area,
+            "under sustained load t-Conn must win: {} vs {}",
+            tconn_heavy.avg_cloaked_area,
+            knn_heavy.avg_cloaked_area
+        );
+    }
+
+    #[test]
+    fn reuse_rate_grows_with_workload_size() {
+        let s = small_system();
+        let short = run_workload(
+            &s,
+            ClusteringAlgo::TConnDistributed,
+            BoundingAlgo::Optimal,
+            &s.host_sequence(20, 13),
+        );
+        let long = run_workload(
+            &s,
+            ClusteringAlgo::TConnDistributed,
+            BoundingAlgo::Optimal,
+            &s.host_sequence(400, 13),
+        );
+        let rate = |st: &WorkloadStats| st.reused as f64 / st.served.max(1) as f64;
+        assert!(rate(&long) > rate(&short));
+    }
+}

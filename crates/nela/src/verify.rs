@@ -1,0 +1,96 @@
+//! End-to-end anonymity audits.
+//!
+//! The point of the whole pipeline is a verifiable guarantee: the cloaked
+//! region contains at least k users (k-anonymity) and all of them share it
+//! (reciprocity), while no party learned any member's coordinates beyond the
+//! region itself. This module checks the observable parts of that guarantee
+//! against the ground-truth population.
+
+use crate::engine::CloakingResult;
+use crate::system::System;
+use serde::Serialize;
+
+/// The audit verdict for one cloaking result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct AuditReport {
+    /// Users of the whole population inside the region (≥ `cluster_size`).
+    pub users_in_region: usize,
+    /// Region covers at least k users.
+    pub k_satisfied: bool,
+    /// The host's true position is inside the region (the request can be
+    /// served at all).
+    pub host_inside: bool,
+    /// The region is inside the service domain (the unit square).
+    pub within_domain: bool,
+}
+
+impl AuditReport {
+    /// True when every audited property holds.
+    pub fn passed(&self) -> bool {
+        self.k_satisfied && self.host_inside && self.within_domain
+    }
+}
+
+/// Audits a cloaking result against the system's ground truth.
+pub fn audit_result(system: &System, result: &CloakingResult) -> AuditReport {
+    let users_in_region = system.grid.count_in_rect(&result.region);
+    AuditReport {
+        users_in_region,
+        k_satisfied: users_in_region >= system.params.k,
+        host_inside: result.region.contains(&system.points[result.host as usize]),
+        within_domain: nela_geo::Rect::UNIT.contains_rect(&result.region),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{BoundingAlgo, CloakingEngine, ClusteringAlgo};
+    use crate::params::Params;
+
+    #[test]
+    fn workload_passes_audit() {
+        let system = System::build(&Params {
+            k: 5,
+            ..Params::scaled(2_000)
+        });
+        let mut engine = CloakingEngine::new(
+            &system,
+            ClusteringAlgo::TConnDistributed,
+            BoundingAlgo::Secure,
+        );
+        let mut audited = 0;
+        for h in system.host_sequence(30, 17) {
+            if let Ok(r) = engine.request(h) {
+                let report = audit_result(&system, &r);
+                assert!(report.passed(), "audit failed for host {h}: {report:?}");
+                assert!(report.users_in_region >= r.cluster_size);
+                audited += 1;
+            }
+        }
+        assert!(audited > 0, "no request succeeded");
+    }
+
+    #[test]
+    fn audit_detects_undersized_region() {
+        let system = System::build(&Params {
+            k: 50,
+            ..Params::scaled(1_000)
+        });
+        // Forge a result with a degenerate region around one point.
+        let p = system.points[0];
+        let fake = CloakingResult {
+            host: 0,
+            region: nela_geo::Rect::new(p.x, p.y, p.x, p.y),
+            cluster_size: 1,
+            clustering_messages: 0,
+            bounding_messages: 0,
+            bounding_rounds: 0,
+            reused: false,
+            bounding_cpu: std::time::Duration::ZERO,
+        };
+        let report = audit_result(&system, &fake);
+        assert!(!report.k_satisfied);
+        assert!(report.host_inside);
+    }
+}

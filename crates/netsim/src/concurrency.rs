@@ -1,0 +1,268 @@
+//! Concurrency control for simultaneous cloaking requests (paper §VII).
+//!
+//! "A single user can only join one cluster but can participate \[in\] the
+//! clustering process of multiple host users; our protocols must prevent
+//! deadlocks while making the best clustering decision." This module
+//! implements the natural optimistic scheme:
+//!
+//! 1. **Snapshot** — the host reads the current membership table.
+//! 2. **Compute** — the clustering algorithm runs against the snapshot,
+//!    outside any lock (peers answer proximity queries regardless of other
+//!    in-flight requests).
+//! 3. **Validate & claim** — under a single short critical section the host
+//!    re-checks that every member of every produced cluster is still
+//!    unclaimed, and registers them all atomically.
+//! 4. **Retry** — on conflict, recompute against the updated table.
+//!
+//! Deadlock freedom is structural: there is exactly one lock and it is never
+//! held across computation or communication. Starvation is bounded by a
+//! retry budget; in practice a loser's second attempt sees the winner's
+//! users as removed and (thanks to the near-isolation of the t-connectivity
+//! algorithm) succeeds with an equally good cluster.
+
+use nela_cluster::distributed::distributed_k_clustering;
+use nela_cluster::registry::ClusterRegistry;
+use nela_cluster::{Cluster, ClusterError};
+use nela_geo::UserId;
+use nela_wpg::Wpg;
+use parking_lot::Mutex;
+
+/// How one host's request ended.
+#[derive(Debug, Clone)]
+pub enum RequestResolution {
+    /// A fresh cluster was formed and claimed.
+    Served { cluster: Cluster, attempts: u32 },
+    /// Another request already clustered this host; the shared cluster is
+    /// reused at zero cost (workflow ® of paper Fig. 3).
+    Reused { cluster: Cluster },
+    /// The host cannot be served at all (e.g. its component is below k).
+    Unservable { error: ClusterError },
+    /// The retry budget was exhausted under contention.
+    Contention { attempts: u32 },
+}
+
+impl RequestResolution {
+    /// The cluster the host ends up in, if served.
+    pub fn cluster(&self) -> Option<&Cluster> {
+        match self {
+            RequestResolution::Served { cluster, .. } | RequestResolution::Reused { cluster } => {
+                Some(cluster)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A batch of cloaking requests executed concurrently over one shared
+/// membership table.
+#[derive(Debug, Clone, Copy)]
+pub struct ConcurrentWorkload {
+    /// Anonymity level.
+    pub k: usize,
+    /// Attempts per host before giving up under contention.
+    pub max_attempts: u32,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for ConcurrentWorkload {
+    fn default() -> Self {
+        ConcurrentWorkload {
+            k: 10,
+            max_attempts: 8,
+            threads: 4,
+        }
+    }
+}
+
+impl ConcurrentWorkload {
+    /// Runs the requests of `hosts` concurrently against `g`. Returns the
+    /// final registry and each host's resolution (in `hosts` order).
+    pub fn run(&self, g: &Wpg, hosts: &[UserId]) -> (ClusterRegistry, Vec<RequestResolution>) {
+        assert!(self.threads >= 1 && self.max_attempts >= 1);
+        let registry = Mutex::new(ClusterRegistry::new(g.n()));
+        let mut resolutions: Vec<Option<RequestResolution>> = vec![None; hosts.len()];
+
+        std::thread::scope(|scope| {
+            let chunk = hosts.len().div_ceil(self.threads);
+            if chunk == 0 {
+                return;
+            }
+            let registry = &registry;
+            for (hosts_chunk, res_chunk) in hosts.chunks(chunk).zip(resolutions.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (&host, slot) in hosts_chunk.iter().zip(res_chunk.iter_mut()) {
+                        *slot = Some(self.serve_one(g, registry, host));
+                    }
+                });
+            }
+        });
+
+        (
+            registry.into_inner(),
+            resolutions
+                .into_iter()
+                .map(|r| r.expect("all slots filled"))
+                .collect(),
+        )
+    }
+
+    fn serve_one(
+        &self,
+        g: &Wpg,
+        registry: &Mutex<ClusterRegistry>,
+        host: UserId,
+    ) -> RequestResolution {
+        for attempt in 1..=self.max_attempts {
+            // Snapshot the membership table.
+            let snapshot: Vec<bool> = {
+                let reg = registry.lock();
+                if let Some(rc) = reg.cluster_of(host) {
+                    return RequestResolution::Reused {
+                        cluster: rc.cluster.clone(),
+                    };
+                }
+                (0..g.n() as UserId).map(|u| reg.is_clustered(u)).collect()
+            };
+            // Compute outside the lock.
+            let removed = |u: UserId| snapshot[u as usize];
+            let outcome = match distributed_k_clustering(g, host, self.k, &removed) {
+                Ok(o) => o,
+                Err(e @ ClusterError::ComponentTooSmall { .. }) => {
+                    return RequestResolution::Unservable { error: e }
+                }
+                Err(e) => return RequestResolution::Unservable { error: e },
+            };
+            // Validate and claim atomically.
+            let mut reg = registry.lock();
+            if let Some(rc) = reg.cluster_of(host) {
+                return RequestResolution::Reused {
+                    cluster: rc.cluster.clone(),
+                };
+            }
+            let conflict = outcome
+                .all_clusters
+                .iter()
+                .flat_map(|c| &c.members)
+                .any(|&m| reg.is_clustered(m));
+            if conflict {
+                continue; // a rival claimed one of our users: recompute
+            }
+            for c in &outcome.all_clusters {
+                reg.register(c.clone());
+            }
+            return RequestResolution::Served {
+                cluster: outcome.host_cluster,
+                attempts: attempt,
+            };
+        }
+        RequestResolution::Contention {
+            attempts: self.max_attempts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nela_wpg::topology;
+
+    #[test]
+    fn all_hosts_served_without_double_membership() {
+        let g = topology::small_world(200, 6, 0.2, 10, 11);
+        let hosts: Vec<UserId> = (0..60).map(|i| i * 3).collect();
+        let wl = ConcurrentWorkload {
+            k: 4,
+            max_attempts: 10,
+            threads: 6,
+        };
+        let (registry, resolutions) = wl.run(&g, &hosts);
+        assert_eq!(registry.reciprocity_violation(), None);
+        for (host, res) in hosts.iter().zip(&resolutions) {
+            match res {
+                RequestResolution::Served { cluster, .. }
+                | RequestResolution::Reused { cluster } => {
+                    assert!(cluster.contains(*host));
+                    assert!(cluster.is_valid(4));
+                }
+                RequestResolution::Contention { .. } => {
+                    panic!("host {host} starved under a generous retry budget")
+                }
+                RequestResolution::Unservable { .. } => {} // legitimately stuck
+            }
+        }
+    }
+
+    #[test]
+    fn same_host_twice_reuses() {
+        let g = topology::ring_lattice(50, 4, 5, 2);
+        let wl = ConcurrentWorkload {
+            k: 5,
+            max_attempts: 4,
+            threads: 2,
+        };
+        let (_, res) = wl.run(&g, &[10, 10]);
+        let served = res
+            .iter()
+            .filter(|r| matches!(r, RequestResolution::Served { .. }))
+            .count();
+        let reused = res
+            .iter()
+            .filter(|r| matches!(r, RequestResolution::Reused { .. }))
+            .count();
+        assert_eq!((served, reused), (1, 1));
+    }
+
+    #[test]
+    fn deterministic_single_thread_matches_sequential() {
+        let g = topology::small_world(100, 4, 0.3, 8, 5);
+        let hosts: Vec<UserId> = vec![1, 20, 40, 60, 80];
+        let wl = ConcurrentWorkload {
+            k: 4,
+            max_attempts: 4,
+            threads: 1,
+        };
+        let (registry, _) = wl.run(&g, &hosts);
+        // Sequential reference.
+        let mut reference = ClusterRegistry::new(g.n());
+        for &h in &hosts {
+            if reference.is_clustered(h) {
+                continue;
+            }
+            let removed = |u: UserId| reference.is_clustered(u);
+            if let Ok(o) = distributed_k_clustering(&g, h, 4, &removed) {
+                for c in &o.all_clusters {
+                    reference.register(c.clone());
+                }
+            }
+        }
+        assert_eq!(registry.clustered_users(), reference.clustered_users());
+        for &h in &hosts {
+            assert_eq!(
+                registry.cluster_of(h).map(|c| &c.cluster.members),
+                reference.cluster_of(h).map(|c| &c.cluster.members)
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_contention_on_one_neighborhood_terminates() {
+        // Many hosts in the same dense neighborhood all racing: no deadlock,
+        // everyone either serves, reuses, or reports contention.
+        let g = topology::ring_lattice(120, 8, 4, 9);
+        let hosts: Vec<UserId> = (0..40).collect();
+        let wl = ConcurrentWorkload {
+            k: 6,
+            max_attempts: 12,
+            threads: 8,
+        };
+        let (registry, res) = wl.run(&g, &hosts);
+        assert_eq!(res.len(), 40);
+        assert_eq!(registry.reciprocity_violation(), None);
+        let starved = res
+            .iter()
+            .filter(|r| matches!(r, RequestResolution::Contention { .. }))
+            .count();
+        assert!(starved <= 2, "{starved} hosts starved");
+    }
+}

@@ -1,0 +1,177 @@
+//! Construction of a WPG from user positions.
+//!
+//! Mirrors the paper's §VI setup: each user can hear peers within the radio
+//! range δ, keeps at most the `M` strongest of them, and the weight of edge
+//! `(a, b)` is `min(rank of a in b's RSS-sorted peer list, rank of b in a's
+//! list)` — the minimum makes the weight symmetric and "agreed by both"
+//! (§IV). An edge exists only when each endpoint appears in the other's
+//! retained top-M list, which is what "each user can connect to at most M
+//! peers" implies for point-to-point links.
+
+use crate::graph::{Edge, Wpg};
+use crate::rss::RssModel;
+use nela_geo::{GridIndex, Point, UserId};
+
+/// Builder of weighted proximity graphs. See module docs for semantics.
+#[derive(Debug, Clone)]
+pub struct WpgBuilder<R: RssModel> {
+    /// Radio range δ: peers farther than this are never heard.
+    pub delta: f64,
+    /// Peer cap M: each device retains only its M strongest peers.
+    pub max_peers: usize,
+    /// The RSS measurement model.
+    pub rss: R,
+}
+
+impl<R: RssModel> WpgBuilder<R> {
+    /// Creates a builder with the given radio range, peer cap, and RSS model.
+    pub fn new(delta: f64, max_peers: usize, rss: R) -> Self {
+        assert!(delta > 0.0, "radio range must be positive");
+        assert!(max_peers > 0, "peer cap must be positive");
+        WpgBuilder {
+            delta,
+            max_peers,
+            rss,
+        }
+    }
+
+    /// Builds the WPG over `points`. `O(n · m log m)` where `m` is the mean
+    /// in-range peer count.
+    pub fn build(&self, points: &[Point]) -> Wpg {
+        let index = GridIndex::build(points, self.delta);
+        self.build_with_index(points, &index)
+    }
+
+    /// Builds the WPG reusing an existing grid index over the same `points`.
+    pub fn build_with_index(&self, points: &[Point], index: &GridIndex) -> Wpg {
+        assert_eq!(points.len(), index.len(), "index does not match points");
+        let n = points.len();
+        // Per-user top-M peer list with 1-based RSS ranks.
+        let mut rank_of: Vec<Vec<(UserId, u32)>> = vec![Vec::new(); n];
+        let mut buf: Vec<(UserId, f64)> = Vec::new();
+        let mut scored: Vec<(f64, UserId)> = Vec::new();
+        for u in 0..n as UserId {
+            index.neighbors_within(u, self.delta, &mut buf);
+            scored.clear();
+            scored.extend(buf.iter().map(|&(v, _)| {
+                (
+                    self.rss.rss(u, points[u as usize], v, points[v as usize]),
+                    v,
+                )
+            }));
+            // Strongest first; tie-break on id so the build is deterministic.
+            scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+            scored.truncate(self.max_peers);
+            rank_of[u as usize] = scored
+                .iter()
+                .enumerate()
+                .map(|(i, &(_, v))| (v, i as u32 + 1))
+                .collect();
+        }
+        // Mutual edges with min-rank weights.
+        let mut edges = Vec::new();
+        for u in 0..n as UserId {
+            for &(v, rank_v_at_u) in &rank_of[u as usize] {
+                if v <= u {
+                    continue; // handle each unordered pair once, from the lower id
+                }
+                if let Some(&(_, rank_u_at_v)) = rank_of[v as usize].iter().find(|&&(x, _)| x == u)
+                {
+                    edges.push(Edge::new(u, v, rank_v_at_u.min(rank_u_at_v)));
+                }
+            }
+        }
+        Wpg::from_edges(n, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rss::InverseDistanceRss;
+
+    fn line_points() -> Vec<Point> {
+        // Users on a line at x = 0.1, 0.2, ..., 0.5.
+        (1..=5).map(|i| Point::new(i as f64 * 0.1, 0.5)).collect()
+    }
+
+    #[test]
+    fn ranks_are_mutual_minimum() {
+        let pts = line_points();
+        // δ large enough to hear everyone, M = 2.
+        let g = WpgBuilder::new(1.0, 2, InverseDistanceRss).build(&pts);
+        // User 0 (x=0.1) hears 1 (rank 1) and 2 (rank 2).
+        // User 2 (x=0.3) hears 1 and 3 (ranks 1,2 by tie-break on id).
+        // Edge (0,1): rank of 1 at 0 is 1; rank of 0 at 1 is 1 (distance tie
+        // between 0 and 2 at distance 0.1 broken toward lower id). Weight 1.
+        assert_eq!(g.edge_weight(0, 1), Some(1));
+        // Edge (0,2) requires mutual membership: 2 keeps {1,3}, not 0 → absent.
+        assert_eq!(g.edge_weight(0, 2), None);
+    }
+
+    #[test]
+    fn degree_bounded_by_m() {
+        let pts: Vec<Point> = (0..40)
+            .map(|i| {
+                let a = i as f64 / 40.0 * std::f64::consts::TAU;
+                Point::new(0.5 + 0.01 * a.cos(), 0.5 + 0.01 * a.sin())
+            })
+            .collect();
+        let m = 5;
+        let g = WpgBuilder::new(1.0, m, InverseDistanceRss).build(&pts);
+        for u in 0..g.n() as UserId {
+            assert!(g.degree(u) <= m, "degree of {u} exceeds M");
+        }
+    }
+
+    #[test]
+    fn delta_limits_edges() {
+        let pts = line_points();
+        // δ = 0.15 only reaches immediate line neighbors (0.1 apart).
+        let g = WpgBuilder::new(0.15, 10, InverseDistanceRss).build(&pts);
+        assert_eq!(g.m(), 4); // a path graph
+        assert_eq!(g.edge_weight(0, 2), None);
+        assert!(g.edge_weight(1, 2).is_some());
+    }
+
+    #[test]
+    fn weights_bounded_by_m() {
+        let pts = nela_geo::DatasetSpec::small_uniform(300, 9).generate();
+        let m = 6;
+        let g = WpgBuilder::new(0.1, m, InverseDistanceRss).build(&pts);
+        assert!(g.m() > 0);
+        for e in g.edges() {
+            assert!(e.w >= 1 && e.w <= m as u32);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_input() {
+        let pts = nela_geo::DatasetSpec::small_uniform(200, 4).generate();
+        let b = WpgBuilder::new(0.08, 8, InverseDistanceRss);
+        let g1 = b.build(&pts);
+        let g2 = b.build(&pts);
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn isolated_users_have_no_edges() {
+        let pts = vec![
+            Point::new(0.1, 0.1),
+            Point::new(0.9, 0.9),
+            Point::new(0.1, 0.9),
+        ];
+        let g = WpgBuilder::new(0.01, 4, InverseDistanceRss).build(&pts);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn larger_m_never_decreases_degree() {
+        let pts = nela_geo::DatasetSpec::small_uniform(500, 12).generate();
+        let g4 = WpgBuilder::new(0.1, 4, InverseDistanceRss).build(&pts);
+        let g16 = WpgBuilder::new(0.1, 16, InverseDistanceRss).build(&pts);
+        assert!(g16.avg_degree() >= g4.avg_degree());
+    }
+}

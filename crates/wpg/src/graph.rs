@@ -1,0 +1,270 @@
+//! Compact storage for weighted proximity graphs.
+
+use crate::Weight;
+use nela_geo::UserId;
+
+/// An undirected weighted edge. `u < v` is maintained by [`Wpg::from_edges`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    pub u: UserId,
+    pub v: UserId,
+    pub w: Weight,
+}
+
+impl Edge {
+    /// Creates an edge, normalizing endpoint order so `u < v`.
+    #[inline]
+    pub fn new(a: UserId, b: UserId, w: Weight) -> Self {
+        debug_assert_ne!(a, b, "self loops are not allowed in a WPG");
+        if a < b {
+            Edge { u: a, v: b, w }
+        } else {
+            Edge { u: b, v: a, w }
+        }
+    }
+}
+
+/// A weighted proximity graph in CSR (compressed sparse row) form.
+///
+/// Vertices are dense `0..n` user ids. Each undirected edge is stored twice
+/// (once per endpoint) so neighbor iteration is a contiguous slice scan; the
+/// graphs built in the evaluation have ~10⁵ vertices and ≤ M·n/2 edges, so
+/// this stays well within cache-friendly sizes.
+#[derive(Debug, Clone)]
+pub struct Wpg {
+    offsets: Vec<u32>,
+    nbr_ids: Vec<UserId>,
+    nbr_weights: Vec<Weight>,
+    n_edges: usize,
+}
+
+impl Wpg {
+    /// Builds a WPG over `n` vertices from an undirected edge list.
+    ///
+    /// Duplicate edges are rejected in debug builds; callers (the builder and
+    /// the topology generators) construct deduplicated lists.
+    pub fn from_edges(n: usize, edges: &[Edge]) -> Self {
+        let mut deg = vec![0u32; n + 1];
+        for e in edges {
+            debug_assert!(
+                (e.u as usize) < n && (e.v as usize) < n,
+                "edge out of range"
+            );
+            deg[e.u as usize + 1] += 1;
+            deg[e.v as usize + 1] += 1;
+        }
+        for i in 1..=n {
+            deg[i] += deg[i - 1];
+        }
+        let total = deg[n] as usize;
+        let mut nbr_ids = vec![0 as UserId; total];
+        let mut nbr_weights = vec![0 as Weight; total];
+        let mut cursor = deg.clone();
+        for e in edges {
+            let cu = &mut cursor[e.u as usize];
+            nbr_ids[*cu as usize] = e.v;
+            nbr_weights[*cu as usize] = e.w;
+            *cu += 1;
+            let cv = &mut cursor[e.v as usize];
+            nbr_ids[*cv as usize] = e.u;
+            nbr_weights[*cv as usize] = e.w;
+            *cv += 1;
+        }
+        let g = Wpg {
+            offsets: deg,
+            nbr_ids,
+            nbr_weights,
+            n_edges: edges.len(),
+        };
+        debug_assert!(g.check_no_duplicates(), "duplicate edges in WPG input");
+        g
+    }
+
+    fn check_no_duplicates(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        for u in 0..self.n() as UserId {
+            seen.clear();
+            for (v, _) in self.neighbors(u) {
+                if v == u || !seen.insert(v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.n_edges
+    }
+
+    /// Degree of vertex `u`.
+    #[inline]
+    pub fn degree(&self, u: UserId) -> usize {
+        (self.offsets[u as usize + 1] - self.offsets[u as usize]) as usize
+    }
+
+    /// Average vertex degree — the x-axis of the paper's Fig. 9.
+    pub fn avg_degree(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            2.0 * self.m() as f64 / self.n() as f64
+        }
+    }
+
+    /// Iterates `(neighbor, weight)` pairs of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: UserId) -> impl Iterator<Item = (UserId, Weight)> + '_ {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        self.nbr_ids[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.nbr_weights[lo..hi].iter().copied())
+    }
+
+    /// Weight of edge `(u, v)`, or `None` if absent.
+    pub fn edge_weight(&self, u: UserId, v: UserId) -> Option<Weight> {
+        self.neighbors(u).find(|&(x, _)| x == v).map(|(_, w)| w)
+    }
+
+    /// Iterates every undirected edge exactly once (as `u < v`).
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.n() as UserId).flat_map(move |u| {
+            self.neighbors(u)
+                .filter(move |&(v, _)| u < v)
+                .map(move |(v, w)| Edge { u, v, w })
+        })
+    }
+
+    /// Maximum edge weight (MEW) over the whole graph; `None` when edgeless.
+    pub fn max_weight(&self) -> Option<Weight> {
+        self.nbr_weights.iter().copied().max()
+    }
+
+    /// Sorted, deduplicated list of the distinct edge weights. The
+    /// t-connectivity sweep only needs to consider these values.
+    pub fn distinct_weights(&self) -> Vec<Weight> {
+        let mut w: Vec<Weight> = self.nbr_weights.clone();
+        w.sort_unstable();
+        w.dedup();
+        w
+    }
+
+    /// True when every vertex in `members` can reach every other through
+    /// edges whose *both* endpoints are in `members` (ignoring weights).
+    pub fn is_connected_subset(&self, members: &[UserId]) -> bool {
+        if members.is_empty() {
+            return true;
+        }
+        let member_set: std::collections::HashSet<UserId> = members.iter().copied().collect();
+        let mut visited = std::collections::HashSet::new();
+        let mut stack = vec![members[0]];
+        visited.insert(members[0]);
+        while let Some(u) = stack.pop() {
+            for (v, _) in self.neighbors(u) {
+                if member_set.contains(&v) && visited.insert(v) {
+                    stack.push(v);
+                }
+            }
+        }
+        visited.len() == members.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Wpg {
+        // 0-1 (w1), 1-2 (w2), 2-3 (w3), 3-0 (w4), 0-2 (w5)
+        Wpg::from_edges(
+            4,
+            &[
+                Edge::new(0, 1, 1),
+                Edge::new(1, 2, 2),
+                Edge::new(2, 3, 3),
+                Edge::new(3, 0, 4),
+                Edge::new(0, 2, 5),
+            ],
+        )
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = diamond();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 5);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(1), 2);
+        assert!((g.avg_degree() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_and_weights() {
+        let g = diamond();
+        let mut n0: Vec<_> = g.neighbors(0).collect();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![(1, 1), (2, 5), (3, 4)]);
+    }
+
+    #[test]
+    fn edge_weight_lookup_both_directions() {
+        let g = diamond();
+        assert_eq!(g.edge_weight(0, 2), Some(5));
+        assert_eq!(g.edge_weight(2, 0), Some(5));
+        assert_eq!(g.edge_weight(1, 3), None);
+    }
+
+    #[test]
+    fn edges_iterated_once_each() {
+        let g = diamond();
+        let mut es: Vec<_> = g.edges().map(|e| (e.u, e.v, e.w)).collect();
+        es.sort_unstable();
+        assert_eq!(
+            es,
+            vec![(0, 1, 1), (0, 2, 5), (0, 3, 4), (1, 2, 2), (2, 3, 3)]
+        );
+    }
+
+    #[test]
+    fn max_and_distinct_weights() {
+        let g = diamond();
+        assert_eq!(g.max_weight(), Some(5));
+        assert_eq!(g.distinct_weights(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Wpg::from_edges(3, &[]);
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_weight(), None);
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn edge_normalizes_order() {
+        let e = Edge::new(5, 2, 7);
+        assert_eq!((e.u, e.v), (2, 5));
+    }
+
+    #[test]
+    fn connected_subset() {
+        let g = diamond();
+        assert!(g.is_connected_subset(&[0, 1, 2]));
+        assert!(g.is_connected_subset(&[0, 1, 2, 3]));
+        // 1 and 3 are not adjacent: the subset {1,3} is disconnected.
+        assert!(!g.is_connected_subset(&[1, 3]));
+        assert!(g.is_connected_subset(&[]));
+        assert!(g.is_connected_subset(&[2]));
+    }
+}

@@ -1,0 +1,228 @@
+//! Synthetic proximity-graph topologies.
+//!
+//! The paper motivates replacing cluster diameter with the maximum edge
+//! weight by noting that wireless topologies "tend to be clustered and small
+//! world graphs which consist of regular graphs plus a few random edges"
+//! (§IV, citing Helmy). These generators let the clustering algorithms be
+//! evaluated directly on such abstract topologies, independent of any
+//! geometric embedding:
+//!
+//! - [`ring_lattice`] — the k-regular ring, the substrate of small worlds,
+//! - [`small_world`] — Watts–Strogatz rewiring of the ring lattice,
+//! - [`random_regular`] — pairing-model random d-regular graphs,
+//! - [`grid_graph`] — a 4-neighbor mesh.
+//!
+//! Weights are drawn uniformly from `1..=w_max` (think: RSS ranks), seeded.
+
+use crate::graph::{Edge, Wpg};
+use crate::Weight;
+use nela_geo::UserId;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+fn random_weight(rng: &mut ChaCha8Rng, w_max: Weight) -> Weight {
+    rng.gen_range(1..=w_max.max(1))
+}
+
+/// Ring lattice: `n` vertices, each joined to its `k/2` nearest neighbors on
+/// each side (`k` must be even and `< n`).
+pub fn ring_lattice(n: usize, k: usize, w_max: Weight, seed: u64) -> Wpg {
+    assert!(k % 2 == 0 && k < n, "k must be even and < n");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n * k / 2);
+    for u in 0..n {
+        for j in 1..=k / 2 {
+            let v = (u + j) % n;
+            edges.push(Edge::new(
+                u as UserId,
+                v as UserId,
+                random_weight(&mut rng, w_max),
+            ));
+        }
+    }
+    Wpg::from_edges(n, &edges)
+}
+
+/// Watts–Strogatz small world: ring lattice with each edge's far endpoint
+/// rewired with probability `beta` (avoiding self loops and duplicates).
+pub fn small_world(n: usize, k: usize, beta: f64, w_max: Weight, seed: u64) -> Wpg {
+    assert!(k % 2 == 0 && k < n, "k must be even and < n");
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut present: HashSet<(UserId, UserId)> = HashSet::new();
+    let mut edges: Vec<Edge> = Vec::with_capacity(n * k / 2);
+    let key = |a: UserId, b: UserId| if a < b { (a, b) } else { (b, a) };
+    for u in 0..n {
+        for j in 1..=k / 2 {
+            let v = (u + j) % n;
+            present.insert(key(u as UserId, v as UserId));
+        }
+    }
+    for u in 0..n {
+        for j in 1..=k / 2 {
+            let v = (u + j) % n;
+            let (mut a, mut b) = (u as UserId, v as UserId);
+            if rng.gen::<f64>() < beta {
+                // try a few times to find a fresh endpoint
+                for _ in 0..16 {
+                    let w = rng.gen_range(0..n) as UserId;
+                    if w != a && !present.contains(&key(a, w)) {
+                        present.remove(&key(a, b));
+                        present.insert(key(a, w));
+                        b = w;
+                        break;
+                    }
+                }
+            }
+            let _ = &mut a;
+            edges.push(Edge::new(a, b, random_weight(&mut rng, w_max)));
+        }
+    }
+    // Deduplicate (rewiring may have collided despite the retry loop).
+    let mut seen = HashSet::new();
+    edges.retain(|e| seen.insert((e.u, e.v)));
+    Wpg::from_edges(n, &edges)
+}
+
+/// Random d-regular-ish graph via the configuration model with rejection of
+/// self loops and duplicate edges; a few vertices may fall short of `d` when
+/// the final matching is infeasible, matching standard practice.
+pub fn random_regular(n: usize, d: usize, w_max: Weight, seed: u64) -> Wpg {
+    assert!(n * d % 2 == 0, "n·d must be even");
+    assert!(d < n, "degree must be < n");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    'attempt: for _ in 0..64 {
+        let mut stubs: Vec<UserId> = (0..n as UserId)
+            .flat_map(|u| std::iter::repeat(u).take(d))
+            .collect();
+        // Fisher–Yates shuffle.
+        for i in (1..stubs.len()).rev() {
+            stubs.swap(i, rng.gen_range(0..=i));
+        }
+        let mut seen = HashSet::new();
+        let mut edges = Vec::with_capacity(n * d / 2);
+        for pair in stubs.chunks_exact(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if a == b {
+                continue 'attempt;
+            }
+            let k = if a < b { (a, b) } else { (b, a) };
+            if !seen.insert(k) {
+                continue 'attempt;
+            }
+            edges.push(Edge::new(a, b, random_weight(&mut rng, w_max)));
+        }
+        return Wpg::from_edges(n, &edges);
+    }
+    // Deterministic fallback: the ring lattice is d-regular for even d.
+    ring_lattice(n, d & !1, w_max, seed)
+}
+
+/// `rows × cols` mesh with 4-neighborhood.
+pub fn grid_graph(rows: usize, cols: usize, w_max: Weight, seed: u64) -> Wpg {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let id = |r: usize, c: usize| (r * cols + c) as UserId;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push(Edge::new(
+                    id(r, c),
+                    id(r, c + 1),
+                    random_weight(&mut rng, w_max),
+                ));
+            }
+            if r + 1 < rows {
+                edges.push(Edge::new(
+                    id(r, c),
+                    id(r + 1, c),
+                    random_weight(&mut rng, w_max),
+                ));
+            }
+        }
+    }
+    Wpg::from_edges(rows * cols, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::{components_under, nothing_removed};
+
+    #[test]
+    fn ring_lattice_is_regular() {
+        let g = ring_lattice(20, 4, 5, 1);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.m(), 40);
+        for u in 0..20 {
+            assert_eq!(g.degree(u), 4);
+        }
+    }
+
+    #[test]
+    fn ring_lattice_is_connected() {
+        let g = ring_lattice(50, 2, 3, 2);
+        let comps = components_under(&g, 3, &nothing_removed);
+        assert_eq!(comps.len(), 1);
+    }
+
+    #[test]
+    fn small_world_preserves_edge_count_and_stays_near_regular() {
+        let g = small_world(100, 6, 0.1, 10, 3);
+        assert_eq!(g.n(), 100);
+        // Rewiring can only drop edges on rare dedup collisions.
+        assert!(g.m() >= 290 && g.m() <= 300, "m = {}", g.m());
+        let avg = g.avg_degree();
+        assert!((avg - 6.0).abs() < 0.3, "avg degree {avg}");
+    }
+
+    #[test]
+    fn small_world_zero_beta_equals_lattice_structure() {
+        let g = small_world(30, 4, 0.0, 1, 7);
+        for u in 0..30 {
+            assert_eq!(g.degree(u), 4);
+        }
+    }
+
+    #[test]
+    fn random_regular_degrees() {
+        let g = random_regular(40, 4, 8, 5);
+        assert_eq!(g.n(), 40);
+        // Configuration model with rejection: exact regularity on success.
+        for u in 0..40 {
+            assert_eq!(g.degree(u), 4, "vertex {u}");
+        }
+    }
+
+    #[test]
+    fn grid_graph_shape() {
+        let g = grid_graph(3, 4, 2, 11);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 2 * 4); // horizontal + vertical edges
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(1), 3); // edge
+        assert_eq!(g.degree(5), 4); // interior
+    }
+
+    #[test]
+    fn weights_within_range() {
+        for g in [
+            ring_lattice(20, 4, 7, 1),
+            small_world(20, 4, 0.3, 7, 1),
+            random_regular(20, 4, 7, 1),
+            grid_graph(4, 5, 7, 1),
+        ] {
+            for e in g.edges() {
+                assert!(e.w >= 1 && e.w <= 7);
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let a: Vec<_> = small_world(50, 4, 0.2, 9, 42).edges().collect();
+        let b: Vec<_> = small_world(50, 4, 0.2, 9, 42).edges().collect();
+        assert_eq!(a, b);
+    }
+}

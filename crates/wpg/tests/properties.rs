@@ -1,0 +1,77 @@
+//! Property-based tests for WPG construction and connectivity.
+
+use nela_geo::{DatasetSpec, GridIndex, Point, UserId};
+use nela_wpg::connectivity::{components_under, nothing_removed, t_cluster_of};
+use nela_wpg::{InverseDistanceRss, WpgBuilder};
+use proptest::prelude::*;
+
+fn arb_points() -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 10..120)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn builder_respects_degree_and_weight_bounds(
+        points in arb_points(),
+        m in 1usize..8,
+        delta in 0.05f64..0.5,
+    ) {
+        let g = WpgBuilder::new(delta, m, InverseDistanceRss).build(&points);
+        for u in 0..g.n() as UserId {
+            prop_assert!(g.degree(u) <= m);
+        }
+        for e in g.edges() {
+            prop_assert!(e.w >= 1 && e.w <= m as u32);
+            // Edges never exceed the radio range.
+            let d = points[e.u as usize].dist(&points[e.v as usize]);
+            prop_assert!(d < delta, "edge of length {d} with δ = {delta}");
+        }
+    }
+
+    #[test]
+    fn components_partition_all_vertices(
+        points in arb_points(),
+        t in 1u32..6,
+    ) {
+        let g = WpgBuilder::new(0.2, 5, InverseDistanceRss).build(&points);
+        let comps = components_under(&g, t, &nothing_removed);
+        let mut all: Vec<UserId> = comps.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..g.n() as UserId).collect::<Vec<_>>());
+        // Classes are consistent with per-vertex BFS.
+        for comp in comps.iter().take(5) {
+            let mut cls = t_cluster_of(&g, comp[0], t, &nothing_removed);
+            cls.sort_unstable();
+            prop_assert_eq!(&cls, comp);
+        }
+    }
+
+    #[test]
+    fn grid_neighbor_symmetry(points in arb_points(), radius in 0.02f64..0.3) {
+        let grid = GridIndex::build(&points, radius.min(0.2));
+        let mut buf = Vec::new();
+        for u in 0..points.len().min(20) as UserId {
+            grid.neighbors_within(u, radius, &mut buf);
+            let forward: Vec<UserId> = buf.iter().map(|&(v, _)| v).collect();
+            for v in forward {
+                grid.neighbors_within(v, radius, &mut buf);
+                prop_assert!(
+                    buf.iter().any(|&(w, _)| w == u),
+                    "neighbor relation must be symmetric ({u} ↔ {v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_determinism_and_range(n in 10usize..300, seed in 0u64..1000) {
+        let spec = DatasetSpec::small_uniform(n, seed);
+        let a = spec.generate();
+        let b = spec.generate();
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.iter().all(Point::in_unit_square));
+    }
+}

@@ -1,0 +1,59 @@
+//! Centralized anonymizer vs. distributed cloaking over the same workload —
+//! the trade-off of the paper's Fig. 3 (workflow ¬ vs. ¶).
+//!
+//! The anonymizer clusters the whole population when the first request
+//! arrives (one message per user), then serves every later request for
+//! free; the distributed algorithm pays per request but touches only the
+//! host's neighborhood.
+//!
+//! ```sh
+//! cargo run --release --example anonymizer_service
+//! ```
+
+use nela::metrics::run_workload;
+use nela::{BoundingAlgo, ClusteringAlgo, Params, System};
+
+fn main() {
+    let params = Params::scaled(20_000);
+    let system = System::build(&params);
+    println!(
+        "system: {} users, avg degree {:.1}, k = {}\n",
+        params.n_users,
+        system.avg_degree(),
+        params.k
+    );
+
+    println!(
+        "{:>10} | {:>12} {:>12} {:>12} {:>9}",
+        "requests", "cent msgs/rq", "dist msgs/rq", "area ratio", "reused"
+    );
+    for s in [50usize, 200, 800, 2000] {
+        let hosts = system.host_sequence(s, 11);
+        let central = run_workload(
+            &system,
+            ClusteringAlgo::TConnCentralized,
+            BoundingAlgo::Optimal,
+            &hosts,
+        );
+        let distributed = run_workload(
+            &system,
+            ClusteringAlgo::TConnDistributed,
+            BoundingAlgo::Optimal,
+            &hosts,
+        );
+        println!(
+            "{s:>10} | {:>12.1} {:>12.1} {:>12.3} {:>8.0}%",
+            central.avg_clustering_messages,
+            distributed.avg_clustering_messages,
+            distributed.avg_cloaked_area / central.avg_cloaked_area,
+            100.0 * distributed.reused as f64 / distributed.served.max(1) as f64,
+        );
+    }
+
+    println!(
+        "\nThe centralized cost per request decays as N/S (pure amortization);\n\
+         the distributed cost decays because more hosts find themselves\n\
+         already clustered. Their cloaked-region quality stays comparable —\n\
+         the paper's Fig. 12 story."
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: cloak one location-based service request without exposing
+//! any coordinate.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use nela::{audit_result, BoundingAlgo, CloakingEngine, ClusteringAlgo, Params, System};
+
+fn main() {
+    // A scaled-down deployment (20,000 users instead of the paper's
+    // 104,770) with Table I densities: δ and the request count scale so the
+    // proximity graph looks the same.
+    let params = Params::scaled(20_000);
+    println!(
+        "building system: {} users, δ = {:.2e}, M = {}, k = {}",
+        params.n_users, params.delta, params.max_peers, params.k
+    );
+    let system = System::build(&params);
+    println!(
+        "weighted proximity graph: {} edges, average degree {:.1}\n",
+        system.wpg.m(),
+        system.avg_degree()
+    );
+
+    // The engine runs both phases: distributed t-connectivity k-clustering
+    // (Algorithm 2) and secure progressive bounding (Algorithm 4).
+    let mut engine = CloakingEngine::new(
+        &system,
+        ClusteringAlgo::TConnDistributed,
+        BoundingAlgo::Secure,
+    );
+
+    for host in system.host_sequence(10, 7) {
+        match engine.request(host) {
+            Ok(result) => {
+                let audit = audit_result(&system, &result);
+                println!(
+                    "host {host:>5}: cluster of {:>3} users, region area {:.4e} \
+                     ({} clustering + {} bounding msgs{}) — audit: {}",
+                    result.cluster_size,
+                    result.region.area(),
+                    result.clustering_messages,
+                    result.bounding_messages,
+                    if result.reused { ", reused" } else { "" },
+                    if audit.passed() { "PASS" } else { "FAIL" },
+                );
+            }
+            Err(e) => println!("host {host:>5}: cannot be served ({e})"),
+        }
+    }
+
+    println!(
+        "\nregistry: {} clusters over {} users; reciprocity violations: {:?}",
+        engine.registry().cluster_count(),
+        engine.registry().clustered_users(),
+        engine.registry().reciprocity_violation(),
+    );
+}
