@@ -1,0 +1,87 @@
+//! Incremental WPG maintenance vs from-scratch rebuild across move
+//! fractions, n = 10,000 (the ISSUE's acceptance series: incremental must
+//! win for move fractions ≤ 10%).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nela_geo::{DatasetSpec, Point, SpatialDistribution};
+use nela_wpg::{IncrementalWpg, InverseDistanceRss, WpgBuilder};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+const N: usize = 10_000;
+
+fn setup() -> (Vec<Point>, WpgBuilder<InverseDistanceRss>, f64) {
+    let points = DatasetSpec {
+        n: N,
+        seed: 1,
+        distribution: SpatialDistribution::california(),
+    }
+    .generate();
+    let delta = 2e-3 * (104_770.0_f64 / N as f64).sqrt();
+    (
+        points,
+        WpgBuilder::new(delta, 10, InverseDistanceRss),
+        delta,
+    )
+}
+
+/// Local drifts of ~half the radio range for a fraction of the population —
+/// the mobility-model regime, where the dirty set stays small.
+fn move_batch(points: &[Point], fraction: f64, delta: f64, seed: u64) -> Vec<(u32, Point)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let movers = ((points.len() as f64) * fraction).round() as usize;
+    (0..movers)
+        .map(|_| {
+            let id = rng.gen_range(0..points.len() as u32);
+            let p = points[id as usize];
+            let step = delta * 0.5;
+            (
+                id,
+                Point::new(
+                    (p.x + rng.gen_range(-step..step)).clamp(0.0, 1.0),
+                    (p.y + rng.gen_range(-step..step)).clamp(0.0, 1.0),
+                ),
+            )
+        })
+        .collect()
+}
+
+fn bench_incremental_vs_rebuild(c: &mut Criterion) {
+    let (points, builder, delta) = setup();
+    let baseline = IncrementalWpg::new(builder.clone(), &points);
+
+    let mut group = c.benchmark_group("wpg_update_10k");
+    group.sample_size(10);
+    for pct in [1usize, 5, 10, 25, 50] {
+        let moves = move_batch(&points, pct as f64 / 100.0, delta, 7 + pct as u64);
+        group.bench_with_input(
+            BenchmarkId::new("incremental", format!("{pct}pct")),
+            &moves,
+            |b, moves| {
+                b.iter(|| {
+                    let mut inc = baseline.clone();
+                    inc.apply_moves(moves);
+                    black_box(inc.snapshot())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rebuild", format!("{pct}pct")),
+            &moves,
+            |b, moves| {
+                b.iter(|| {
+                    let mut moved = points.clone();
+                    for &(id, p) in moves {
+                        moved[id as usize] = p;
+                    }
+                    black_box(builder.build(&moved))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental_vs_rebuild);
+criterion_main!(benches);

@@ -321,3 +321,81 @@ pub fn attack(raw: Vec<String>) -> Result<(), ArgError> {
     println!("intersection    : {leaks}/{trials} repeat-request leaks below k");
     Ok(())
 }
+
+/// `nela mobility`
+pub fn mobility(raw: Vec<String>) -> Result<(), ArgError> {
+    const FLAGS: &[&str] = &[
+        "users",
+        "seed",
+        "k",
+        "m",
+        "algo",
+        "bounding",
+        "json",
+        "ticks",
+        "rate",
+        "stationary",
+    ];
+    let args = Args::parse(raw, FLAGS)?;
+    let mut params = {
+        let users: usize = args.num_or("users", 20_000)?;
+        let mut p = Params::scaled(users);
+        p.k = args.num_or("k", p.k)?;
+        p.max_peers = args.num_or("m", p.max_peers)?;
+        p.seed = args.num_or("seed", 1u64)?;
+        p
+    };
+    params.requests = 0; // requests arrive as a Poisson stream, not a batch
+    let stationary: f64 = args.num_or("stationary", 0.9)?;
+    if !(0.0..=1.0).contains(&stationary) {
+        return Err(ArgError(format!(
+            "--stationary {stationary}: expected a fraction in [0, 1]"
+        )));
+    }
+    let mobility_cfg = nela_mobility::MobilityConfig {
+        seed: params.seed ^ 0x6d_6f_62,
+        ..nela_mobility::MobilityConfig::with_stationary(stationary)
+    };
+    let driver = nela_mobility::DriverConfig {
+        ticks: args.num_or("ticks", 20)?,
+        rate: args.num_or("rate", 25.0)?,
+        seed: params.seed ^ 0xC0_FF_EE,
+        measure_rebuild: true,
+    };
+    let summary = nela_mobility::run_continuous(
+        &params,
+        &mobility_cfg,
+        &driver,
+        clustering_algo(&args)?,
+        bounding_algo(&args)?,
+    );
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&summary).expect("serialize")
+        );
+        return Ok(());
+    }
+    println!(
+        "population      : {} users ({} mobile), {} ticks",
+        summary.population, summary.mobile_users, summary.ticks
+    );
+    println!(
+        "requests        : {} ({} served, {} failed, {} reused)",
+        summary.requests, summary.served, summary.failed, summary.reused
+    );
+    println!("reuse rate      : {:.3}", summary.reuse_rate);
+    println!(
+        "validity        : {:.3} of served regions still cover k users",
+        summary.validity_rate
+    );
+    println!(
+        "invalidations   : {} clusters retired, {} users released",
+        summary.invalidated, summary.released
+    );
+    println!(
+        "wpg maintenance : {:.1}x faster than rebuild (mean per tick)",
+        summary.mean_speedup
+    );
+    Ok(())
+}

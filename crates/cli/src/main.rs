@@ -7,6 +7,7 @@
 //! nela simulate  [--users N] [--requests S] [--algo A]  full workload + stats
 //! nela query     [--users N] [--k K] [--knn Q]          cloak + LBS roundtrip
 //! nela attack    [--users N] [--requests S]             adversary evaluation
+//! nela mobility  [--users N] [--ticks T] [--rate R]     continuous cloaking under motion
 //! ```
 //!
 //! All subcommands accept `--json` for machine-readable output.
@@ -29,6 +30,7 @@ fn main() {
         "simulate" => commands::simulate(rest),
         "query" => commands::query(rest),
         "attack" => commands::attack(rest),
+        "mobility" => commands::mobility(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -55,6 +57,9 @@ COMMANDS:
   simulate   run a request workload and print the paper's metrics
   query      cloak, then run a real LBS query over the cloaked region
   attack     evaluate an intercepting adversary over a workload
+  mobility   run the continuous pipeline: motion, incremental WPG
+             maintenance, cluster invalidation, Poisson requests
+             (--ticks T, --rate R, --stationary F)
   help       show this help
 
 COMMON FLAGS:

@@ -358,10 +358,11 @@ mod tests {
 
     #[test]
     fn no_failure_case_keeps_cluster_at_exactly_k() {
-        // Dense lattice: every border vertex trivially has a valid cluster,
-        // so C stays at the k vertices Prim found (the paper's common case
-        // with cost ≈ |C| + |border|).
-        let g = topology::ring_lattice(60, 6, 3, 4);
+        // Dense unit-weight lattice: t = 1 spans everything, so every border
+        // vertex trivially has a valid cluster and C stays at the k vertices
+        // Prim found (the paper's common case, cost ≈ |C| + |border|) —
+        // independent of the weight stream.
+        let g = topology::ring_lattice(60, 6, 1, 4);
         let out = distributed_k_clustering(&g, 10, 5, &no_removed).unwrap();
         assert_eq!(out.super_cluster.len(), 5);
         assert_eq!(out.host_cluster.len(), 5);

@@ -6,6 +6,13 @@
 //! with zero cloaking cost (workflow arrow ®), and the *reciprocity*
 //! property requires all members to map to the same set. The registry is
 //! that shared state.
+//!
+//! Under mobility a registered cluster does not stay valid forever: a member
+//! can drift out of radio range of its peers, breaking the proximity
+//! constraints the cluster was built from. [`ClusterRegistry::invalidate`]
+//! retires such a cluster — its members become unassigned (their next
+//! request pays full cloaking cost again) while the retired entry stays in
+//! place as a tombstone so previously issued [`ClusterId`]s never dangle.
 
 use crate::Cluster;
 use nela_geo::{Rect, UserId};
@@ -19,6 +26,9 @@ pub type ClusterId = u32;
 pub struct RegisteredCluster {
     pub cluster: Cluster,
     pub region: Option<Rect>,
+    /// True once the cluster has been invalidated (a tombstone: kept for id
+    /// stability, never served again).
+    pub retired: bool,
 }
 
 /// Tracks which users belong to which cluster over a request workload.
@@ -26,6 +36,8 @@ pub struct RegisteredCluster {
 pub struct ClusterRegistry {
     assignment: Vec<Option<ClusterId>>,
     clusters: Vec<RegisteredCluster>,
+    /// Lifetime count of invalidated clusters (tombstones).
+    retired_count: usize,
 }
 
 impl ClusterRegistry {
@@ -34,6 +46,7 @@ impl ClusterRegistry {
         ClusterRegistry {
             assignment: vec![None; n],
             clusters: Vec::new(),
+            retired_count: 0,
         }
     }
 
@@ -42,9 +55,19 @@ impl ClusterRegistry {
         self.assignment.len()
     }
 
-    /// Number of registered clusters.
+    /// Number of registered clusters, including retired tombstones.
     pub fn cluster_count(&self) -> usize {
         self.clusters.len()
+    }
+
+    /// Number of clusters still live (not retired).
+    pub fn active_cluster_count(&self) -> usize {
+        self.clusters.len() - self.retired_count
+    }
+
+    /// Lifetime number of invalidated clusters.
+    pub fn retired_count(&self) -> usize {
+        self.retired_count
     }
 
     /// Number of users currently assigned to some cluster.
@@ -90,6 +113,7 @@ impl ClusterRegistry {
         self.clusters.push(RegisteredCluster {
             cluster,
             region: None,
+            retired: false,
         });
         id
     }
@@ -99,16 +123,62 @@ impl ClusterRegistry {
         self.clusters[id as usize].region = Some(region);
     }
 
+    /// Retires cluster `id`: every member becomes unassigned and the entry
+    /// turns into a tombstone. Returns the number of users released.
+    /// Idempotent — retiring a tombstone releases nobody.
+    pub fn invalidate(&mut self, id: ClusterId) -> usize {
+        let rc = &mut self.clusters[id as usize];
+        if rc.retired {
+            return 0;
+        }
+        rc.retired = true;
+        self.retired_count += 1;
+        let members = rc.cluster.members.clone();
+        let mut released = 0;
+        for m in members {
+            // A member may already sit in a *newer* cluster (it re-requested
+            // after an earlier invalidation); only release it if it still
+            // points at the cluster being retired.
+            if self.assignment[m as usize] == Some(id) {
+                self.assignment[m as usize] = None;
+                released += 1;
+            }
+        }
+        released
+    }
+
+    /// Retires the cluster `u` currently belongs to, if any. Returns the
+    /// number of users released.
+    pub fn invalidate_containing(&mut self, u: UserId) -> usize {
+        match self.assignment[u as usize] {
+            Some(id) => self.invalidate(id),
+            None => 0,
+        }
+    }
+
+    /// Iterates over live (non-retired) clusters.
+    pub fn active_clusters(&self) -> impl Iterator<Item = (ClusterId, &RegisteredCluster)> {
+        self.clusters
+            .iter()
+            .enumerate()
+            .filter(|(_, rc)| !rc.retired)
+            .map(|(id, rc)| (id as ClusterId, rc))
+    }
+
     /// Predicate suitable for the clustering algorithms' `removed` argument:
     /// a user is removed from the remaining WPG iff already clustered.
     pub fn removed_predicate(&self) -> impl Fn(UserId) -> bool + '_ {
         move |u| self.is_clustered(u)
     }
 
-    /// Verifies the reciprocity property: every member of every cluster maps
-    /// back to that same cluster. Returns the first violating user, if any.
+    /// Verifies the reciprocity property: every member of every *live*
+    /// cluster maps back to that same cluster (tombstones are exempt — their
+    /// members were released). Returns the first violating user, if any.
     pub fn reciprocity_violation(&self) -> Option<UserId> {
         for (id, rc) in self.clusters.iter().enumerate() {
+            if rc.retired {
+                continue;
+            }
             for &m in &rc.cluster.members {
                 if self.assignment[m as usize] != Some(id as ClusterId) {
                     return Some(m);
@@ -174,5 +244,53 @@ mod tests {
         reg.register(cluster(&[0, 1, 2]));
         reg.register(cluster(&[5, 6]));
         assert_eq!(reg.reciprocity_violation(), None);
+    }
+
+    #[test]
+    fn invalidate_releases_members_and_tombstones() {
+        let mut reg = ClusterRegistry::new(8);
+        let a = reg.register(cluster(&[0, 1, 2]));
+        let b = reg.register(cluster(&[5, 6]));
+        assert_eq!(reg.invalidate(a), 3);
+        assert!(!reg.is_clustered(1));
+        assert!(reg.is_clustered(5));
+        assert!(reg.get(a).retired);
+        assert_eq!(reg.cluster_count(), 2);
+        assert_eq!(reg.active_cluster_count(), 1);
+        assert_eq!(reg.retired_count(), 1);
+        let active: Vec<ClusterId> = reg.active_clusters().map(|(id, _)| id).collect();
+        assert_eq!(active, vec![b]);
+        assert_eq!(reg.reciprocity_violation(), None);
+    }
+
+    #[test]
+    fn invalidate_is_idempotent() {
+        let mut reg = ClusterRegistry::new(4);
+        let id = reg.register(cluster(&[0, 1]));
+        assert_eq!(reg.invalidate(id), 2);
+        assert_eq!(reg.invalidate(id), 0);
+        assert_eq!(reg.retired_count(), 1);
+    }
+
+    #[test]
+    fn released_users_can_rejoin_new_clusters() {
+        let mut reg = ClusterRegistry::new(6);
+        let a = reg.register(cluster(&[0, 1, 2]));
+        reg.invalidate(a);
+        let b = reg.register(cluster(&[1, 3]));
+        assert_eq!(reg.cluster_id_of(1), Some(b));
+        // Retiring the old tombstone's id again must not steal 1 from b.
+        assert_eq!(reg.invalidate(a), 0);
+        assert_eq!(reg.cluster_id_of(1), Some(b));
+        assert_eq!(reg.reciprocity_violation(), None);
+    }
+
+    #[test]
+    fn invalidate_containing_finds_the_cluster() {
+        let mut reg = ClusterRegistry::new(6);
+        reg.register(cluster(&[2, 3]));
+        assert_eq!(reg.invalidate_containing(3), 2);
+        assert_eq!(reg.invalidate_containing(3), 0);
+        assert_eq!(reg.invalidate_containing(5), 0);
     }
 }

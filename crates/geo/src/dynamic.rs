@@ -1,0 +1,278 @@
+//! Mutable uniform-grid index for populations that move.
+//!
+//! [`crate::GridIndex`] is a build-once CSR structure, optimal for the
+//! paper's static snapshot model. Continuous cloaking under mobility instead
+//! needs an index that absorbs a stream of position updates without paying a
+//! full O(n) rebuild per tick. [`DynamicGrid`] keeps one `Vec<UserId>` bucket
+//! per cell and supports `relocate` in O(bucket) time, while answering the
+//! same δ-range queries with identical semantics (strict `< radius`,
+//! query point excluded).
+//!
+//! The cell geometry (side ≥ δ, per-axis count clamped to 1..4096) matches
+//! `GridIndex::build` exactly, so a [`DynamicGrid::snapshot`] taken at any
+//! point is interchangeable with an index built from scratch over the same
+//! positions — the equivalence the incremental WPG maintenance in
+//! `nela-wpg` relies on.
+
+use crate::grid::GridIndex;
+use crate::point::Point;
+use crate::UserId;
+
+/// A mutable uniform-grid index over a set of points in the unit square.
+#[derive(Debug, Clone)]
+pub struct DynamicGrid {
+    /// Number of cells per axis.
+    cells: usize,
+    /// Side length of one cell.
+    cell_side: f64,
+    /// The `min_cell_side` this grid was built with (kept so
+    /// [`DynamicGrid::snapshot`] reproduces the identical geometry).
+    min_cell_side: f64,
+    /// Per-cell buckets of point ids (unordered within a bucket).
+    buckets: Vec<Vec<UserId>>,
+    /// Current position of every point, indexed by id.
+    points: Vec<Point>,
+}
+
+impl DynamicGrid {
+    /// Builds a mutable index whose cell side is at least `min_cell_side`
+    /// (typically the radio range δ). Same geometry as
+    /// [`GridIndex::build`].
+    ///
+    /// # Panics
+    /// Panics if `min_cell_side` is not finite and positive.
+    pub fn build(points: &[Point], min_cell_side: f64) -> Self {
+        assert!(
+            min_cell_side.is_finite() && min_cell_side > 0.0,
+            "cell side must be positive, got {min_cell_side}"
+        );
+        let cells = ((1.0 / min_cell_side).floor() as usize).clamp(1, 4096);
+        let cell_side = 1.0 / cells as f64;
+        let mut grid = DynamicGrid {
+            cells,
+            cell_side,
+            min_cell_side,
+            buckets: vec![Vec::new(); cells * cells],
+            points: points.to_vec(),
+        };
+        for (i, p) in points.iter().enumerate() {
+            let c = grid.cell_of(p);
+            grid.buckets[c].push(i as UserId);
+        }
+        grid
+    }
+
+    #[inline]
+    fn cell_of(&self, p: &Point) -> usize {
+        let cx = ((p.x / self.cell_side) as usize).min(self.cells - 1);
+        let cy = ((p.y / self.cell_side) as usize).min(self.cells - 1);
+        cy * self.cells + cx
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the index holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The current positions, indexed by id.
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Current position of `id`.
+    #[inline]
+    pub fn position(&self, id: UserId) -> Point {
+        self.points[id as usize]
+    }
+
+    /// Moves point `id` to `new_pos`, updating its bucket if the cell
+    /// changed. Returns the previous position.
+    ///
+    /// O(bucket length) when the cell changes, O(1) otherwise.
+    pub fn relocate(&mut self, id: UserId, new_pos: Point) -> Point {
+        let old = self.points[id as usize];
+        let old_cell = self.cell_of(&old);
+        let new_cell = self.cell_of(&new_pos);
+        self.points[id as usize] = new_pos;
+        if old_cell != new_cell {
+            let bucket = &mut self.buckets[old_cell];
+            let at = bucket
+                .iter()
+                .position(|&e| e == id)
+                .expect("point must be in its cell bucket");
+            bucket.swap_remove(at);
+            self.buckets[new_cell].push(id);
+        }
+        old
+    }
+
+    /// All point ids strictly within Euclidean distance `radius` of
+    /// `center`, excluding `exclude` (pass an out-of-range id such as
+    /// `u32::MAX` to exclude nothing). Results are appended to `out`
+    /// (cleared first) as `(id, squared distance)` pairs in arbitrary order.
+    pub fn neighbors_of_point(
+        &self,
+        center: Point,
+        exclude: UserId,
+        radius: f64,
+        out: &mut Vec<(UserId, f64)>,
+    ) {
+        out.clear();
+        let r_sq = radius * radius;
+        let span = (radius / self.cell_side).ceil() as isize;
+        let qcx = ((center.x / self.cell_side) as isize).min(self.cells as isize - 1);
+        let qcy = ((center.y / self.cell_side) as isize).min(self.cells as isize - 1);
+        for cy in (qcy - span).max(0)..=(qcy + span).min(self.cells as isize - 1) {
+            for cx in (qcx - span).max(0)..=(qcx + span).min(self.cells as isize - 1) {
+                for &id in &self.buckets[cy as usize * self.cells + cx as usize] {
+                    if id == exclude {
+                        continue;
+                    }
+                    let d_sq = center.dist_sq(&self.points[id as usize]);
+                    if d_sq < r_sq {
+                        out.push((id, d_sq));
+                    }
+                }
+            }
+        }
+    }
+
+    /// All point ids strictly within distance `radius` of point `query_id`,
+    /// excluding `query_id` itself — the same contract as
+    /// [`GridIndex::neighbors_within`].
+    #[inline]
+    pub fn neighbors_within(&self, query_id: UserId, radius: f64, out: &mut Vec<(UserId, f64)>) {
+        self.neighbors_of_point(self.points[query_id as usize], query_id, radius, out);
+    }
+
+    /// Freshly allocated, distance-sorted neighbor list (ties broken by id),
+    /// mirroring [`GridIndex::neighbors_within_sorted`].
+    pub fn neighbors_within_sorted(&self, query_id: UserId, radius: f64) -> Vec<(UserId, f64)> {
+        let mut out = Vec::new();
+        self.neighbors_within(query_id, radius, &mut out);
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Freezes the current positions into a static [`GridIndex`]. The
+    /// snapshot is equivalent to `GridIndex::build(self.points(), δ)` for the
+    /// δ this grid was built with (identical cell geometry and contents).
+    pub fn snapshot(&self) -> GridIndex {
+        GridIndex::build(&self.points, self.min_cell_side)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| Point::new(rng.gen(), rng.gen())).collect()
+    }
+
+    fn ids(mut v: Vec<(UserId, f64)>) -> Vec<UserId> {
+        v.sort_by_key(|&(id, _)| id);
+        v.into_iter().map(|(id, _)| id).collect()
+    }
+
+    #[test]
+    fn fresh_build_matches_static_index() {
+        let pts = sample_points(400, 9);
+        let dynamic = DynamicGrid::build(&pts, 0.05);
+        let fixed = GridIndex::build(&pts, 0.05);
+        for q in [0u32, 17, 399] {
+            let a = ids(dynamic.neighbors_within_sorted(q, 0.05));
+            let b = ids(fixed.neighbors_within_sorted(q, 0.05));
+            assert_eq!(a, b, "query {q}");
+        }
+    }
+
+    #[test]
+    fn relocate_updates_query_results() {
+        let pts = vec![
+            Point::new(0.1, 0.1),
+            Point::new(0.9, 0.9),
+            Point::new(0.11, 0.1),
+        ];
+        let mut g = DynamicGrid::build(&pts, 0.05);
+        assert_eq!(ids(g.neighbors_within_sorted(0, 0.05)), vec![2]);
+        // Move 1 next to 0; move 2 far away.
+        g.relocate(1, Point::new(0.1, 0.12));
+        g.relocate(2, Point::new(0.5, 0.5));
+        assert_eq!(ids(g.neighbors_within_sorted(0, 0.05)), vec![1]);
+        assert_eq!(g.position(2), Point::new(0.5, 0.5));
+    }
+
+    #[test]
+    fn relocate_returns_old_position() {
+        let mut g = DynamicGrid::build(&[Point::new(0.2, 0.3)], 0.1);
+        let old = g.relocate(0, Point::new(0.8, 0.9));
+        assert_eq!(old, Point::new(0.2, 0.3));
+    }
+
+    #[test]
+    fn random_moves_keep_parity_with_rebuilt_static_index() {
+        let pts = sample_points(300, 4);
+        let mut g = DynamicGrid::build(&pts, 0.04);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let id = rng.gen_range(0..300u32);
+            g.relocate(id, Point::new(rng.gen(), rng.gen()));
+        }
+        let rebuilt = GridIndex::build(g.points(), 0.04);
+        for q in (0..300u32).step_by(23) {
+            assert_eq!(
+                ids(g.neighbors_within_sorted(q, 0.04)),
+                ids(rebuilt.neighbors_within_sorted(q, 0.04)),
+                "query {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_equals_fresh_static_build() {
+        let pts = sample_points(200, 7);
+        let mut g = DynamicGrid::build(&pts, 0.05);
+        g.relocate(0, Point::new(0.42, 0.42));
+        g.relocate(100, Point::new(0.13, 0.99));
+        let snap = g.snapshot();
+        let fresh = GridIndex::build(g.points(), 0.05);
+        for q in (0..200u32).step_by(17) {
+            assert_eq!(
+                ids(snap.neighbors_within_sorted(q, 0.05)),
+                ids(fresh.neighbors_within_sorted(q, 0.05)),
+            );
+        }
+    }
+
+    #[test]
+    fn neighbors_of_point_can_probe_hypothetical_positions() {
+        let pts = vec![Point::new(0.5, 0.5), Point::new(0.52, 0.5)];
+        let g = DynamicGrid::build(&pts, 0.05);
+        let mut out = Vec::new();
+        // Probe a position, excluding nobody.
+        g.neighbors_of_point(Point::new(0.51, 0.5), u32::MAX, 0.05, &mut out);
+        assert_eq!(ids(out.clone()), vec![0, 1]);
+        // Same probe excluding point 0.
+        g.neighbors_of_point(Point::new(0.51, 0.5), 0, 0.05, &mut out);
+        assert_eq!(ids(out), vec![1]);
+    }
+
+    #[test]
+    fn boundary_coordinates_are_handled() {
+        let mut g = DynamicGrid::build(&[Point::new(0.5, 0.5), Point::new(0.999, 0.999)], 0.01);
+        g.relocate(0, Point::new(1.0, 1.0));
+        assert_eq!(ids(g.neighbors_within_sorted(0, 0.01)), vec![1]);
+    }
+}

@@ -18,11 +18,13 @@
 //! experiment in the repository is exactly reproducible.
 
 pub mod dataset;
+pub mod dynamic;
 pub mod grid;
 pub mod point;
 pub mod rect;
 
 pub use dataset::{DatasetSpec, SpatialDistribution};
+pub use dynamic::DynamicGrid;
 pub use grid::GridIndex;
 pub use point::Point;
 pub use rect::Rect;

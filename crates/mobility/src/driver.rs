@@ -1,0 +1,330 @@
+//! Continuous cloaking workload driver.
+//!
+//! Ties the pieces into the pipeline the paper's static evaluation lacks:
+//! every tick the population moves ([`crate::MobileWorld`]), the WPG is
+//! maintained incrementally, clusters whose proximity certificate broke are
+//! retired ([`crate::lifetime`]), and a Poisson stream of cloaking requests
+//! is served through the standard [`nela::CloakingEngine`] with the cluster
+//! registry carried across ticks. The run reports, per tick and in
+//! aggregate:
+//!
+//! - **cluster-reuse rate** — how often a request is answered from a still-
+//!   valid registered cluster (the paper's zero-cost ® path) despite motion,
+//! - **incremental-vs-rebuild speedup** — wall-clock of the dirty-set WPG
+//!   update against a from-scratch `WpgBuilder::build`,
+//! - **anonymity validity** — whether served regions still cover ≥ k users
+//!   at the positions current when they were served.
+
+use crate::lifetime::invalidate_broken_clusters;
+use crate::model::MobilityConfig;
+use crate::world::MobileWorld;
+use nela::{BoundingAlgo, CloakingEngine, ClusteringAlgo, Params};
+use nela_cluster::registry::ClusterRegistry;
+use nela_geo::{GridIndex, UserId};
+use nela_wpg::{InverseDistanceRss, WpgBuilder};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Configuration of a continuous run.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Simulation length in ticks.
+    pub ticks: usize,
+    /// Mean cloaking requests per tick (Poisson).
+    pub rate: f64,
+    /// Seed for the request stream (host choice and arrival counts).
+    pub seed: u64,
+    /// Also time a from-scratch WPG rebuild each tick for the speedup
+    /// metric (doubles the per-tick cost; disable for long runs).
+    pub measure_rebuild: bool,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            ticks: 20,
+            rate: 10.0,
+            seed: 0xC0_FF_EE,
+            measure_rebuild: true,
+        }
+    }
+}
+
+/// Per-tick measurements.
+#[derive(Debug, Clone, Serialize)]
+pub struct TickMetrics {
+    pub tick: usize,
+    /// Users that moved.
+    pub moved: usize,
+    /// Users re-scored by the incremental WPG update.
+    pub dirty: usize,
+    /// Microseconds for the incremental update (moves + graph snapshot).
+    pub incremental_us: u64,
+    /// Microseconds for the from-scratch rebuild (0 when not measured).
+    pub rebuild_us: u64,
+    /// Clusters retired by the lifetime audit this tick.
+    pub invalidated: usize,
+    /// Users released by the audit.
+    pub released: usize,
+    /// Live clusters after the audit.
+    pub active_clusters: usize,
+    /// Requests that arrived.
+    pub requests: usize,
+    /// Requests answered (not failed).
+    pub served: usize,
+    /// Served requests answered from a registered cluster with zero
+    /// clustering cost (the ® path).
+    pub reused: usize,
+    /// Requests whose host could not reach k users.
+    pub failed: usize,
+    /// Served requests whose region covers ≥ k users at current positions.
+    pub valid_served: usize,
+}
+
+/// Aggregate of a whole run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunSummary {
+    pub ticks: usize,
+    pub population: usize,
+    pub mobile_users: usize,
+    pub requests: usize,
+    pub served: usize,
+    pub reused: usize,
+    pub failed: usize,
+    pub valid_served: usize,
+    pub invalidated: usize,
+    pub released: usize,
+    /// Fraction of served requests answered by cluster reuse.
+    pub reuse_rate: f64,
+    /// Fraction of served requests still covering ≥ k users when served.
+    pub validity_rate: f64,
+    /// Mean of per-tick rebuild_us / incremental_us (0 when not measured).
+    pub mean_speedup: f64,
+    pub per_tick: Vec<TickMetrics>,
+}
+
+/// Knuth's product method; exact for the small per-tick rates used here.
+fn poisson(rng: &mut ChaCha8Rng, rate: f64) -> usize {
+    assert!((0.0..700.0).contains(&rate), "rate out of supported range");
+    let l = (-rate).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Runs the continuous workload. Fully deterministic for fixed
+/// `params.seed`, `mobility.seed`, and `config.seed`.
+pub fn run_continuous(
+    params: &Params,
+    mobility: &MobilityConfig,
+    config: &DriverConfig,
+    clustering: ClusteringAlgo,
+    bounding: BoundingAlgo,
+) -> RunSummary {
+    let mut world = MobileWorld::new(params, mobility);
+    let mut registry = ClusterRegistry::new(params.n_users);
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let rebuild_builder = WpgBuilder::new(params.delta, params.max_peers, InverseDistanceRss);
+    let mut per_tick = Vec::with_capacity(config.ticks);
+
+    for tick in 0..config.ticks {
+        // 1. Move the population; fold moves into grid + WPG incrementally.
+        let t0 = Instant::now();
+        let stats = world.tick();
+        let wpg = world.wpg_snapshot();
+        let incremental_us = t0.elapsed().as_micros() as u64;
+
+        // 2. Reference rebuild for the speedup series.
+        let rebuild_us = if config.measure_rebuild {
+            let t1 = Instant::now();
+            let rebuilt = rebuild_builder.build(world.points());
+            let us = t1.elapsed().as_micros() as u64;
+            debug_assert_eq!(rebuilt.m(), wpg.m(), "incremental update diverged");
+            us
+        } else {
+            0
+        };
+
+        // 3. Lifetime audit: retire clusters whose certificate broke.
+        let audit = invalidate_broken_clusters(&mut registry, &wpg);
+
+        // 4. Serve this tick's Poisson batch through the standard engine.
+        let system = nela::System::with_parts(
+            params.clone(),
+            world.points().to_vec(),
+            GridIndex::build(world.points(), params.delta),
+            wpg,
+        );
+        let mut engine = CloakingEngine::with_registry(&system, clustering, bounding, registry);
+        let requests = poisson(&mut rng, config.rate);
+        let mut m = TickMetrics {
+            tick,
+            moved: stats.moved,
+            dirty: stats.dirty,
+            incremental_us,
+            rebuild_us,
+            invalidated: audit.invalidated,
+            released: audit.released,
+            active_clusters: 0,
+            requests,
+            served: 0,
+            reused: 0,
+            failed: 0,
+            valid_served: 0,
+        };
+        for _ in 0..requests {
+            let host: UserId = rng.gen_range(0..params.n_users as u32);
+            match engine.request(host) {
+                Ok(r) => {
+                    m.served += 1;
+                    if r.reused {
+                        m.reused += 1;
+                    }
+                    if system.grid.count_in_rect(&r.region) >= params.k {
+                        m.valid_served += 1;
+                    }
+                }
+                Err(_) => m.failed += 1,
+            }
+        }
+        registry = engine.into_registry();
+        m.active_clusters = registry.active_cluster_count();
+        per_tick.push(m);
+    }
+
+    let sum = |f: fn(&TickMetrics) -> usize| per_tick.iter().map(f).sum::<usize>();
+    let served = sum(|m| m.served);
+    let speedups: Vec<f64> = per_tick
+        .iter()
+        .filter(|m| m.rebuild_us > 0 && m.incremental_us > 0)
+        .map(|m| m.rebuild_us as f64 / m.incremental_us as f64)
+        .collect();
+    RunSummary {
+        ticks: config.ticks,
+        population: params.n_users,
+        mobile_users: world.mobile_users(),
+        requests: sum(|m| m.requests),
+        served,
+        reused: sum(|m| m.reused),
+        failed: sum(|m| m.failed),
+        valid_served: sum(|m| m.valid_served),
+        invalidated: sum(|m| m.invalidated),
+        released: sum(|m| m.released),
+        reuse_rate: sum(|m| m.reused) as f64 / served.max(1) as f64,
+        validity_rate: sum(|m| m.valid_served) as f64 / served.max(1) as f64,
+        mean_speedup: if speedups.is_empty() {
+            0.0
+        } else {
+            speedups.iter().sum::<f64>() / speedups.len() as f64
+        },
+        per_tick,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_run(seed: u64) -> RunSummary {
+        let params = Params {
+            k: 5,
+            ..Params::scaled(1_000)
+        };
+        let config = DriverConfig {
+            ticks: 6,
+            rate: 8.0,
+            seed,
+            measure_rebuild: false,
+        };
+        run_continuous(
+            &params,
+            &MobilityConfig::default(),
+            &config,
+            ClusteringAlgo::TConnDistributed,
+            BoundingAlgo::Optimal,
+        )
+    }
+
+    #[test]
+    fn run_is_deterministic_per_seed() {
+        let a = small_run(7);
+        let b = small_run(7);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.served, b.served);
+        assert_eq!(a.reused, b.reused);
+        assert_eq!(a.invalidated, b.invalidated);
+        for (x, y) in a.per_tick.iter().zip(&b.per_tick) {
+            assert_eq!(
+                (x.moved, x.dirty, x.served, x.reused),
+                (y.moved, y.dirty, y.served, y.reused)
+            );
+        }
+    }
+
+    #[test]
+    fn accounting_is_consistent() {
+        let s = small_run(3);
+        assert_eq!(s.ticks, s.per_tick.len());
+        assert_eq!(s.requests, s.served + s.failed);
+        assert!(s.reused <= s.served);
+        assert!(s.valid_served <= s.served);
+        assert!(s.reuse_rate >= 0.0 && s.reuse_rate <= 1.0);
+    }
+
+    #[test]
+    fn served_regions_are_mostly_valid() {
+        let s = small_run(11);
+        assert!(s.served > 0, "no requests served");
+        // Motion erodes some regions, but the audit keeps the bulk valid.
+        assert!(
+            s.validity_rate > 0.5,
+            "validity collapsed: {}",
+            s.validity_rate
+        );
+    }
+
+    #[test]
+    fn static_population_never_invalidates() {
+        let params = Params {
+            k: 5,
+            ..Params::scaled(800)
+        };
+        let mobility = MobilityConfig {
+            stationary_frac: 1.0,
+            waypoint_frac: 0.0,
+            ..MobilityConfig::default()
+        };
+        let config = DriverConfig {
+            ticks: 4,
+            rate: 6.0,
+            seed: 2,
+            measure_rebuild: false,
+        };
+        let s = run_continuous(
+            &params,
+            &mobility,
+            &config,
+            ClusteringAlgo::TConnDistributed,
+            BoundingAlgo::Optimal,
+        );
+        assert_eq!(s.invalidated, 0);
+        assert_eq!(s.released, 0);
+    }
+
+    #[test]
+    fn mobile_population_reuses_and_invalidates() {
+        let s = small_run(19);
+        // Across 6 ticks at rate 8 over 1k users, some requests land on
+        // already-clustered users (reuse) and motion breaks some clusters.
+        assert!(s.invalidated > 0, "no cluster ever invalidated");
+        assert!(s.reused > 0, "no request ever reused a cluster");
+    }
+}

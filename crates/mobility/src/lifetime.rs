@@ -1,0 +1,157 @@
+//! Cluster lifetime management under mobility.
+//!
+//! A registered cluster was built as a t-connected set of the WPG at some
+//! past tick: every member reached every other through edges of weight at
+//! most the cluster's connectivity `t` (its MEW). Motion erodes that
+//! certificate in two ways:
+//!
+//! - a member drifts out of radio range δ of its cluster peers, deleting
+//!   the edges that connected it, or
+//! - RSS ranks shift so an internal edge's weight rises above `t` (the MEW
+//!   constraint breaks), cutting the t-connectivity path.
+//!
+//! Either way the cluster no longer certifies k-anonymity-by-proximity and
+//! must not be reused. [`invalidate_broken_clusters`] audits every live
+//! cluster against the *current* WPG and retires the broken ones through
+//! [`ClusterRegistry::invalidate`], releasing their members to re-request.
+
+use nela_cluster::registry::{ClusterId, ClusterRegistry};
+use nela_geo::UserId;
+use nela_wpg::Wpg;
+use std::collections::HashSet;
+
+/// Outcome of one lifetime audit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InvalidationReport {
+    /// Live clusters examined.
+    pub checked: usize,
+    /// Clusters retired this audit.
+    pub invalidated: usize,
+    /// Users released back to the unclustered pool.
+    pub released: usize,
+}
+
+/// True when `members` still form a t-connected set in `wpg`: every member
+/// reaches every other through member-internal edges of weight ≤ `t`.
+pub fn cluster_still_valid(wpg: &Wpg, members: &[UserId], t: nela_wpg::Weight) -> bool {
+    if members.len() <= 1 {
+        return true;
+    }
+    let member_set: HashSet<UserId> = members.iter().copied().collect();
+    let mut visited: HashSet<UserId> = HashSet::from([members[0]]);
+    let mut stack = vec![members[0]];
+    while let Some(u) = stack.pop() {
+        for (v, w) in wpg.neighbors(u) {
+            if w <= t && member_set.contains(&v) && visited.insert(v) {
+                stack.push(v);
+            }
+        }
+    }
+    visited.len() == members.len()
+}
+
+/// Retires every live cluster whose t-connectivity certificate no longer
+/// holds in `wpg`.
+pub fn invalidate_broken_clusters(registry: &mut ClusterRegistry, wpg: &Wpg) -> InvalidationReport {
+    let mut report = InvalidationReport::default();
+    let broken: Vec<ClusterId> = registry
+        .active_clusters()
+        .filter(|(_, rc)| {
+            report.checked += 1;
+            !cluster_still_valid(wpg, &rc.cluster.members, rc.cluster.connectivity)
+        })
+        .map(|(id, _)| id)
+        .collect();
+    for id in broken {
+        report.released += registry.invalidate(id);
+        report.invalidated += 1;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nela_cluster::Cluster;
+    use nela_wpg::{Edge, Wpg};
+
+    fn path_graph(weights: &[u32]) -> Wpg {
+        let edges: Vec<Edge> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| Edge::new(i as UserId, i as UserId + 1, w))
+            .collect();
+        Wpg::from_edges(weights.len() + 1, &edges)
+    }
+
+    #[test]
+    fn connected_cluster_is_valid() {
+        let g = path_graph(&[1, 2, 1]);
+        assert!(cluster_still_valid(&g, &[0, 1, 2, 3], 2));
+    }
+
+    #[test]
+    fn raised_edge_weight_breaks_validity() {
+        // Same membership, but the middle edge's weight exceeds t.
+        let g = path_graph(&[1, 3, 1]);
+        assert!(!cluster_still_valid(&g, &[0, 1, 2, 3], 2));
+    }
+
+    #[test]
+    fn missing_member_edge_breaks_validity() {
+        // Member 3 is isolated from {0,1} in the current graph.
+        let g = Wpg::from_edges(4, &[Edge::new(0, 1, 1)]);
+        assert!(!cluster_still_valid(&g, &[0, 1, 3], 2));
+        assert!(cluster_still_valid(&g, &[0, 1], 2));
+    }
+
+    #[test]
+    fn connectivity_must_be_internal_to_the_cluster() {
+        // 0 and 2 are connected only through 1, which is not a member.
+        let g = path_graph(&[1, 1]);
+        assert!(!cluster_still_valid(&g, &[0, 2], 2));
+    }
+
+    #[test]
+    fn audit_retires_only_broken_clusters() {
+        let g = path_graph(&[1, 3, 1]); // edges: 0-1 w1, 1-2 w3, 2-3 w1
+        let mut reg = ClusterRegistry::new(4);
+        let ok = reg.register(Cluster {
+            members: vec![0, 1],
+            connectivity: 1,
+        });
+        let broken = reg.register(Cluster {
+            members: vec![2, 3],
+            connectivity: 1,
+        });
+        // Break the second cluster by auditing against a graph without its
+        // edge.
+        let g2 = Wpg::from_edges(4, &[Edge::new(0, 1, 1)]);
+        let _ = g;
+        let report = invalidate_broken_clusters(&mut reg, &g2);
+        assert_eq!(
+            report,
+            InvalidationReport {
+                checked: 2,
+                invalidated: 1,
+                released: 2
+            }
+        );
+        assert!(!reg.get(ok).retired);
+        assert!(reg.get(broken).retired);
+        assert_eq!(reg.reciprocity_violation(), None);
+    }
+
+    #[test]
+    fn audit_is_stable_when_nothing_breaks() {
+        let g = path_graph(&[1, 1, 1]);
+        let mut reg = ClusterRegistry::new(4);
+        reg.register(Cluster {
+            members: vec![0, 1, 2, 3],
+            connectivity: 1,
+        });
+        let report = invalidate_broken_clusters(&mut reg, &g);
+        assert_eq!(report.invalidated, 0);
+        assert_eq!(reg.active_cluster_count(), 1);
+    }
+}

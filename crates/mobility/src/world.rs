@@ -1,0 +1,149 @@
+//! A population whose grid index and WPG track its motion incrementally.
+
+use crate::model::{MobilityConfig, MobilityField};
+use nela::{Params, System};
+use nela_geo::{DatasetSpec, Point};
+use nela_wpg::{IncrementalWpg, InverseDistanceRss, UpdateStats, Wpg, WpgBuilder};
+
+/// Counters for one [`MobileWorld::tick`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickStats {
+    /// Users that moved this tick.
+    pub moved: usize,
+    /// Users whose WPG rank list was recomputed (movers + δ-neighborhoods).
+    pub dirty: usize,
+}
+
+/// The live state of a mobile deployment: positions, the dynamic grid, and
+/// the incrementally maintained WPG, all stepped together.
+pub struct MobileWorld {
+    params: Params,
+    field: MobilityField,
+    wpg: IncrementalWpg<InverseDistanceRss>,
+}
+
+impl MobileWorld {
+    /// Generates the initial population from `params` (same seeded dataset
+    /// path as [`System::build`]) and attaches the mobility mixture.
+    pub fn new(params: &Params, mobility: &MobilityConfig) -> Self {
+        let spec = DatasetSpec {
+            n: params.n_users,
+            seed: params.seed,
+            distribution: params.distribution.clone(),
+        };
+        let points = spec.generate();
+        Self::from_points(params, mobility, &points)
+    }
+
+    /// Attaches motion and incremental maintenance to an existing snapshot.
+    pub fn from_points(params: &Params, mobility: &MobilityConfig, points: &[Point]) -> Self {
+        let builder = WpgBuilder::new(params.delta, params.max_peers, InverseDistanceRss);
+        MobileWorld {
+            params: params.clone(),
+            field: MobilityField::new(points.len(), mobility),
+            wpg: IncrementalWpg::new(builder, points),
+        }
+    }
+
+    /// Current positions.
+    pub fn points(&self) -> &[Point] {
+        self.wpg.points()
+    }
+
+    /// The parameters this world runs under.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Users that can ever move.
+    pub fn mobile_users(&self) -> usize {
+        self.field.mobile_users()
+    }
+
+    /// Advances the population one tick and folds the moves into the grid
+    /// and WPG incrementally.
+    pub fn tick(&mut self) -> TickStats {
+        let moves = self.field.step(self.wpg.points());
+        let UpdateStats { moved, dirty } = self.wpg.apply_moves(&moves);
+        TickStats { moved, dirty }
+    }
+
+    /// Materializes the current WPG (exactly the from-scratch graph, see
+    /// `nela_wpg::incremental`).
+    pub fn wpg_snapshot(&self) -> Wpg {
+        self.wpg.snapshot()
+    }
+
+    /// Freezes the current state into a [`System`] the cloaking engine can
+    /// serve from.
+    pub fn system_snapshot(&self) -> System {
+        System::with_parts(
+            self.params.clone(),
+            self.wpg.points().to_vec(),
+            self.wpg.grid().snapshot(),
+            self.wpg.snapshot(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> Params {
+        Params {
+            k: 5,
+            ..Params::scaled(1_000)
+        }
+    }
+
+    #[test]
+    fn tick_moves_mobile_users_only() {
+        let params = small_params();
+        let cfg = MobilityConfig {
+            stationary_frac: 0.6,
+            ..MobilityConfig::default()
+        };
+        let mut world = MobileWorld::new(&params, &cfg);
+        let stats = world.tick();
+        assert_eq!(stats.moved, world.mobile_users());
+        assert!(stats.dirty >= stats.moved);
+    }
+
+    #[test]
+    fn snapshot_matches_full_rebuild_after_ticks() {
+        let params = small_params();
+        let mut world = MobileWorld::new(&params, &MobilityConfig::default());
+        for _ in 0..3 {
+            world.tick();
+        }
+        let rebuilt = WpgBuilder::new(params.delta, params.max_peers, InverseDistanceRss)
+            .build(world.points());
+        let a: Vec<_> = world.wpg_snapshot().edges().collect();
+        let b: Vec<_> = rebuilt.edges().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn system_snapshot_is_servable() {
+        let params = small_params();
+        let mut world = MobileWorld::new(&params, &MobilityConfig::default());
+        world.tick();
+        let system = world.system_snapshot();
+        assert_eq!(system.points.len(), 1_000);
+        assert_eq!(system.wpg.n(), 1_000);
+        assert_eq!(system.grid.len(), 1_000);
+    }
+
+    #[test]
+    fn worlds_are_seed_deterministic() {
+        let params = small_params();
+        let cfg = MobilityConfig::default();
+        let mut a = MobileWorld::new(&params, &cfg);
+        let mut b = MobileWorld::new(&params, &cfg);
+        for _ in 0..4 {
+            assert_eq!(a.tick(), b.tick());
+        }
+        assert_eq!(a.points(), b.points());
+    }
+}

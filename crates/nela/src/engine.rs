@@ -124,9 +124,52 @@ impl<'a> CloakingEngine<'a> {
         }
     }
 
+    /// Creates an engine that continues serving over an existing registry —
+    /// the continuous-pipeline case where the [`System`] snapshot is rebuilt
+    /// after a mobility tick but cluster assignments (minus invalidated
+    /// ones) survive. Meaningful for the distributed algorithm; the
+    /// centralized/hilbASR modes would re-cluster the whole population on
+    /// top of the carried assignments.
+    ///
+    /// # Panics
+    /// Panics if the registry population differs from the system's.
+    pub fn with_registry(
+        system: &'a System,
+        clustering: ClusteringAlgo,
+        bounding: BoundingAlgo,
+        registry: ClusterRegistry,
+    ) -> Self {
+        assert_eq!(
+            registry.population(),
+            system.points.len(),
+            "registry population does not match system"
+        );
+        CloakingEngine {
+            system,
+            clustering,
+            bounding,
+            registry,
+            centralized_built: false,
+            carried_messages: 0,
+            knn_taken: vec![false; system.points.len()],
+        }
+    }
+
     /// Read access to the shared registry (audits, tests).
     pub fn registry(&self) -> &ClusterRegistry {
         &self.registry
+    }
+
+    /// Mutable access to the shared registry (cluster lifetime management:
+    /// the mobility driver invalidates clusters whose members drifted apart).
+    pub fn registry_mut(&mut self) -> &mut ClusterRegistry {
+        &mut self.registry
+    }
+
+    /// Consumes the engine, returning the registry so it can be carried into
+    /// the next tick's engine via [`CloakingEngine::with_registry`].
+    pub fn into_registry(self) -> ClusterRegistry {
+        self.registry
     }
 
     /// Serves one cloaking request.

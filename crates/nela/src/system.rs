@@ -45,6 +45,20 @@ impl System {
         }
     }
 
+    /// Assembles a system from pre-built parts. Used by the continuous
+    /// mobility pipeline, which maintains positions, grid, and WPG
+    /// incrementally across ticks instead of regenerating them.
+    pub fn with_parts(params: Params, points: Vec<Point>, grid: GridIndex, wpg: Wpg) -> System {
+        assert_eq!(points.len(), grid.len(), "grid does not match points");
+        assert_eq!(points.len(), wpg.n(), "wpg does not match points");
+        System {
+            params,
+            points,
+            grid,
+            wpg,
+        }
+    }
+
     /// A reproducible sequence of `s` distinct host users (the paper's
     /// workload: S users out of the population request cloaking).
     pub fn host_sequence(&self, s: usize, seed: u64) -> Vec<UserId> {

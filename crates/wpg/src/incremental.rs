@@ -1,0 +1,330 @@
+//! Incremental WPG maintenance under user mobility.
+//!
+//! [`crate::WpgBuilder`] recomputes every user's δ-range query, RSS scores,
+//! and top-M rank list on each call — O(n · m log m) per snapshot. When only
+//! a fraction of the population moves between snapshots, almost all of that
+//! work is redundant: a user's rank list can only change when some *mover*
+//! was within radio range of it before the move or is within range after.
+//!
+//! [`IncrementalWpg`] exploits that locality. It owns a
+//! [`nela_geo::DynamicGrid`] plus the per-user rank lists, and on
+//! [`IncrementalWpg::apply_moves`]:
+//!
+//! 1. relocates the movers in the grid (O(1) amortized each),
+//! 2. computes the **dirty set** — the movers plus every user strictly
+//!    within δ of a mover's old or new position,
+//! 3. re-runs the δ-query + RSS-sort + truncate-to-M pipeline for dirty
+//!    users only.
+//!
+//! **Exactness.** A user `u` outside the dirty set has the same in-range
+//! peer set before and after the batch (no mover entered or left its δ-ball),
+//! and every retained peer `v` is a non-mover whose position — and hence
+//! RSS score at `u` — is unchanged. The sort key `(rss desc, id asc)` is a
+//! total order, so `u`'s rank list is bit-identical to what a from-scratch
+//! build would produce. [`IncrementalWpg::snapshot`] therefore reconstructs
+//! a graph equal (vertices, edges, weights) to
+//! `WpgBuilder::build(current positions)`; the property test
+//! `tests/incremental_equivalence.rs` checks this on random move batches.
+
+use crate::builder::WpgBuilder;
+use crate::graph::{Edge, Wpg};
+use crate::rss::RssModel;
+use nela_geo::{DynamicGrid, Point, UserId};
+
+/// Counters describing one [`IncrementalWpg::apply_moves`] batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Moves applied (after deduplication the last position per id wins).
+    pub moved: usize,
+    /// Users whose rank list was recomputed (movers + δ-neighborhoods).
+    pub dirty: usize,
+}
+
+/// A WPG kept up to date under a stream of position updates.
+#[derive(Debug, Clone)]
+pub struct IncrementalWpg<R: RssModel> {
+    builder: WpgBuilder<R>,
+    grid: DynamicGrid,
+    /// Per-user top-M peer list with 1-based RSS ranks — the same state
+    /// `WpgBuilder::build_with_index` derives internally.
+    rank_of: Vec<Vec<(UserId, u32)>>,
+    /// Scratch buffers reused across updates.
+    buf: Vec<(UserId, f64)>,
+    scored: Vec<(f64, UserId)>,
+    dirty_mark: Vec<bool>,
+    dirty_ids: Vec<UserId>,
+}
+
+impl<R: RssModel> IncrementalWpg<R> {
+    /// Builds the initial state from scratch over `points`.
+    pub fn new(builder: WpgBuilder<R>, points: &[Point]) -> Self {
+        let grid = DynamicGrid::build(points, builder.delta);
+        let n = points.len();
+        let mut this = IncrementalWpg {
+            builder,
+            grid,
+            rank_of: vec![Vec::new(); n],
+            buf: Vec::new(),
+            scored: Vec::new(),
+            dirty_mark: vec![false; n],
+            dirty_ids: Vec::new(),
+        };
+        for u in 0..n as UserId {
+            this.rescore(u);
+        }
+        this
+    }
+
+    /// Number of users.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rank_of.len()
+    }
+
+    /// True when the population is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rank_of.is_empty()
+    }
+
+    /// Current positions, indexed by id.
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        self.grid.points()
+    }
+
+    /// The underlying mutable grid (for δ-queries against current state).
+    #[inline]
+    pub fn grid(&self) -> &DynamicGrid {
+        &self.grid
+    }
+
+    /// The radio range δ this graph is maintained under.
+    #[inline]
+    pub fn delta(&self) -> f64 {
+        self.builder.delta
+    }
+
+    /// `u`'s current top-M peer list as `(peer, 1-based rank)`.
+    #[inline]
+    pub fn peers_of(&self, u: UserId) -> &[(UserId, u32)] {
+        &self.rank_of[u as usize]
+    }
+
+    /// Recomputes `u`'s top-M rank list from the current grid. Identical
+    /// pipeline to `WpgBuilder::build_with_index`.
+    fn rescore(&mut self, u: UserId) {
+        self.grid
+            .neighbors_within(u, self.builder.delta, &mut self.buf);
+        let points = self.grid.points();
+        let pu = points[u as usize];
+        self.scored.clear();
+        self.scored.extend(
+            self.buf
+                .iter()
+                .map(|&(v, _)| (self.builder.rss.rss(u, pu, v, points[v as usize]), v)),
+        );
+        self.scored
+            .sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        self.scored.truncate(self.builder.max_peers);
+        self.rank_of[u as usize].clear();
+        self.rank_of[u as usize].extend(
+            self.scored
+                .iter()
+                .enumerate()
+                .map(|(i, &(_, v))| (v, i as u32 + 1)),
+        );
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, u: UserId) {
+        if !self.dirty_mark[u as usize] {
+            self.dirty_mark[u as usize] = true;
+            self.dirty_ids.push(u);
+        }
+    }
+
+    /// Applies a batch of position updates and restores WPG exactness.
+    ///
+    /// When the same id appears multiple times in `moves`, positions are
+    /// applied in order and the last one wins. Returns the batch counters.
+    pub fn apply_moves(&mut self, moves: &[(UserId, Point)]) -> UpdateStats {
+        // Phase 1: relocate everyone, remembering each mover's old position.
+        // (Relocating first means the δ-queries below all run against final
+        // positions, so a mover probed near another mover's old spot cannot
+        // be missed.)
+        let mut old_positions: Vec<(UserId, Point)> = Vec::with_capacity(moves.len());
+        for &(id, pos) in moves {
+            let old = self.grid.relocate(id, pos);
+            old_positions.push((id, old));
+        }
+
+        // Phase 2: dirty set = movers ∪ { users within δ of a mover's old or
+        // new position }. Queries probe positions (not ids) so the mover's
+        // vacated location can still be searched.
+        let delta = self.builder.delta;
+        let mut probe: Vec<(UserId, f64)> = Vec::new();
+        for &(id, old) in &old_positions {
+            self.mark_dirty(id);
+            self.grid.neighbors_of_point(old, id, delta, &mut probe);
+            for &(v, _) in &probe {
+                self.mark_dirty(v);
+            }
+            let new_pos = self.grid.position(id);
+            self.grid.neighbors_of_point(new_pos, id, delta, &mut probe);
+            for &(v, _) in &probe {
+                self.mark_dirty(v);
+            }
+        }
+
+        // Phase 3: re-score dirty users only.
+        let dirty = std::mem::take(&mut self.dirty_ids);
+        for &u in &dirty {
+            self.rescore(u);
+        }
+        for &u in &dirty {
+            self.dirty_mark[u as usize] = false;
+        }
+        let stats = UpdateStats {
+            moved: moves.len(),
+            dirty: dirty.len(),
+        };
+        self.dirty_ids = dirty;
+        self.dirty_ids.clear();
+        stats
+    }
+
+    /// Materializes the current graph. Runs only the mutual min-rank edge
+    /// pass (O(n · M)); the expensive δ-query/sort work is already folded
+    /// into the maintained rank lists.
+    pub fn snapshot(&self) -> Wpg {
+        let n = self.rank_of.len();
+        let mut edges = Vec::new();
+        for u in 0..n as UserId {
+            for &(v, rank_v_at_u) in &self.rank_of[u as usize] {
+                if v <= u {
+                    continue;
+                }
+                if let Some(&(_, rank_u_at_v)) =
+                    self.rank_of[v as usize].iter().find(|&&(x, _)| x == u)
+                {
+                    edges.push(Edge::new(u, v, rank_v_at_u.min(rank_u_at_v)));
+                }
+            }
+        }
+        Wpg::from_edges(n, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rss::{InverseDistanceRss, LogDistanceRss};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| Point::new(rng.gen(), rng.gen())).collect()
+    }
+
+    fn assert_graphs_equal(a: &Wpg, b: &Wpg) {
+        assert_eq!(a.n(), b.n());
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn fresh_state_matches_builder() {
+        let pts = random_points(300, 11);
+        let builder = WpgBuilder::new(0.08, 6, InverseDistanceRss);
+        let inc = IncrementalWpg::new(builder.clone(), &pts);
+        assert_graphs_equal(&inc.snapshot(), &builder.build(&pts));
+    }
+
+    #[test]
+    fn single_move_matches_rebuild() {
+        let pts = random_points(200, 3);
+        let builder = WpgBuilder::new(0.1, 5, InverseDistanceRss);
+        let mut inc = IncrementalWpg::new(builder.clone(), &pts);
+        let stats = inc.apply_moves(&[(17, Point::new(0.5, 0.5))]);
+        assert!(stats.dirty >= 1);
+        assert_graphs_equal(&inc.snapshot(), &builder.build(inc.points()));
+    }
+
+    #[test]
+    fn batched_moves_match_rebuild_across_ticks() {
+        let pts = random_points(400, 8);
+        let builder = WpgBuilder::new(0.07, 6, InverseDistanceRss);
+        let mut inc = IncrementalWpg::new(builder.clone(), &pts);
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        for _tick in 0..10 {
+            let moves: Vec<(UserId, Point)> = (0..40)
+                .map(|_| (rng.gen_range(0..400u32), Point::new(rng.gen(), rng.gen())))
+                .collect();
+            inc.apply_moves(&moves);
+            assert_graphs_equal(&inc.snapshot(), &builder.build(inc.points()));
+        }
+    }
+
+    #[test]
+    fn works_with_noisy_rss_model() {
+        // Exactness must not depend on the RSS model being distance-monotone.
+        let pts = random_points(250, 5);
+        let builder = WpgBuilder::new(0.09, 5, LogDistanceRss::default());
+        let mut inc = IncrementalWpg::new(builder.clone(), &pts);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let moves: Vec<(UserId, Point)> = (0..25)
+            .map(|_| (rng.gen_range(0..250u32), Point::new(rng.gen(), rng.gen())))
+            .collect();
+        inc.apply_moves(&moves);
+        assert_graphs_equal(&inc.snapshot(), &builder.build(inc.points()));
+    }
+
+    #[test]
+    fn duplicate_ids_in_batch_last_position_wins() {
+        let pts = random_points(100, 9);
+        let builder = WpgBuilder::new(0.1, 4, InverseDistanceRss);
+        let mut inc = IncrementalWpg::new(builder.clone(), &pts);
+        inc.apply_moves(&[
+            (3, Point::new(0.2, 0.2)),
+            (3, Point::new(0.9, 0.9)),
+            (3, Point::new(0.4, 0.6)),
+        ]);
+        assert_eq!(inc.points()[3], Point::new(0.4, 0.6));
+        assert_graphs_equal(&inc.snapshot(), &builder.build(inc.points()));
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let pts = random_points(120, 2);
+        let builder = WpgBuilder::new(0.1, 4, InverseDistanceRss);
+        let mut inc = IncrementalWpg::new(builder.clone(), &pts);
+        let before: Vec<_> = inc.snapshot().edges().collect();
+        let stats = inc.apply_moves(&[]);
+        assert_eq!(stats, UpdateStats { moved: 0, dirty: 0 });
+        let after: Vec<_> = inc.snapshot().edges().collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn dirty_set_is_local_for_small_moves() {
+        // A single short move in a sparse corner must not dirty the whole
+        // population.
+        let pts = random_points(1000, 14);
+        let builder = WpgBuilder::new(0.03, 6, InverseDistanceRss);
+        let mut inc = IncrementalWpg::new(builder, &pts);
+        let from = inc.points()[0];
+        let nudged = Point::new(
+            (from.x + 0.001).clamp(0.0, 1.0),
+            (from.y + 0.001).clamp(0.0, 1.0),
+        );
+        let stats = inc.apply_moves(&[(0, nudged)]);
+        assert!(
+            stats.dirty < 100,
+            "a 0.001 nudge dirtied {} of 1000 users",
+            stats.dirty
+        );
+    }
+}

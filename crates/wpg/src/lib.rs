@@ -12,6 +12,9 @@
 //! - [`graph`] — a compact CSR representation of the WPG ([`Wpg`]),
 //! - [`builder`] — construction of a WPG from user positions under a radio
 //!   range δ and a peer cap M, with the paper's mutual-rank edge weights,
+//! - [`incremental`] — incremental maintenance of the WPG under mobility:
+//!   only users in the δ-neighborhood of a move are re-scored, with an
+//!   exact-equivalence guarantee against a from-scratch build,
 //! - [`connectivity`] — t-connectivity primitives (Definition 4.1) and a
 //!   union-find used by the clustering algorithms,
 //! - [`topology`] — synthetic graph topologies (ring lattice, small world,
@@ -21,12 +24,14 @@
 pub mod builder;
 pub mod connectivity;
 pub mod graph;
+pub mod incremental;
 pub mod rss;
 pub mod topology;
 
 pub use builder::WpgBuilder;
 pub use connectivity::DisjointSets;
 pub use graph::{Edge, Wpg};
+pub use incremental::{IncrementalWpg, UpdateStats};
 pub use rss::{InverseDistanceRss, LogDistanceRss, RssModel};
 
 /// Edge weights are small positive integers: RSS ranks (1..=M) in built

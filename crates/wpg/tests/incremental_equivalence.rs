@@ -1,0 +1,84 @@
+//! Property test: incremental WPG maintenance is *exactly* equivalent to a
+//! from-scratch rebuild — same vertices, same edges, same weights — after
+//! any seeded batch of moves. This is the correctness contract the
+//! `nela-mobility` continuous pipeline relies on.
+
+use nela_geo::Point;
+use nela_wpg::{IncrementalWpg, InverseDistanceRss, WpgBuilder};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn random_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n).map(|_| Point::new(rng.gen(), rng.gen())).collect()
+}
+
+fn edges_of(g: &nela_wpg::Wpg) -> Vec<nela_wpg::Edge> {
+    g.edges().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After an arbitrary seeded batch of moves (arbitrary size, arbitrary
+    /// targets, duplicates allowed via modulo), the maintained graph equals
+    /// the rebuilt one.
+    #[test]
+    fn incremental_equals_rebuild(
+        seed in 0u64..1_000_000,
+        n in 50usize..300,
+        batches in 1usize..5,
+        moves_per_batch in 1usize..60,
+        delta in 0.03f64..0.12,
+        m in 3usize..9,
+    ) {
+        let pts = random_points(n, seed);
+        let builder = WpgBuilder::new(delta, m, InverseDistanceRss);
+        let mut inc = IncrementalWpg::new(builder.clone(), &pts);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xD1FF);
+        for _ in 0..batches {
+            let moves: Vec<(u32, Point)> = (0..moves_per_batch)
+                .map(|_| {
+                    (
+                        rng.gen_range(0..n as u32),
+                        Point::new(rng.gen(), rng.gen()),
+                    )
+                })
+                .collect();
+            inc.apply_moves(&moves);
+            let rebuilt = builder.build(inc.points());
+            let snap = inc.snapshot();
+            prop_assert_eq!(snap.n(), rebuilt.n());
+            prop_assert_eq!(edges_of(&snap), edges_of(&rebuilt));
+        }
+    }
+
+    /// Small local drifts (the common mobility-model case) also stay exact,
+    /// exercising the dirty-set path where old and new δ-balls overlap.
+    #[test]
+    fn local_drift_equals_rebuild(
+        seed in 0u64..1_000_000,
+        n in 100usize..400,
+        step in 0.0005f64..0.02,
+    ) {
+        let pts = random_points(n, seed);
+        let builder = WpgBuilder::new(0.05, 6, InverseDistanceRss);
+        let mut inc = IncrementalWpg::new(builder.clone(), &pts);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(3) ^ 0xBEEF);
+        let moves: Vec<(u32, Point)> = (0..n / 10)
+            .map(|_| {
+                let id = rng.gen_range(0..n as u32);
+                let p = inc.points()[id as usize];
+                let q = Point::new(
+                    (p.x + rng.gen_range(-step..step)).clamp(0.0, 1.0),
+                    (p.y + rng.gen_range(-step..step)).clamp(0.0, 1.0),
+                );
+                (id, q)
+            })
+            .collect();
+        inc.apply_moves(&moves);
+        let rebuilt = builder.build(inc.points());
+        prop_assert_eq!(edges_of(&inc.snapshot()), edges_of(&rebuilt));
+    }
+}

@@ -1,0 +1,237 @@
+//! Offline vendored subset of `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], `criterion_group!`/`criterion_main!` —
+//! with a simple timing loop instead of criterion's statistical machinery:
+//! each benchmark is warmed up once, then timed over `sample_size`
+//! batches and reported as mean time per iteration on stdout. Good enough
+//! to compare alternatives on the same machine, which is all the repo's
+//! benches are used for offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier combining a function name and a parameter display value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form (group name supplies the rest).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Drives one benchmark's timing loop.
+pub struct Bencher {
+    /// Mean wall time per iteration, filled by [`Bencher::iter`].
+    elapsed_per_iter: Duration,
+    iters_done: u64,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Times `f`, adaptively choosing an iteration count so the measurement
+    /// lasts long enough to be readable above timer resolution.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: find an iteration count taking ≥ ~5 ms.
+        let mut iters: u64 = 1;
+        let per_once = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break took / iters.max(1) as u32;
+            }
+            iters *= 8;
+        };
+        // Measurement: `samples` batches of the calibrated count.
+        let mut total = Duration::ZERO;
+        let mut n = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            total += start.elapsed();
+            n += iters;
+        }
+        self.elapsed_per_iter = if n > 0 { total / n as u32 } else { per_once };
+        self.iters_done = n;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measurement batches (criterion's sample count analogue).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Accepted for API compatibility; the simple loop has no fixed
+    /// measurement window.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, f: F) {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, self.samples, f);
+    }
+
+    /// Benchmarks `f` with an input reference, criterion-style.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&label, self.samples, |b| f(b, input));
+    }
+
+    /// Ends the group (printing already happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.default_samples;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let samples = self.default_samples;
+        self.run_one(name, samples, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, samples: usize, mut f: F) {
+        let mut bencher = Bencher {
+            elapsed_per_iter: Duration::ZERO,
+            iters_done: 0,
+            samples,
+        };
+        f(&mut bencher);
+        println!(
+            "{label:<50} {:>12} /iter  ({} iterations)",
+            format_duration(bencher.elapsed_per_iter),
+            bencher.iters_done
+        );
+    }
+}
+
+/// Human-readable duration with criterion-like units.
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("build", 500).to_string(), "build/500");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn format_duration_units() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(format_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(12)).ends_with("ms"));
+    }
+}

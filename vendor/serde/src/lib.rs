@@ -1,0 +1,406 @@
+//! Offline vendored subset of `serde`.
+//!
+//! Upstream serde's zero-copy visitor architecture is far more than this
+//! workspace needs: every use site serializes small result/parameter structs
+//! to JSON or round-trips them in tests. This vendored replacement uses a
+//! simple tree model — [`Content`] — with [`Serialize`] producing a tree and
+//! [`Deserialize`] consuming one. The `#[derive(Serialize, Deserialize)]`
+//! macros (re-exported from the sibling `serde_derive` proc-macro crate)
+//! generate field-by-field tree conversions for structs with named fields
+//! and for enums with unit/newtype/struct variants, using serde's externally
+//! tagged enum representation so the JSON shape matches upstream.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A serialized value tree — the interchange format between `Serialize`,
+/// `Deserialize`, and the `serde_json` front end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    /// Signed integers (also carries unsigned values ≤ `i64::MAX`).
+    Int(i64),
+    /// Unsigned values above `i64::MAX`.
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Key–value pairs in insertion order (JSON objects; struct fields).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Map lookup by key.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i128` when it is any integer form.
+    pub fn as_integer(&self) -> Option<i128> {
+        match self {
+            Content::Int(i) => Some(*i as i128),
+            Content::UInt(u) => Some(*u as i128),
+            // Floats that are exactly integral deserialize into int fields
+            // (JSON has one number type).
+            Content::Float(f) if f.fract() == 0.0 && f.abs() < 2f64.powi(53) => Some(*f as i128),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` when it is any numeric form.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Content::Int(i) => Some(*i as f64),
+            Content::UInt(u) => Some(*u as f64),
+            Content::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Content {
+    /// Compact JSON — what `println!("{}", serde_json::json!(...))` prints.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Content::Null => f.write_str("null"),
+            Content::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
+            Content::Int(i) => write!(f, "{i}"),
+            Content::UInt(u) => write!(f, "{u}"),
+            Content::Float(x) if x.is_finite() => write!(f, "{x:?}"),
+            Content::Float(_) => f.write_str("null"),
+            Content::Str(s) => {
+                f.write_str("\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => f.write_str("\\\"")?,
+                        '\\' => f.write_str("\\\\")?,
+                        '\n' => f.write_str("\\n")?,
+                        '\r' => f.write_str("\\r")?,
+                        '\t' => f.write_str("\\t")?,
+                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                f.write_str("\"")
+            }
+            Content::Seq(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Content::Map(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{}:{v}", Content::Str(k.clone()))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// A deserialization failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Convenience constructor used by generated code.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types convertible to a [`Content`] tree.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// Types reconstructible from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+// ---- Serialize impls for primitives and std containers ----
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::Int(*self as i64) }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+impl Serialize for u64 {
+    fn to_content(&self) -> Content {
+        if *self <= i64::MAX as u64 {
+            Content::Int(*self as i64)
+        } else {
+            Content::UInt(*self)
+        }
+    }
+}
+
+impl Serialize for usize {
+    fn to_content(&self) -> Content {
+        (*self as u64).to_content()
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::Float(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![
+            self.0.to_content(),
+            self.1.to_content(),
+            self.2.to_content(),
+        ])
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+// ---- Deserialize impls ----
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let i = c.as_integer().ok_or_else(|| {
+                    DeError::msg(format!("expected integer, got {c:?}"))
+                })?;
+                <$t>::try_from(i).map_err(|_| {
+                    DeError::msg(format!("integer {i} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_float()
+            .ok_or_else(|| DeError::msg(format!("expected number, got {c:?}")))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        f64::from_content(c).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(DeError::msg(format!("expected bool, got {c:?}"))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::msg(format!("expected string, got {c:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(DeError::msg(format!("expected array, got {c:?}"))),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) if items.len() == 2 => {
+                Ok((A::from_content(&items[0])?, B::from_content(&items[1])?))
+            }
+            _ => Err(DeError::msg(format!("expected 2-element array, got {c:?}"))),
+        }
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(c.clone())
+    }
+}
+
+/// Helpers the derive macro expands to (kept out of the trait namespace).
+pub mod __private {
+    use super::{Content, DeError};
+
+    /// Struct-field lookup with a missing-field error naming the field.
+    pub fn field<'c>(c: &'c Content, ty: &str, name: &str) -> Result<&'c Content, DeError> {
+        c.get(name)
+            .ok_or_else(|| DeError::msg(format!("missing field `{name}` for {ty}")))
+    }
+
+    /// Externally tagged enum dispatch: `"Variant"` or `{"Variant": data}`.
+    pub fn variant<'c>(
+        c: &'c Content,
+        ty: &str,
+    ) -> Result<(&'c str, Option<&'c Content>), DeError> {
+        match c {
+            Content::Str(name) => Ok((name, None)),
+            Content::Map(pairs) if pairs.len() == 1 => Ok((pairs[0].0.as_str(), Some(&pairs[0].1))),
+            _ => Err(DeError::msg(format!(
+                "expected externally tagged {ty} variant, got {c:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        assert_eq!(u32::from_content(&42u32.to_content()), Ok(42));
+        assert_eq!(f64::from_content(&1.5f64.to_content()), Ok(1.5));
+        assert_eq!(bool::from_content(&true.to_content()), Ok(true));
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn u64_above_i64_max() {
+        let big = u64::MAX - 1;
+        assert_eq!(u64::from_content(&big.to_content()), Ok(big));
+    }
+
+    #[test]
+    fn int_range_errors() {
+        assert!(u8::from_content(&Content::Int(300)).is_err());
+        assert!(u32::from_content(&Content::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn vec_and_option() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_content(&v.to_content()), Ok(v));
+        assert_eq!(Option::<u32>::from_content(&Content::Null), Ok(None));
+        assert_eq!(
+            Option::<u32>::from_content(&Content::Int(5)),
+            Ok(Some(5u32))
+        );
+    }
+
+    #[test]
+    fn float_accepts_integral_json_number() {
+        // `1.0` may print as `1.0` but other encoders write `1`.
+        assert_eq!(f64::from_content(&Content::Int(1)), Ok(1.0));
+    }
+}

@@ -1,0 +1,425 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the vendored
+//! serde subset.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): a small
+//! hand-rolled token walker extracts the type's shape and the impls are
+//! emitted as source strings. Supported shapes — the ones the workspace
+//! uses — are structs with named fields and enums with unit, newtype, and
+//! struct variants; anything else produces a `compile_error!` naming the
+//! limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+/// The parsed shape of the deriving type.
+enum Shape {
+    Struct { fields: Vec<String> },
+    Enum { variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this many fields (1 = newtype).
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => {
+            let body = match (&shape, mode) {
+                (Shape::Struct { fields }, Mode::Serialize) => ser_struct(&name, fields),
+                (Shape::Struct { fields }, Mode::Deserialize) => de_struct(&name, fields),
+                (Shape::Enum { variants }, Mode::Serialize) => ser_enum(&name, variants),
+                (Shape::Enum { variants }, Mode::Deserialize) => de_enum(&name, variants),
+            };
+            body.parse().expect("generated impl must parse")
+        }
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error token"),
+    }
+}
+
+/// Extracts the type name and shape from the derive input tokens.
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) if *id.to_string() == *"struct" => "struct",
+        Some(TokenTree::Ident(id)) if *id.to_string() == *"enum" => "enum",
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde derive does not support generics (type `{name}`)"
+        ));
+    }
+    // The body group (braces). Tuple structs have a paren group here.
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "vendored serde derive does not support tuple structs (type `{name}`)"
+                ));
+            }
+            Some(_) => i += 1,
+            None => return Err(format!("no body found for type `{name}`")),
+        }
+    };
+    let inner: Vec<TokenTree> = body.stream().into_iter().collect();
+    let shape = if kind == "struct" {
+        Shape::Struct {
+            fields: parse_named_fields(&inner)?,
+        }
+    } else {
+        Shape::Enum {
+            variants: parse_variants(&inner)?,
+        }
+    };
+    Ok((name, shape))
+}
+
+/// Advances past `#[...]` attributes (incl. doc comments) and `pub`
+/// visibility with optional `(crate)` restriction.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) if *id.to_string() == *"pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // (crate) / (super)
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        skip_type(tokens, &mut i);
+        fields.push(name);
+        // Optional trailing comma already consumed by skip_type.
+    }
+    Ok(fields)
+}
+
+/// Advances past a type, stopping after the top-level `,` (or at the end).
+/// Tracks `<...>` nesting so commas inside generics don't terminate early.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Parses enum variants.
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantKind::Struct(parse_named_fields(&inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(&inner))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip discriminant (`= expr`) if present, then the separating comma.
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+/// Number of fields in a tuple-variant field list (top-level comma count).
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                n += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        n -= 1;
+    }
+    n
+}
+
+// ---- Code generation ----
+
+fn ser_struct(name: &str, fields: &[String]) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), ::serde::Serialize::to_content(&self.{f}))"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 ::serde::Content::Map(::std::vec![{}])\n\
+             }}\n\
+         }}",
+        pairs.join(", ")
+    )
+}
+
+fn de_struct(name: &str, fields: &[String]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_content(\
+                     ::serde::__private::field(__c, {name:?}, {f:?})?)?"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(__c: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 ::std::result::Result::Ok({name} {{ {} }})\n\
+             }}\n\
+         }}",
+        inits.join(", ")
+    )
+}
+
+fn ser_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => format!(
+                    "{name}::{vname} => \
+                         ::serde::Content::Str(::std::string::String::from({vname:?})),"
+                ),
+                VariantKind::Tuple(1) => format!(
+                    "{name}::{vname}(__f0) => ::serde::Content::Map(::std::vec![(\
+                         ::std::string::String::from({vname:?}), \
+                         ::serde::Serialize::to_content(__f0))]),"
+                ),
+                VariantKind::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_content({b})"))
+                        .collect();
+                    format!(
+                        "{name}::{vname}({}) => ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from({vname:?}), \
+                             ::serde::Content::Seq(::std::vec![{}]))]),",
+                        binds.join(", "),
+                        items.join(", ")
+                    )
+                }
+                VariantKind::Struct(fields) => {
+                    let binds = fields.join(", ");
+                    let pairs: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({f:?}), \
+                                     ::serde::Serialize::to_content({f}))"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from({vname:?}), \
+                             ::serde::Content::Map(::std::vec![{}]))]),",
+                        pairs.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 match self {{ {} }}\n\
+             }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+fn de_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            let path = format!("{name}::{vname}");
+            match &v.kind {
+                VariantKind::Unit => {
+                    format!("{vname:?} => ::std::result::Result::Ok({path}),")
+                }
+                VariantKind::Tuple(1) => format!(
+                    "{vname:?} => {{\n\
+                         let __d = __data.ok_or_else(|| ::serde::DeError::msg(\
+                             format!(\"variant {path} expects data\")))?;\n\
+                         ::std::result::Result::Ok({path}(\
+                             ::serde::Deserialize::from_content(__d)?))\n\
+                     }}"
+                ),
+                VariantKind::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_content(&__items[{k}])?"))
+                        .collect();
+                    format!(
+                        "{vname:?} => {{\n\
+                             let __d = __data.ok_or_else(|| ::serde::DeError::msg(\
+                                 format!(\"variant {path} expects data\")))?;\n\
+                             let ::serde::Content::Seq(__items) = __d else {{\n\
+                                 return ::std::result::Result::Err(::serde::DeError::msg(\
+                                     format!(\"variant {path} expects an array\")));\n\
+                             }};\n\
+                             if __items.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::DeError::msg(\
+                                     format!(\"variant {path} expects {n} elements\")));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({path}({}))\n\
+                         }}",
+                        items.join(", ")
+                    )
+                }
+                VariantKind::Struct(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_content(\
+                                     ::serde::__private::field(__d, {path:?}, {f:?})?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{vname:?} => {{\n\
+                             let __d = __data.ok_or_else(|| ::serde::DeError::msg(\
+                                 format!(\"variant {path} expects fields\")))?;\n\
+                             ::std::result::Result::Ok({path} {{ {} }})\n\
+                         }}",
+                        inits.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(__c: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let (__name, __data) = ::serde::__private::variant(__c, {name:?})?;\n\
+                 match __name {{\n\
+                     {}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                         format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                 }}\n\
+             }}\n\
+         }}",
+        arms.join("\n")
+    )
+}

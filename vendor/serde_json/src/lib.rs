@@ -1,0 +1,451 @@
+//! Offline vendored JSON front end for the vendored serde subset.
+//!
+//! Provides the slice of `serde_json`'s API the workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`from_str`], [`to_value`], the
+//! [`json!`] macro, and a [`Value`] type (the serde tree itself). Floats are
+//! printed with Rust's shortest-round-trip formatting, so a serialize →
+//! parse cycle is lossless and reaches a fixed point after one trip.
+
+pub use serde::Content as Value;
+use serde::{DeError, Deserialize, Serialize};
+
+/// Serializes any [`Serialize`] value to its tree form.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_content()
+}
+
+/// Compact JSON encoding.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, DeError> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_content(), None, 0);
+    Ok(out)
+}
+
+/// Pretty JSON encoding (two-space indent, like upstream).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, DeError> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_content(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any [`Deserialize`] type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, DeError> {
+    let value = parse_value(s)?;
+    T::from_content(&value)
+}
+
+/// Builds a [`Value`] from JSON-like syntax. Supports object and array
+/// literals whose values are arbitrary `Serialize` expressions.
+#[macro_export]
+macro_rules! json {
+    ({ $($key:tt : $val:expr),* $(,)? }) => {
+        $crate::Value::Map(::std::vec![
+            $( (::std::string::String::from($key), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::Value::Seq(::std::vec![ $( $crate::to_value(&$val) ),* ])
+    };
+    (null) => { $crate::Value::Null };
+    ($val:expr) => { $crate::to_value(&$val) };
+}
+
+// ---- Encoding ----
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => write_seq(out, items, indent, depth),
+        Value::Map(pairs) => write_map(out, pairs, indent, depth),
+    }
+}
+
+/// Shortest-round-trip float formatting; integral floats keep a `.0` suffix
+/// (Rust's `{:?}`) so they re-parse as floats, matching upstream behaviour.
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        out.push_str(&format!("{f:?}"));
+    } else {
+        // JSON has no NaN/Infinity; upstream emits null.
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+}
+
+fn write_seq(out: &mut String, items: &[Value], indent: Option<usize>, depth: usize) {
+    if items.is_empty() {
+        out.push_str("[]");
+        return;
+    }
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline_indent(out, indent, depth + 1);
+        write_value(out, item, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out.push(']');
+}
+
+fn write_map(out: &mut String, pairs: &[(String, Value)], indent: Option<usize>, depth: usize) {
+    if pairs.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline_indent(out, indent, depth + 1);
+        write_string(out, k);
+        out.push(':');
+        if indent.is_some() {
+            out.push(' ');
+        }
+        write_value(out, v, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out.push('}');
+}
+
+// ---- Parsing ----
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses a complete JSON document into a [`Value`].
+pub fn parse_value(s: &str) -> Result<Value, DeError> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(DeError::msg(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), DeError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(DeError::msg(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, DeError> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(DeError::msg(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, DeError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => {
+                    return Err(DeError::msg(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, DeError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(pairs));
+                }
+                _ => {
+                    return Err(DeError::msg(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, DeError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| DeError::msg("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| DeError::msg("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs for astral-plane characters.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if !(self.eat_keyword("\\u")) {
+                                    return Err(DeError::msg("lone high surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| DeError::msg("bad surrogate pair"))?
+                            } else {
+                                char::from_u32(cp).ok_or_else(|| DeError::msg("bad \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(DeError::msg(format!(
+                                "unknown escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => return Err(DeError::msg("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, DeError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(DeError::msg("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| DeError::msg("bad \\u escape"))?;
+        self.pos = end;
+        u32::from_str_radix(hex, 16).map_err(|_| DeError::msg("bad \\u escape"))
+    }
+
+    fn number(&mut self) -> Result<Value, DeError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| DeError::msg("bad number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| DeError::msg(format!("bad number `{text}`")))
+        } else if let Ok(i) = text.parse::<i64>() {
+            Ok(Value::Int(i))
+        } else if let Ok(u) = text.parse::<u64>() {
+            Ok(Value::UInt(u))
+        } else {
+            // Integer overflowing u64: fall back to float like upstream's
+            // arbitrary-precision-off mode.
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| DeError::msg(format!("bad number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_compact() {
+        let v = json!({
+            "a": 1,
+            "b": json!([1.5, 2.5]),
+            "c": json!({ "nested": "x\"y" }),
+            "d": Value::Null,
+        });
+        let text = v.to_string();
+        let back = parse_value(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_has_indentation() {
+        let v = json!({"k": [1, 2]});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"k\""), "pretty output: {pretty}");
+    }
+
+    #[test]
+    fn float_roundtrip_is_fixed_point() {
+        for f in [0.002, 1.0, 1e-9, 123.456, -0.1] {
+            let text = to_string(&f).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back, f, "text {text}");
+        }
+    }
+
+    #[test]
+    fn integral_float_keeps_decimal_point() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v = parse_value(r#""a\nA😀""#).unwrap();
+        assert_eq!(v, Value::Str("a\nA😀".to_string()));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_value("1 2").is_err());
+        assert!(parse_value("{").is_err());
+    }
+
+    #[test]
+    fn negative_and_large_numbers() {
+        assert_eq!(parse_value("-5").unwrap(), Value::Int(-5));
+        assert_eq!(
+            parse_value("18446744073709551615").unwrap(),
+            Value::UInt(u64::MAX)
+        );
+        assert_eq!(parse_value("2.5e3").unwrap(), Value::Float(2500.0));
+    }
+}
