@@ -1,0 +1,99 @@
+//! Parallel-pipeline benchmarks: the deterministic threaded build paths
+//! (grid fill, WPG construction, connected components, batched serving)
+//! against their serial baselines at 1/2/4/8 threads.
+//!
+//! Wall-clock gains require real cores; on a single-core host the series
+//! instead quantifies the overhead of the chunked machinery (expected to be
+//! small, since `threads = 1` short-circuits to the serial code).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nela::{BoundingAlgo, CloakingEngine, ClusteringAlgo, Params, System};
+use nela_geo::{DatasetSpec, GridIndex, SpatialDistribution};
+use nela_wpg::connectivity::{components_under_threads, nothing_removed};
+use nela_wpg::{InverseDistanceRss, WpgBuilder};
+use std::hint::black_box;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn dataset(n: usize) -> (Vec<nela_geo::Point>, f64) {
+    let points = DatasetSpec {
+        n,
+        seed: 1,
+        distribution: SpatialDistribution::california(),
+    }
+    .generate();
+    let delta = 2e-3 * (104_770.0_f64 / n as f64).sqrt();
+    (points, delta)
+}
+
+fn bench_grid_build(c: &mut Criterion) {
+    let (points, delta) = dataset(20_000);
+    let mut group = c.benchmark_group("parallel_grid_build_20k");
+    group.sample_size(20);
+    for threads in THREADS {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| black_box(GridIndex::build_threads(&points, delta, t)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_wpg_build(c: &mut Criterion) {
+    let (points, delta) = dataset(20_000);
+    let grid = GridIndex::build(&points, delta);
+    let mut group = c.benchmark_group("parallel_wpg_build_20k");
+    group.sample_size(10);
+    for threads in THREADS {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                black_box(
+                    WpgBuilder::new(delta, 10, InverseDistanceRss)
+                        .build_with_index_threads(&points, &grid, t),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_components(c: &mut Criterion) {
+    let (points, delta) = dataset(20_000);
+    let g = WpgBuilder::new(delta, 10, InverseDistanceRss).build(&points);
+    let mut group = c.benchmark_group("parallel_components_20k");
+    group.sample_size(20);
+    for threads in THREADS {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| black_box(components_under_threads(&g, 3, &nothing_removed, t)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_request_many(c: &mut Criterion) {
+    let system = System::build(&Params::scaled(10_000));
+    let hosts = system.host_sequence(100, 7);
+    let mut group = c.benchmark_group("parallel_request_many_10k");
+    group.sample_size(10);
+    for threads in THREADS {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                let mut engine = CloakingEngine::new(
+                    &system,
+                    ClusteringAlgo::TConnDistributed,
+                    BoundingAlgo::Secure,
+                );
+                black_box(engine.request_many(&hosts, t))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_grid_build,
+    bench_wpg_build,
+    bench_components,
+    bench_request_many
+);
+criterion_main!(benches);

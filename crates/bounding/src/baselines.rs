@@ -89,7 +89,7 @@ mod tests {
     fn linear_is_tight_but_chatty() {
         let values = [0.11, 0.52, 0.37];
         let step = 0.01;
-        let run = progressive_upper_bound(&values, 0.0, 0.0, &mut LinearPolicy::new(step));
+        let run = progressive_upper_bound(&values, 0.0, 0.0, &mut LinearPolicy::new(step)).unwrap();
         assert!(run.slack(&values) <= step + 1e-12);
         assert_eq!(run.rounds, 52); // ⌈0.52/0.01⌉
     }
@@ -97,7 +97,8 @@ mod tests {
     #[test]
     fn exponential_doubles_the_excess() {
         let values = [0.9];
-        let run = progressive_upper_bound(&values, 0.0, 0.0, &mut ExponentialPolicy::new(0.1));
+        let run =
+            progressive_upper_bound(&values, 0.0, 0.0, &mut ExponentialPolicy::new(0.1)).unwrap();
         // Bounds visited: 0.1, 0.2, 0.4, 0.8, 1.6 → 5 rounds.
         assert_eq!(run.rounds, 5);
         assert!((run.bound - 1.6).abs() < 1e-12);
@@ -106,8 +107,9 @@ mod tests {
     #[test]
     fn exponential_fewer_rounds_than_linear_looser_bound() {
         let values = [0.03, 0.41, 0.77, 0.12, 0.58];
-        let lin = progressive_upper_bound(&values, 0.0, 0.0, &mut LinearPolicy::new(0.02));
-        let exp = progressive_upper_bound(&values, 0.0, 0.0, &mut ExponentialPolicy::new(0.02));
+        let lin = progressive_upper_bound(&values, 0.0, 0.0, &mut LinearPolicy::new(0.02)).unwrap();
+        let exp =
+            progressive_upper_bound(&values, 0.0, 0.0, &mut ExponentialPolicy::new(0.02)).unwrap();
         assert!(exp.rounds < lin.rounds);
         assert!(exp.messages < lin.messages);
         assert!(exp.slack(&values) > lin.slack(&values));

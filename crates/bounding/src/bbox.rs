@@ -8,7 +8,7 @@
 //! cover the host anyway, so this anchor reveals nothing beyond the final
 //! region itself.
 
-use crate::protocol::{progressive_upper_bound, BoundingRun, IncrementPolicy};
+use crate::protocol::{progressive_upper_bound, BoundingError, BoundingRun, IncrementPolicy};
 use nela_geo::{Point, Rect};
 
 /// The four directional runs and the assembled region.
@@ -29,22 +29,29 @@ pub struct BboxOutcome {
 /// `points`, anchored at the host's own position, and assembles the cloaked
 /// rectangle. `policy_factory` builds a fresh increment policy per direction
 /// (policies may carry per-run state).
+///
+/// # Errors
+/// [`BoundingError::EmptyCluster`] on an empty member list, plus any failure
+/// of the four directional runs — a malformed cluster degrades the single
+/// request instead of aborting the process.
 pub fn secure_bounding_box(
     points: &[Point],
     host: Point,
     domain: Rect,
     mut policy_factory: impl FnMut() -> Box<dyn IncrementPolicy>,
-) -> BboxOutcome {
-    assert!(!points.is_empty(), "cannot bound an empty cluster");
+) -> Result<BboxOutcome, BoundingError> {
+    if points.is_empty() {
+        return Err(BoundingError::EmptyCluster);
+    }
     let xs: Vec<f64> = points.iter().map(|p| p.x).collect();
     let ys: Vec<f64> = points.iter().map(|p| p.y).collect();
     let neg_xs: Vec<f64> = xs.iter().map(|v| -v).collect();
     let neg_ys: Vec<f64> = ys.iter().map(|v| -v).collect();
 
-    let x_hi = progressive_upper_bound(&xs, host.x, domain.min_x, &mut *policy_factory());
-    let x_lo = progressive_upper_bound(&neg_xs, -host.x, -domain.max_x, &mut *policy_factory());
-    let y_hi = progressive_upper_bound(&ys, host.y, domain.min_y, &mut *policy_factory());
-    let y_lo = progressive_upper_bound(&neg_ys, -host.y, -domain.max_y, &mut *policy_factory());
+    let x_hi = progressive_upper_bound(&xs, host.x, domain.min_x, &mut *policy_factory())?;
+    let x_lo = progressive_upper_bound(&neg_xs, -host.x, -domain.max_x, &mut *policy_factory())?;
+    let y_hi = progressive_upper_bound(&ys, host.y, domain.min_y, &mut *policy_factory())?;
+    let y_lo = progressive_upper_bound(&neg_ys, -host.y, -domain.max_y, &mut *policy_factory())?;
 
     let rect = Rect::new(
         (-x_lo.bound).clamp(domain.min_x, domain.max_x),
@@ -54,12 +61,12 @@ pub fn secure_bounding_box(
     );
     let messages = x_hi.messages + x_lo.messages + y_hi.messages + y_lo.messages;
     let rounds = x_hi.rounds + x_lo.rounds + y_hi.rounds + y_lo.rounds;
-    BboxOutcome {
+    Ok(BboxOutcome {
         rect,
         messages,
         rounds,
         runs: [x_hi, x_lo, y_hi, y_lo],
-    }
+    })
 }
 
 #[cfg(test)]
@@ -81,7 +88,8 @@ mod tests {
         let pts = cluster();
         let out = secure_bounding_box(&pts, pts[0], Rect::UNIT, || {
             Box::new(LinearPolicy::new(0.01))
-        });
+        })
+        .unwrap();
         for p in &pts {
             assert!(out.rect.contains(p), "{p:?} outside {:?}", out.rect);
         }
@@ -93,7 +101,8 @@ mod tests {
         let step = 0.005;
         let out = secure_bounding_box(&pts, pts[0], Rect::UNIT, || {
             Box::new(LinearPolicy::new(step))
-        });
+        })
+        .unwrap();
         let tight = Rect::bounding(&pts).unwrap();
         assert!(out.rect.contains_rect(&tight));
         assert!(out.rect.width() <= tight.width() + 2.0 * step + 1e-12);
@@ -105,7 +114,8 @@ mod tests {
         let pts = vec![Point::new(0.99, 0.99), Point::new(0.97, 0.98)];
         let out = secure_bounding_box(&pts, pts[0], Rect::UNIT, || {
             Box::new(LinearPolicy::new(0.05))
-        });
+        })
+        .unwrap();
         assert!(out.rect.max_x <= 1.0 && out.rect.max_y <= 1.0);
         assert!(Rect::UNIT.contains_rect(&out.rect));
     }
@@ -115,17 +125,28 @@ mod tests {
         let pts = cluster();
         let out = secure_bounding_box(&pts, pts[0], Rect::UNIT, || {
             Box::new(LinearPolicy::new(0.5))
-        });
+        })
+        .unwrap();
         // Step 0.5 covers each direction in one round of 4 messages.
         assert_eq!(out.rounds, 4);
         assert_eq!(out.messages, 16);
     }
 
     #[test]
+    fn empty_cluster_is_a_typed_error() {
+        let err = secure_bounding_box(&[], Point::new(0.5, 0.5), Rect::UNIT, || {
+            Box::new(LinearPolicy::new(0.05))
+        })
+        .unwrap_err();
+        assert_eq!(err, BoundingError::EmptyCluster);
+    }
+
+    #[test]
     fn host_is_always_inside() {
         let pts = cluster();
         let host = pts[2];
-        let out = secure_bounding_box(&pts, host, Rect::UNIT, || Box::new(LinearPolicy::new(0.02)));
+        let out = secure_bounding_box(&pts, host, Rect::UNIT, || Box::new(LinearPolicy::new(0.02)))
+            .unwrap();
         assert!(out.rect.contains(&host));
     }
 }

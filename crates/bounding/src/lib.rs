@@ -44,7 +44,7 @@ pub use cost::{AreaCost, CostParams, LengthCost, RequestCost};
 pub use distribution::{ExcessDistribution, Exponential, Uniform};
 pub use nbound::{exact_dp_increment, n_bounding_increment, SecurePolicy};
 pub use protocol::{
-    progressive_upper_bound, progressive_upper_bound_with, BoundingRun, IncrementPolicy,
-    LocalValues, VerifyTransport,
+    progressive_upper_bound, progressive_upper_bound_with, BoundingError, BoundingRun,
+    IncrementPolicy, LocalValues, VerifyTransport,
 };
 pub use unary::{unary_optimal, UnaryOptimum};

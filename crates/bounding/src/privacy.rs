@@ -69,8 +69,8 @@ mod tests {
     #[test]
     fn finer_steps_leak_more() {
         let v = values();
-        let fine = progressive_upper_bound(&v, 0.0, 0.0, &mut LinearPolicy::new(0.01));
-        let coarse = progressive_upper_bound(&v, 0.0, 0.0, &mut LinearPolicy::new(0.2));
+        let fine = progressive_upper_bound(&v, 0.0, 0.0, &mut LinearPolicy::new(0.01)).unwrap();
+        let coarse = progressive_upper_bound(&v, 0.0, 0.0, &mut LinearPolicy::new(0.2)).unwrap();
         let fine_leak = leak_report(&fine, 0.0);
         let coarse_leak = leak_report(&coarse, 0.0);
         assert!(fine_leak.mean_width < coarse_leak.mean_width);
@@ -80,8 +80,8 @@ mod tests {
     #[test]
     fn exponential_leaks_less_than_linear() {
         let v = values();
-        let lin = progressive_upper_bound(&v, 0.0, 0.0, &mut LinearPolicy::new(0.02));
-        let exp = progressive_upper_bound(&v, 0.0, 0.0, &mut ExponentialPolicy::new(0.02));
+        let lin = progressive_upper_bound(&v, 0.0, 0.0, &mut LinearPolicy::new(0.02)).unwrap();
+        let exp = progressive_upper_bound(&v, 0.0, 0.0, &mut ExponentialPolicy::new(0.02)).unwrap();
         assert!(
             leak_report(&exp, 0.0).mean_width > leak_report(&lin, 0.0).mean_width,
             "doubling steps expose wider (safer) intervals"
@@ -91,7 +91,7 @@ mod tests {
     #[test]
     fn intervals_always_contain_the_value() {
         let v = values();
-        let run = progressive_upper_bound(&v, 0.0, -1.0, &mut LinearPolicy::new(0.07));
+        let run = progressive_upper_bound(&v, 0.0, -1.0, &mut LinearPolicy::new(0.07)).unwrap();
         for r in &run.records {
             assert!(v[r.index] <= r.upper && v[r.index] > r.lower - 1e-12);
         }
@@ -100,7 +100,7 @@ mod tests {
     #[test]
     fn exposure_threshold_counts() {
         let v = values();
-        let run = progressive_upper_bound(&v, 0.0, 0.0, &mut LinearPolicy::new(0.05));
+        let run = progressive_upper_bound(&v, 0.0, 0.0, &mut LinearPolicy::new(0.05)).unwrap();
         let all_exposed = leak_report(&run, 1.0);
         assert_eq!(all_exposed.exposed_below_threshold, v.len());
         let none_exposed = leak_report(&run, 0.0);
@@ -110,7 +110,8 @@ mod tests {
     #[test]
     fn unbounded_domain_round1_agreers_are_uncounted() {
         let v = vec![0.01, 0.9];
-        let run = progressive_upper_bound(&v, 0.0, f64::NEG_INFINITY, &mut LinearPolicy::new(0.5));
+        let run = progressive_upper_bound(&v, 0.0, f64::NEG_INFINITY, &mut LinearPolicy::new(0.5))
+            .unwrap();
         let leak = leak_report(&run, 0.6);
         // 0.01 agreed in round 1 with an infinite interval: excluded.
         assert_eq!(leak.users, 2);

@@ -103,20 +103,55 @@ impl VerifyTransport for LocalValues<'_> {
     }
 }
 
-/// Error from a transport-backed bounding run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct UserUnreachable {
-    /// Index of the user that never answered.
-    pub index: usize,
+/// Typed failure of a bounding run. Clusters are caller-supplied (a
+/// malformed one must degrade the single request, not abort the process), so
+/// none of these conditions panic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoundingError {
+    /// The cluster has no participants to bound.
+    EmptyCluster,
+    /// A participant stopped answering verifications (crashed, messages lost
+    /// beyond retry). Carries the index into the input values.
+    Unreachable {
+        /// Index of the user that never answered.
+        index: usize,
+    },
+    /// The increment policy produced a non-positive or non-finite step.
+    InvalidIncrement {
+        /// The offending increment.
+        increment: f64,
+        /// 1-based round at which it was produced.
+        round: usize,
+    },
+    /// The run exceeded the internal round cap (a policy producing vanishing
+    /// increments would otherwise hang the protocol).
+    RoundLimitExceeded {
+        /// The cap that was hit.
+        rounds: usize,
+    },
 }
 
-impl std::fmt::Display for UserUnreachable {
+impl std::fmt::Display for BoundingError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "bounding participant {} is unreachable", self.index)
+        match self {
+            BoundingError::EmptyCluster => write!(f, "cannot bound an empty cluster"),
+            BoundingError::Unreachable { index } => {
+                write!(f, "bounding participant {index} is unreachable")
+            }
+            BoundingError::InvalidIncrement { increment, round } => {
+                write!(
+                    f,
+                    "policy produced invalid increment {increment} at round {round}"
+                )
+            }
+            BoundingError::RoundLimitExceeded { rounds } => {
+                write!(f, "bounding did not terminate within {rounds} rounds")
+            }
+        }
     }
 }
 
-impl std::error::Error for UserUnreachable {}
+impl std::error::Error for BoundingError {}
 
 /// Runs progressive upper bounding of `values` starting from `x0`.
 ///
@@ -124,31 +159,34 @@ impl std::error::Error for UserUnreachable {}
 /// the leak transcript of round-1 agreers). Values at or below `x0` are
 /// covered by the first accepted bound like everyone else.
 ///
-/// # Panics
-/// Panics if the policy returns a non-positive/non-finite increment or the
-/// run exceeds the internal round cap (100,000).
+/// # Errors
+/// [`BoundingError::EmptyCluster`] on empty input,
+/// [`BoundingError::InvalidIncrement`]/[`BoundingError::RoundLimitExceeded`]
+/// on a misbehaving policy. (Local values are always reachable.)
 pub fn progressive_upper_bound(
     values: &[f64],
     x0: f64,
     domain_min: f64,
     policy: &mut dyn IncrementPolicy,
-) -> BoundingRun {
+) -> Result<BoundingRun, BoundingError> {
     let mut transport = LocalValues::new(values);
     progressive_upper_bound_with(&mut transport, x0, domain_min, policy)
-        .expect("local transport is infallible")
 }
 
 /// Transport-generic progressive upper bounding (Algorithms 3–4).
 ///
 /// # Errors
-/// [`UserUnreachable`] when a participant stops answering verifications.
+/// [`BoundingError`]: empty cluster, unreachable participant, or a policy
+/// producing invalid/vanishing increments.
 pub fn progressive_upper_bound_with(
     transport: &mut dyn VerifyTransport,
     x0: f64,
     domain_min: f64,
     policy: &mut dyn IncrementPolicy,
-) -> Result<BoundingRun, UserUnreachable> {
-    assert!(!transport.is_empty(), "cannot bound an empty cluster");
+) -> Result<BoundingRun, BoundingError> {
+    if transport.is_empty() {
+        return Err(BoundingError::EmptyCluster);
+    }
     let mut disagreeing: Vec<usize> = (0..transport.len()).collect();
     let mut x = x0;
     let mut rounds = 0usize;
@@ -157,15 +195,16 @@ pub fn progressive_upper_bound_with(
 
     while !disagreeing.is_empty() {
         rounds += 1;
-        assert!(
-            rounds <= MAX_ROUNDS,
-            "bounding did not terminate: policy produced {rounds} rounds"
-        );
+        if rounds > MAX_ROUNDS {
+            return Err(BoundingError::RoundLimitExceeded { rounds: MAX_ROUNDS });
+        }
         let inc = policy.increment(disagreeing.len(), rounds, x - x0);
-        assert!(
-            inc.is_finite() && inc > 0.0,
-            "policy produced invalid increment {inc} at round {rounds}"
-        );
+        if !(inc.is_finite() && inc > 0.0) {
+            return Err(BoundingError::InvalidIncrement {
+                increment: inc,
+                round: rounds,
+            });
+        }
         let prev = x;
         x += inc;
         messages += disagreeing.len() as u64;
@@ -179,7 +218,7 @@ pub fn progressive_upper_bound_with(
                     upper: x,
                 }),
                 Some(false) => still.push(i),
-                None => return Err(UserUnreachable { index: i }),
+                None => return Err(BoundingError::Unreachable { index: i }),
             }
         }
         disagreeing = still;
@@ -208,7 +247,7 @@ mod tests {
     #[test]
     fn bound_covers_all_values() {
         let values = [0.31, 0.12, 0.48, 0.05];
-        let run = progressive_upper_bound(&values, 0.0, 0.0, &mut Step(0.1));
+        let run = progressive_upper_bound(&values, 0.0, 0.0, &mut Step(0.1)).unwrap();
         assert!(run.bound >= 0.48);
         assert_eq!(run.records.len(), 4);
     }
@@ -219,7 +258,7 @@ mod tests {
         // round 1 (X=0.1): 3 asked, one agrees; round 2 (X=0.2): 2 asked,
         // one agrees; round 3 (X=0.3): 1 asked, agrees. 3+2+1 = 6 messages.
         let values = [0.05, 0.15, 0.25];
-        let run = progressive_upper_bound(&values, 0.0, 0.0, &mut Step(0.1));
+        let run = progressive_upper_bound(&values, 0.0, 0.0, &mut Step(0.1)).unwrap();
         assert_eq!(run.rounds, 3);
         assert_eq!(run.messages, 6);
         assert!((run.bound - 0.3).abs() < 1e-12);
@@ -228,7 +267,7 @@ mod tests {
     #[test]
     fn transcript_intervals_contain_true_values() {
         let values = [0.07, 0.33, 0.18, 0.0, 0.51];
-        let run = progressive_upper_bound(&values, 0.0, -1.0, &mut Step(0.08));
+        let run = progressive_upper_bound(&values, 0.0, -1.0, &mut Step(0.08)).unwrap();
         for r in &run.records {
             let v = values[r.index];
             assert!(
@@ -242,7 +281,7 @@ mod tests {
     #[test]
     fn round1_agreers_leak_only_domain_floor() {
         let values = [0.01, 0.9];
-        let run = progressive_upper_bound(&values, 0.0, -2.5, &mut Step(0.5));
+        let run = progressive_upper_bound(&values, 0.0, -2.5, &mut Step(0.5)).unwrap();
         let r0 = run.records.iter().find(|r| r.index == 0).unwrap();
         assert_eq!(r0.round, 1);
         assert_eq!(r0.lower, -2.5);
@@ -251,7 +290,7 @@ mod tests {
     #[test]
     fn values_below_x0_agree_in_round_one() {
         let values = [-0.3, 0.2];
-        let run = progressive_upper_bound(&values, 0.0, -1.0, &mut Step(0.25));
+        let run = progressive_upper_bound(&values, 0.0, -1.0, &mut Step(0.25)).unwrap();
         let r0 = run.records.iter().find(|r| r.index == 0).unwrap();
         assert_eq!(r0.round, 1);
     }
@@ -259,27 +298,47 @@ mod tests {
     #[test]
     fn slack_is_nonnegative() {
         let values = [0.2, 0.6];
-        let run = progressive_upper_bound(&values, 0.0, 0.0, &mut Step(0.07));
+        let run = progressive_upper_bound(&values, 0.0, 0.0, &mut Step(0.07)).unwrap();
         assert!(run.slack(&values) >= 0.0);
         assert!(run.slack(&values) < 0.07 + 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "invalid increment")]
-    fn zero_increment_is_rejected() {
-        progressive_upper_bound(&[0.5], 0.0, 0.0, &mut Step(0.0));
+    fn zero_increment_is_a_typed_error() {
+        let err = progressive_upper_bound(&[0.5], 0.0, 0.0, &mut Step(0.0)).unwrap_err();
+        assert_eq!(
+            err,
+            BoundingError::InvalidIncrement {
+                increment: 0.0,
+                round: 1
+            }
+        );
     }
 
     #[test]
-    #[should_panic(expected = "cannot bound an empty cluster")]
-    fn empty_values_rejected() {
-        progressive_upper_bound(&[], 0.0, 0.0, &mut Step(0.1));
+    fn empty_values_are_a_typed_error() {
+        let err = progressive_upper_bound(&[], 0.0, 0.0, &mut Step(0.1)).unwrap_err();
+        assert_eq!(err, BoundingError::EmptyCluster);
+    }
+
+    #[test]
+    fn vanishing_policy_hits_round_cap_as_error() {
+        /// Returns a finite positive increment too small to ever cover the
+        /// gap, so the run must trip the round cap instead of hanging.
+        struct Vanishing;
+        impl IncrementPolicy for Vanishing {
+            fn increment(&mut self, _n: usize, _round: usize, _excess: f64) -> f64 {
+                1e-12
+            }
+        }
+        let err = progressive_upper_bound(&[1.0], 0.0, 0.0, &mut Vanishing).unwrap_err();
+        assert!(matches!(err, BoundingError::RoundLimitExceeded { .. }));
     }
 
     #[test]
     fn single_round_when_step_covers_everything() {
         let values = [0.1, 0.2, 0.3];
-        let run = progressive_upper_bound(&values, 0.0, 0.0, &mut Step(1.0));
+        let run = progressive_upper_bound(&values, 0.0, 0.0, &mut Step(1.0)).unwrap();
         assert_eq!(run.rounds, 1);
         assert_eq!(run.messages, 3);
     }

@@ -65,7 +65,7 @@ proptest! {
             Box::new(SecurePolicy::new(Uniform::new(span), AreaCost { cr: 1e6 }, 1.0)),
         ];
         for p in policies.iter_mut() {
-            let run = progressive_upper_bound(&values, 0.0, 0.0, p.as_mut());
+            let run = progressive_upper_bound(&values, 0.0, 0.0, p.as_mut()).unwrap();
             prop_assert!(run.bound >= max);
             prop_assert!(run.rounds >= 1);
             prop_assert_eq!(run.records.len(), values.len());
@@ -77,7 +77,7 @@ proptest! {
         values in proptest::collection::vec(0.0f64..0.3, 1..30),
         step in 0.005f64..0.1,
     ) {
-        let run = progressive_upper_bound(&values, 0.0, 0.0, &mut LinearPolicy::new(step));
+        let run = progressive_upper_bound(&values, 0.0, 0.0, &mut LinearPolicy::new(step)).unwrap();
         // Each user is asked once per round from round 1 through the round it
         // agreed in: total messages = Σ_user round(user).
         let expected: u64 = run.records.iter().map(|r| r.round as u64).sum();

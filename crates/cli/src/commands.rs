@@ -4,14 +4,14 @@ use crate::args::{ArgError, Args};
 use nela::cluster::knn::TieBreak;
 use nela::geo::UserId;
 use nela::lbs::{refine_knn, CloakedQuery, LbsServer, PoiStore};
-use nela::metrics::run_workload;
+use nela::metrics::run_workload_threads;
 use nela::{
     anonymity_of, audit_result, center_attack, intersection_attack, BoundingAlgo, CloakingEngine,
     ClusteringAlgo, Params, System,
 };
 
 const COMMON: &[&str] = &[
-    "users", "seed", "k", "m", "algo", "bounding", "requests", "host", "json", "knn",
+    "users", "seed", "k", "m", "algo", "bounding", "requests", "host", "json", "knn", "threads",
 ];
 
 fn build_params(args: &Args) -> Result<Params, ArgError> {
@@ -21,6 +21,7 @@ fn build_params(args: &Args) -> Result<Params, ArgError> {
     params.max_peers = args.num_or("m", params.max_peers)?;
     params.seed = args.num_or("seed", 1u64)?;
     params.requests = args.num_or("requests", params.requests)?;
+    params.threads = args.num_or("threads", 1usize)?.max(1);
     Ok(params)
 }
 
@@ -174,11 +175,12 @@ pub fn simulate(raw: Vec<String>) -> Result<(), ArgError> {
     let params = build_params(&args)?;
     let system = System::build(&params);
     let hosts = system.host_sequence(params.requests, 1);
-    let stats = run_workload(
+    let stats = run_workload_threads(
         &system,
         clustering_algo(&args)?,
         bounding_algo(&args)?,
         &hosts,
+        params.threads,
     );
     if args.flag("json") {
         println!(

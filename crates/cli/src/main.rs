@@ -71,5 +71,7 @@ COMMON FLAGS:
   --bounding B   bounding: secure | optimal | linear | exp (default secure)
   --requests S   workload size (default: scaled Table I)
   --host ID      specific host user id
+  --threads T    worker threads for build + batched serving (default 1;
+                 the built system is bit-identical to the serial run)
   --json         machine-readable output"
 }

@@ -20,7 +20,10 @@
 //!   a uniform rural background.
 //!
 //! Everything is parameterized by a `u64` seed through ChaCha8, so any figure
-//! in `EXPERIMENTS.md` regenerates bit-identically.
+//! in `EXPERIMENTS.md` regenerates bit-identically. Generators with more than
+//! one random component (cluster/street layout vs. point sampling) draw each
+//! component from its own derived stream (`seed ^ component_tag`), so editing
+//! one component's draw count never silently reshuffles the others.
 
 use crate::point::Point;
 use rand::{Rng, SeedableRng};
@@ -85,20 +88,27 @@ impl DatasetSpec {
 
     /// Materializes the dataset. Every point lies in the unit square.
     pub fn generate(&self) -> Vec<Point> {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         match &self.distribution {
-            SpatialDistribution::Uniform => (0..self.n)
-                .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
-                .collect(),
+            SpatialDistribution::Uniform => {
+                let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+                (0..self.n)
+                    .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+                    .collect()
+            }
             SpatialDistribution::GaussianClusters { clusters, sigma } => {
-                gaussian_clusters(self.n, *clusters, *sigma, &mut rng)
+                gaussian_clusters(self.n, *clusters, *sigma, self.seed)
             }
             SpatialDistribution::CaliforniaLike { background } => {
-                california_like(self.n, *background, &mut rng)
+                california_like(self.n, *background, self.seed)
             }
         }
     }
 }
+
+/// Stream tag for the layout component (cluster centers, street geometry).
+const LAYOUT_STREAM: u64 = 0x4c41_594f_5554; // "LAYOUT"
+/// Stream tag for the point-sampling component.
+const SAMPLE_STREAM: u64 = 0x5341_4d50_4c45; // "SAMPLE"
 
 /// Standard normal via Box–Muller (keeps us off `rand_distr`, which is not in
 /// the approved dependency set).
@@ -112,15 +122,21 @@ fn normal(rng: &mut ChaCha8Rng) -> f64 {
     }
 }
 
-fn gaussian_clusters(n: usize, clusters: usize, sigma: f64, rng: &mut ChaCha8Rng) -> Vec<Point> {
+fn gaussian_clusters(n: usize, clusters: usize, sigma: f64, seed: u64) -> Vec<Point> {
     assert!(clusters > 0, "need at least one cluster");
+    let mut layout_rng = ChaCha8Rng::seed_from_u64(seed ^ LAYOUT_STREAM);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ SAMPLE_STREAM);
     let centers: Vec<Point> = (0..clusters)
-        .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+        .map(|_| Point::new(layout_rng.gen::<f64>(), layout_rng.gen::<f64>()))
         .collect();
     (0..n)
         .map(|_| {
             let c = centers[rng.gen_range(0..clusters)];
-            Point::new(c.x + sigma * normal(rng), c.y + sigma * normal(rng)).clamp_unit()
+            Point::new(
+                c.x + sigma * normal(&mut rng),
+                c.y + sigma * normal(&mut rng),
+            )
+            .clamp_unit()
         })
         .collect()
 }
@@ -146,36 +162,38 @@ struct Street {
     jitter: f64,
 }
 
-fn california_like(n: usize, background: f64, rng: &mut ChaCha8Rng) -> Vec<Point> {
+fn california_like(n: usize, background: f64, seed: u64) -> Vec<Point> {
     assert!(
         (0.0..=1.0).contains(&background),
         "background fraction must be in [0,1]"
     );
+    let mut layout_rng = ChaCha8Rng::seed_from_u64(seed ^ LAYOUT_STREAM);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ SAMPLE_STREAM);
     // Street anchors distributed along the corridors with jitter; street
     // orientation is biased toward the corridor's own direction.
     const N_STREETS: usize = 800;
     let mut streets = Vec::with_capacity(N_STREETS);
     for i in 0..N_STREETS {
         let (a, b) = CORRIDORS[i % CORRIDORS.len()];
-        let t: f64 = rng.gen();
+        let t: f64 = layout_rng.gen();
         let anchor = Point::new(
-            a.x + t * (b.x - a.x) + 0.04 * normal(rng),
-            a.y + t * (b.y - a.y) + 0.04 * normal(rng),
+            a.x + t * (b.x - a.x) + 0.04 * normal(&mut layout_rng),
+            a.y + t * (b.y - a.y) + 0.04 * normal(&mut layout_rng),
         )
         .clamp_unit();
         let corridor_angle = (b.y - a.y).atan2(b.x - a.x);
         let angle = corridor_angle
-            + if rng.gen::<f64>() < 0.5 {
+            + if layout_rng.gen::<f64>() < 0.5 {
                 std::f64::consts::FRAC_PI_2 // cross street
             } else {
                 0.0
             }
-            + 0.3 * normal(rng);
+            + 0.3 * normal(&mut layout_rng);
         streets.push(Street {
             anchor,
             dir: (angle.cos(), angle.sin()),
             // Street half-lengths: ~0.01 (block) to ~0.06 (arterial).
-            half_len: 0.01 + 0.05 * rng.gen::<f64>().powi(2),
+            half_len: 0.01 + 0.05 * layout_rng.gen::<f64>().powi(2),
             jitter: 0.0008,
         });
     }
@@ -203,7 +221,7 @@ fn california_like(n: usize, background: f64, rng: &mut ChaCha8Rng) -> Vec<Point
                 let si = cdf.partition_point(|&c| c < u).min(N_STREETS - 1);
                 let s = &streets[si];
                 let along = (2.0 * rng.gen::<f64>() - 1.0) * s.half_len;
-                let across = s.jitter * normal(rng);
+                let across = s.jitter * normal(&mut rng);
                 Point::new(
                     s.anchor.x + along * s.dir.0 - across * s.dir.1,
                     s.anchor.y + along * s.dir.1 + across * s.dir.0,

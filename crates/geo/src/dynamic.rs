@@ -5,8 +5,8 @@
 //! needs an index that absorbs a stream of position updates without paying a
 //! full O(n) rebuild per tick. [`DynamicGrid`] keeps one `Vec<UserId>` bucket
 //! per cell and supports `relocate` in O(bucket) time, while answering the
-//! same δ-range queries with identical semantics (strict `< radius`,
-//! query point excluded).
+//! same δ-range queries with identical semantics (inclusive `≤ radius`,
+//! query point excluded, out-of-square coordinates clamped to border cells).
 //!
 //! The cell geometry (side ≥ δ, per-axis count clamped to 1..4096) matches
 //! `GridIndex::build` exactly, so a [`DynamicGrid::snapshot`] taken at any
@@ -64,9 +64,7 @@ impl DynamicGrid {
 
     #[inline]
     fn cell_of(&self, p: &Point) -> usize {
-        let cx = ((p.x / self.cell_side) as usize).min(self.cells - 1);
-        let cy = ((p.y / self.cell_side) as usize).min(self.cells - 1);
-        cy * self.cells + cx
+        crate::grid::cell_id_of(p, self.cell_side, self.cells)
     }
 
     /// Number of indexed points.
@@ -114,10 +112,11 @@ impl DynamicGrid {
         old
     }
 
-    /// All point ids strictly within Euclidean distance `radius` of
-    /// `center`, excluding `exclude` (pass an out-of-range id such as
-    /// `u32::MAX` to exclude nothing). Results are appended to `out`
-    /// (cleared first) as `(id, squared distance)` pairs in arbitrary order.
+    /// All point ids within Euclidean distance `radius` (inclusive: peers at
+    /// exactly `radius` are in range) of `center`, excluding `exclude` (pass
+    /// an out-of-range id such as `u32::MAX` to exclude nothing). Results are
+    /// appended to `out` (cleared first) as `(id, squared distance)` pairs in
+    /// arbitrary order.
     pub fn neighbors_of_point(
         &self,
         center: Point,
@@ -128,8 +127,8 @@ impl DynamicGrid {
         out.clear();
         let r_sq = radius * radius;
         let span = (radius / self.cell_side).ceil() as isize;
-        let qcx = ((center.x / self.cell_side) as isize).min(self.cells as isize - 1);
-        let qcy = ((center.y / self.cell_side) as isize).min(self.cells as isize - 1);
+        let qcx = crate::grid::cell_coord(center.x, self.cell_side, self.cells) as isize;
+        let qcy = crate::grid::cell_coord(center.y, self.cell_side, self.cells) as isize;
         for cy in (qcy - span).max(0)..=(qcy + span).min(self.cells as isize - 1) {
             for cx in (qcx - span).max(0)..=(qcx + span).min(self.cells as isize - 1) {
                 for &id in &self.buckets[cy as usize * self.cells + cx as usize] {
@@ -137,7 +136,7 @@ impl DynamicGrid {
                         continue;
                     }
                     let d_sq = center.dist_sq(&self.points[id as usize]);
-                    if d_sq < r_sq {
+                    if d_sq <= r_sq {
                         out.push((id, d_sq));
                     }
                 }
@@ -145,8 +144,8 @@ impl DynamicGrid {
         }
     }
 
-    /// All point ids strictly within distance `radius` of point `query_id`,
-    /// excluding `query_id` itself — the same contract as
+    /// All point ids within distance `radius` (inclusive) of point
+    /// `query_id`, excluding `query_id` itself — the same contract as
     /// [`GridIndex::neighbors_within`].
     #[inline]
     pub fn neighbors_within(&self, query_id: UserId, radius: f64, out: &mut Vec<(UserId, f64)>) {
@@ -274,5 +273,36 @@ mod tests {
         let mut g = DynamicGrid::build(&[Point::new(0.5, 0.5), Point::new(0.999, 0.999)], 0.01);
         g.relocate(0, Point::new(1.0, 1.0));
         assert_eq!(ids(g.neighbors_within_sorted(0, 0.01)), vec![1]);
+    }
+
+    #[test]
+    fn peer_at_exactly_delta_is_in_range() {
+        // δ-boundary regression mirroring the GridIndex test: exactly δ
+        // apart is in range, just beyond is not. Power-of-two coordinates so
+        // the distance is exactly δ in f64.
+        let delta = 0.125;
+        let g = DynamicGrid::build(
+            &[Point::new(0.25, 0.5), Point::new(0.25 + delta, 0.5)],
+            delta,
+        );
+        assert_eq!(ids(g.neighbors_within_sorted(0, delta)), vec![1]);
+        assert_eq!(ids(g.neighbors_within_sorted(1, delta)), vec![0]);
+        let far = DynamicGrid::build(
+            &[
+                Point::new(0.25, 0.5),
+                Point::new(0.25 + delta * 1.0001, 0.5),
+            ],
+            delta,
+        );
+        assert!(far.neighbors_within_sorted(0, delta).is_empty());
+    }
+
+    #[test]
+    fn out_of_square_relocation_clamps_to_border_cells() {
+        let mut g = DynamicGrid::build(&[Point::new(0.5, 0.5), Point::new(0.01, 0.5)], 0.05);
+        // Numeric drift below 0.0 must stay queryable on the border cell.
+        g.relocate(0, Point::new(-0.002, 0.5));
+        assert_eq!(ids(g.neighbors_within_sorted(0, 0.05)), vec![1]);
+        assert_eq!(ids(g.neighbors_within_sorted(1, 0.05)), vec![0]);
     }
 }

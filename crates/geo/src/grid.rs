@@ -10,9 +10,41 @@
 //! an experiment, matching the paper's static snapshot model) and stores
 //! point indices bucketed per cell in a flat CSR-style layout to keep the
 //! ~10⁵-point index allocation-light.
+//!
+//! **Boundary semantics:** a peer at *exactly* distance δ is in range
+//! (`d ≤ δ`), matching the paper's "each user can hear peers within the
+//! radio range δ" and the RSS model docs in `nela-wpg`. Coordinates
+//! marginally outside `[0, 1)` (mobility reflection can land exactly on
+//! `1.0`; numeric drift can dip below `0.0`) are clamped onto the border
+//! cells rather than relying on float-to-int cast saturation.
 
 use crate::point::Point;
 use crate::UserId;
+
+/// Cells per axis for a given minimum cell side: at least one cell; at most
+/// what keeps memory reasonable for the unit square (1/δ cells per axis,
+/// capped to avoid pathological tiny δ).
+#[inline]
+fn cells_per_axis(min_cell_side: f64) -> usize {
+    ((1.0 / min_cell_side).floor() as usize).clamp(1, 4096)
+}
+
+/// Cell coordinate of a scalar position, clamped into `[0, cells)`.
+/// Negative coordinates land on cell 0 and coordinates ≥ 1 on the last
+/// cell — explicitly, not via `as usize` saturation.
+#[inline]
+pub(crate) fn cell_coord(v: f64, cell_side: f64, cells: usize) -> usize {
+    if v <= 0.0 {
+        return 0;
+    }
+    ((v / cell_side) as usize).min(cells - 1)
+}
+
+/// Flat cell id of a point (shared by build and the dynamic grid).
+#[inline]
+pub(crate) fn cell_id_of(p: &Point, cell_side: f64, cells: usize) -> usize {
+    cell_coord(p.y, cell_side, cells) * cells + cell_coord(p.x, cell_side, cells)
+}
 
 /// A static uniform-grid index over a set of points in the unit square.
 #[derive(Debug, Clone)]
@@ -29,6 +61,11 @@ pub struct GridIndex {
     points: Vec<Point>,
 }
 
+/// Above this cell count the per-thread count arrays of the parallel build
+/// would dominate memory; fall back to a serial counting pass (the cell-id
+/// computation stays parallel).
+const PARALLEL_FILL_MAX_CELLS: usize = 1 << 22;
+
 impl GridIndex {
     /// Builds an index whose cell side is at least `min_cell_side` (typically
     /// the radio range δ, so any δ-ball is covered by a 3×3 cell block).
@@ -36,39 +73,96 @@ impl GridIndex {
     /// # Panics
     /// Panics if `min_cell_side` is not finite and positive.
     pub fn build(points: &[Point], min_cell_side: f64) -> Self {
+        Self::build_threads(points, min_cell_side, 1)
+    }
+
+    /// Builds the index splitting the counting and bucket-fill passes over
+    /// `threads` scoped worker threads. The result is bit-identical to the
+    /// serial [`GridIndex::build`] for any thread count: entries stay
+    /// grouped by cell and ordered by point index within each cell.
+    ///
+    /// # Panics
+    /// Panics if `min_cell_side` is not finite and positive.
+    pub fn build_threads(points: &[Point], min_cell_side: f64, threads: usize) -> Self {
         assert!(
             min_cell_side.is_finite() && min_cell_side > 0.0,
             "cell side must be positive, got {min_cell_side}"
         );
-        // At least one cell; at most what keeps memory reasonable for the
-        // unit square (1/δ cells per axis, capped to avoid pathological tiny δ).
-        let cells = ((1.0 / min_cell_side).floor() as usize).clamp(1, 4096);
+        let cells = cells_per_axis(min_cell_side);
         let cell_side = 1.0 / cells as f64;
-
+        let n = points.len();
         let n_cells = cells * cells;
-        let mut counts = vec![0u32; n_cells + 1];
-        let cell_of = |p: &Point| -> usize {
-            let cx = ((p.x / cell_side) as usize).min(cells - 1);
-            let cy = ((p.y / cell_side) as usize).min(cells - 1);
-            cy * cells + cx
-        };
-        for p in points {
-            counts[cell_of(p) + 1] += 1;
-        }
-        for i in 1..=n_cells {
-            counts[i] += counts[i - 1];
-        }
-        let mut entries = vec![0 as UserId; points.len()];
-        let mut cursor = counts.clone();
-        for (i, p) in points.iter().enumerate() {
-            let c = cell_of(p);
-            entries[cursor[c] as usize] = i as UserId;
-            cursor[c] += 1;
+        let threads = nela_par::effective_threads(threads, n);
+
+        // Pass 0 (parallel): flat cell id of every point.
+        let cell_ids: Vec<u32> = nela_par::map_indexed(threads, n, |i| {
+            cell_id_of(&points[i], cell_side, cells) as u32
+        });
+
+        let mut offsets = vec![0u32; n_cells + 1];
+        let mut entries = vec![0 as UserId; n];
+        if threads > 1 && n_cells <= PARALLEL_FILL_MAX_CELLS {
+            // Pass 1 (parallel): per-chunk cell histograms.
+            let ranges = nela_par::chunk_ranges(n, threads);
+            let cell_ids_ref = &cell_ids;
+            let mut chunk_counts: Vec<Vec<u32>> = nela_par::map_chunks(threads, n, move |range| {
+                let mut counts = vec![0u32; n_cells];
+                for i in range {
+                    counts[cell_ids_ref[i] as usize] += 1;
+                }
+                counts
+            });
+            // Exclusive prefix over (cell, chunk): chunk_counts[t][c] becomes
+            // the first write cursor of chunk t inside cell c's bucket.
+            for c in 0..n_cells {
+                let mut acc = 0u32;
+                for counts in chunk_counts.iter_mut() {
+                    let here = counts[c];
+                    counts[c] = acc;
+                    acc += here;
+                }
+                offsets[c + 1] = acc;
+            }
+            for c in 1..=n_cells {
+                offsets[c] += offsets[c - 1];
+            }
+            // Pass 2 (parallel): scatter ids into disjoint cursor ranges.
+            let writer = nela_par::ScatterWriter::new(&mut entries);
+            let offsets_ref = &offsets;
+            std::thread::scope(|scope| {
+                for (range, mut cursors) in ranges.into_iter().zip(chunk_counts) {
+                    let writer = &writer;
+                    let cell_ids = &cell_ids;
+                    scope.spawn(move || {
+                        for i in range {
+                            let c = cell_ids[i] as usize;
+                            let at = offsets_ref[c] + cursors[c];
+                            cursors[c] += 1;
+                            // SAFETY: cursor ranges are disjoint per (cell,
+                            // chunk) by the prefix-sum construction, so every
+                            // index is written exactly once.
+                            unsafe { writer.write(at as usize, i as UserId) };
+                        }
+                    });
+                }
+            });
+        } else {
+            for &c in &cell_ids {
+                offsets[c as usize + 1] += 1;
+            }
+            for c in 1..=n_cells {
+                offsets[c] += offsets[c - 1];
+            }
+            let mut cursor = offsets.clone();
+            for (i, &c) in cell_ids.iter().enumerate() {
+                entries[cursor[c as usize] as usize] = i as UserId;
+                cursor[c as usize] += 1;
+            }
         }
         GridIndex {
             cells,
             cell_side,
-            bucket_offsets: counts,
+            bucket_offsets: offsets,
             entries,
             points: points.to_vec(),
         }
@@ -92,17 +186,18 @@ impl GridIndex {
         &self.points
     }
 
-    /// All point ids strictly within Euclidean distance `radius` of point
-    /// `query_id`, excluding `query_id` itself. Results are appended to `out`
-    /// (cleared first) as `(id, squared distance)` pairs in arbitrary order.
+    /// All point ids within Euclidean distance `radius` (inclusive: peers at
+    /// exactly `radius` are in range) of point `query_id`, excluding
+    /// `query_id` itself. Results are appended to `out` (cleared first) as
+    /// `(id, squared distance)` pairs in arbitrary order.
     pub fn neighbors_within(&self, query_id: UserId, radius: f64, out: &mut Vec<(UserId, f64)>) {
         out.clear();
         let q = self.points[query_id as usize];
         let r_sq = radius * radius;
         // Cells overlapping the query ball.
         let span = (radius / self.cell_side).ceil() as isize;
-        let qcx = ((q.x / self.cell_side) as isize).min(self.cells as isize - 1);
-        let qcy = ((q.y / self.cell_side) as isize).min(self.cells as isize - 1);
+        let qcx = cell_coord(q.x, self.cell_side, self.cells) as isize;
+        let qcy = cell_coord(q.y, self.cell_side, self.cells) as isize;
         for cy in (qcy - span).max(0)..=(qcy + span).min(self.cells as isize - 1) {
             for cx in (qcx - span).max(0)..=(qcx + span).min(self.cells as isize - 1) {
                 let c = cy as usize * self.cells + cx as usize;
@@ -113,7 +208,7 @@ impl GridIndex {
                         continue;
                     }
                     let d_sq = q.dist_sq(&self.points[id as usize]);
-                    if d_sq < r_sq {
+                    if d_sq <= r_sq {
                         out.push((id, d_sq));
                     }
                 }
@@ -186,7 +281,7 @@ mod tests {
     fn brute_neighbors(points: &[Point], q: usize, radius: f64) -> Vec<UserId> {
         let r_sq = radius * radius;
         let mut v: Vec<UserId> = (0..points.len())
-            .filter(|&i| i != q && points[q].dist_sq(&points[i]) < r_sq)
+            .filter(|&i| i != q && points[q].dist_sq(&points[i]) <= r_sq)
             .map(|i| i as UserId)
             .collect();
         v.sort_unstable();
@@ -254,6 +349,26 @@ mod tests {
     }
 
     #[test]
+    fn peer_at_exactly_delta_is_in_range() {
+        // Regression for the δ-boundary semantics: two points exactly δ
+        // apart must hear each other ("within the radio range δ" is
+        // inclusive), in both the straddling-cells and same-cell layouts.
+        // Power-of-two coordinates so the distance is exactly δ in f64.
+        let delta = 0.125;
+        let pts = vec![Point::new(0.25, 0.5), Point::new(0.25 + delta, 0.5)];
+        let idx = GridIndex::build(&pts, delta);
+        assert_eq!(idx.neighbors_within_sorted(0, delta).len(), 1);
+        assert_eq!(idx.neighbors_within_sorted(1, delta).len(), 1);
+        // And just beyond δ stays out of range.
+        let far = vec![
+            Point::new(0.25, 0.5),
+            Point::new(0.25 + delta * 1.0001, 0.5),
+        ];
+        let idx_far = GridIndex::build(&far, delta);
+        assert!(idx_far.neighbors_within_sorted(0, delta).is_empty());
+    }
+
+    #[test]
     fn count_in_rect_matches_linear_scan() {
         let pts = sample_points();
         let idx = GridIndex::build(&pts, 0.05);
@@ -284,6 +399,39 @@ mod tests {
         let idx = GridIndex::build(&pts, 0.01);
         let res = idx.neighbors_within_sorted(0, 0.01);
         assert_eq!(res.len(), 1);
+    }
+
+    #[test]
+    fn out_of_square_coordinates_clamp_to_border_cells() {
+        // Mobility reflection can land exactly on 1.0, and numeric drift can
+        // produce slightly negative coordinates; both must index and query
+        // without panicking, landing on the border cells.
+        let pts = vec![
+            Point::new(-0.001, 0.5),
+            Point::new(0.0, 0.5),
+            Point::new(1.0, 1.0),
+            Point::new(1.002, 0.999),
+        ];
+        let idx = GridIndex::build(&pts, 0.05);
+        assert_eq!(idx.len(), 4);
+        let near_origin = idx.neighbors_within_sorted(0, 0.05);
+        assert_eq!(near_origin.len(), 1);
+        assert_eq!(near_origin[0].0, 1);
+        let near_corner = idx.neighbors_within_sorted(2, 0.05);
+        assert_eq!(near_corner.len(), 1);
+        assert_eq!(near_corner[0].0, 3);
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        let pts = sample_points();
+        let serial = GridIndex::build(&pts, 0.03);
+        for threads in [2usize, 3, 4, 8] {
+            let par = GridIndex::build_threads(&pts, 0.03, threads);
+            assert_eq!(par.bucket_offsets, serial.bucket_offsets, "t={threads}");
+            assert_eq!(par.entries, serial.entries, "t={threads}");
+            assert_eq!(par.points, serial.points, "t={threads}");
+        }
     }
 
     #[test]

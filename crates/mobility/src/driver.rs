@@ -34,7 +34,9 @@ pub struct DriverConfig {
     pub ticks: usize,
     /// Mean cloaking requests per tick (Poisson).
     pub rate: f64,
-    /// Seed for the request stream (host choice and arrival counts).
+    /// Seed for the request stream. Arrival counts and host choices draw
+    /// from separate derived streams (`seed ^ tag`), so changing the rate
+    /// does not reshuffle which users request.
     pub seed: u64,
     /// Also time a from-scratch WPG rebuild each tick for the speedup
     /// metric (doubles the per-tick cost; disable for long runs).
@@ -105,6 +107,11 @@ pub struct RunSummary {
     pub per_tick: Vec<TickMetrics>,
 }
 
+/// Stream tag for Poisson arrival counts.
+const ARRIVAL_STREAM: u64 = 0x4152_5249_5645; // "ARRIVE"
+/// Stream tag for request host choices.
+const HOST_STREAM: u64 = 0x484f_5354; // "HOST"
+
 /// Knuth's product method; exact for the small per-tick rates used here.
 fn poisson(rng: &mut ChaCha8Rng, rate: f64) -> usize {
     assert!((0.0..700.0).contains(&rate), "rate out of supported range");
@@ -131,7 +138,8 @@ pub fn run_continuous(
 ) -> RunSummary {
     let mut world = MobileWorld::new(params, mobility);
     let mut registry = ClusterRegistry::new(params.n_users);
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut arrival_rng = ChaCha8Rng::seed_from_u64(config.seed ^ ARRIVAL_STREAM);
+    let mut host_rng = ChaCha8Rng::seed_from_u64(config.seed ^ HOST_STREAM);
     let rebuild_builder = WpgBuilder::new(params.delta, params.max_peers, InverseDistanceRss);
     let mut per_tick = Vec::with_capacity(config.ticks);
 
@@ -164,7 +172,7 @@ pub fn run_continuous(
             wpg,
         );
         let mut engine = CloakingEngine::with_registry(&system, clustering, bounding, registry);
-        let requests = poisson(&mut rng, config.rate);
+        let requests = poisson(&mut arrival_rng, config.rate);
         let mut m = TickMetrics {
             tick,
             moved: stats.moved,
@@ -181,7 +189,7 @@ pub fn run_continuous(
             valid_served: 0,
         };
         for _ in 0..requests {
-            let host: UserId = rng.gen_range(0..params.n_users as u32);
+            let host: UserId = host_rng.gen_range(0..params.n_users as u32);
             match engine.request(host) {
                 Ok(r) => {
                     m.served += 1;

@@ -14,8 +14,12 @@
 //!   which keeps per-tick move fractions realistic and gives the
 //!   incremental WPG maintenance its locality.
 //!
-//! All randomness flows from one `ChaCha8Rng` seeded by the caller, exactly
-//! like `nela_geo::dataset` — every trajectory is reproducible per seed.
+//! All randomness flows from `cfg.seed`, exactly like `nela_geo::dataset` —
+//! every trajectory is reproducible per seed. The model *assignment* and the
+//! per-tick *stepping* draw from separate derived streams (`seed ^ tag`), so
+//! changing the mixture fractions (which changes how many draws assignment
+//! consumes) never reshuffles the motion noise of users that kept their
+//! model.
 
 use nela_geo::{Point, UserId};
 use rand::{Rng, SeedableRng};
@@ -94,6 +98,11 @@ impl MobilityConfig {
     }
 }
 
+/// Stream tag for the one-time model assignment.
+const ASSIGN_STREAM: u64 = 0x4153_5349_474e; // "ASSIGN"
+/// Stream tag for per-tick motion draws.
+const STEP_STREAM: u64 = 0x5354_4550; // "STEP"
+
 /// Per-user motion state.
 #[derive(Debug, Clone)]
 enum Motion {
@@ -126,7 +135,7 @@ impl MobilityField {
     /// assignment and all future steps are functions of `cfg.seed` alone.
     pub fn new(n: usize, cfg: &MobilityConfig) -> Self {
         cfg.validate();
-        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ ASSIGN_STREAM);
         let motions = (0..n)
             .map(|_| {
                 let roll: f64 = rng.gen();
@@ -148,7 +157,7 @@ impl MobilityField {
             .collect();
         MobilityField {
             motions,
-            rng,
+            rng: ChaCha8Rng::seed_from_u64(cfg.seed ^ STEP_STREAM),
             gm_alpha: cfg.gm_alpha,
             gm_mean_speed: cfg.gm_mean_speed,
             gm_sigma: cfg.gm_sigma,

@@ -21,14 +21,74 @@ use nela_bounding::bbox::{secure_bounding_box, BboxOutcome};
 use nela_bounding::cost::AreaCost;
 use nela_bounding::distribution::Uniform;
 use nela_bounding::nbound::SecurePolicy;
-use nela_bounding::protocol::IncrementPolicy;
+use nela_bounding::protocol::{BoundingError, IncrementPolicy};
 use nela_cluster::centralized::centralized_k_clustering;
 use nela_cluster::distributed::distributed_k_clustering;
 use nela_cluster::knn::{knn_cluster, TieBreak};
 use nela_cluster::registry::{ClusterId, ClusterRegistry};
 use nela_cluster::ClusterError;
 use nela_geo::{Point, Rect, UserId};
+use parking_lot::Mutex;
 use std::time::{Duration, Instant};
+
+/// Typed failure of one cloaking request: either phase can fail, and under
+/// concurrent serving a request can additionally starve on contention. A
+/// failed request degrades gracefully — the engine and its registry stay
+/// usable for subsequent requests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestError {
+    /// Phase 1 failed: the host cannot reach k users in the remaining WPG
+    /// (paper Fig. 5's disconnected problem) or a required peer is down.
+    Cluster(ClusterError),
+    /// Phase 2 failed: the cluster could not be bounded (empty or malformed
+    /// cluster, unreachable participant, misbehaving increment policy).
+    Bounding(BoundingError),
+    /// Concurrent serving only: the retry budget was exhausted because rival
+    /// requests kept claiming members of every computed cluster.
+    Contention {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl From<ClusterError> for RequestError {
+    fn from(e: ClusterError) -> Self {
+        RequestError::Cluster(e)
+    }
+}
+
+impl From<BoundingError> for RequestError {
+    fn from(e: BoundingError) -> Self {
+        RequestError::Bounding(e)
+    }
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Cluster(e) => write!(f, "clustering failed: {e}"),
+            RequestError::Bounding(e) => write!(f, "bounding failed: {e}"),
+            RequestError::Contention { attempts } => {
+                write!(f, "request starved after {attempts} contended attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RequestError::Cluster(e) => Some(e),
+            RequestError::Bounding(e) => Some(e),
+            RequestError::Contention { .. } => None,
+        }
+    }
+}
+
+/// Attempts per host before [`CloakingEngine::request_many`] reports
+/// [`RequestError::Contention`]; mirrors the retry budget of
+/// `nela-netsim`'s `ConcurrentWorkload`.
+const MAX_CONCURRENT_ATTEMPTS: u32 = 16;
 
 /// Phase-1 algorithm selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,16 +235,17 @@ impl<'a> CloakingEngine<'a> {
     /// Serves one cloaking request.
     ///
     /// # Errors
-    /// [`ClusterError::ComponentTooSmall`] when the host cannot reach k
-    /// users in the remaining WPG (paper Fig. 5's disconnected problem).
-    pub fn request(&mut self, host: UserId) -> Result<CloakingResult, ClusterError> {
+    /// [`RequestError::Cluster`] when the host cannot reach k users in the
+    /// remaining WPG (paper Fig. 5's disconnected problem);
+    /// [`RequestError::Bounding`] when phase 2 fails on a malformed cluster.
+    pub fn request(&mut self, host: UserId) -> Result<CloakingResult, RequestError> {
         // The kNN baseline forms a fresh group per request (no reuse).
         if let ClusteringAlgo::Knn(tie) = self.clustering {
             return self.request_knn(host, tie);
         }
         // Reuse path: cluster (and possibly region) already known.
         if let Some(id) = self.registry.cluster_id_of(host) {
-            return Ok(self.serve_registered(host, id, 0));
+            return self.serve_registered(host, id, 0);
         }
 
         // Phase 1.
@@ -217,7 +278,7 @@ impl<'a> CloakingEngine<'a> {
                     // Host sits in an underfilled component; carry the setup
                     // cost (if any) to the next served request.
                     self.carried_messages = setup;
-                    return Err(ClusterError::ComponentTooSmall { reachable: 0 });
+                    return Err(ClusterError::ComponentTooSmall { reachable: 0 }.into());
                 };
                 (id, setup)
             }
@@ -227,20 +288,200 @@ impl<'a> CloakingEngine<'a> {
                 let Some(id) = self.registry.cluster_id_of(host) else {
                     // Only possible when the population is below k.
                     self.carried_messages = setup;
-                    return Err(ClusterError::ComponentTooSmall { reachable: 0 });
+                    return Err(ClusterError::ComponentTooSmall { reachable: 0 }.into());
                 };
                 (id, setup)
             }
             ClusteringAlgo::Knn(_) => unreachable!("handled by request_knn"),
         };
 
-        Ok(self.serve_registered(host, host_cluster_id, clustering_messages))
+        self.serve_registered(host, host_cluster_id, clustering_messages)
+    }
+
+    /// Serves a batch of cloaking requests, returning one result per host in
+    /// `hosts` order.
+    ///
+    /// With `threads <= 1` — or for any clustering algorithm other than the
+    /// distributed one, whose setup is inherently global — this is exactly
+    /// the serial `for h in hosts { engine.request(h) }` loop, result for
+    /// result. With more threads and [`ClusteringAlgo::TConnDistributed`],
+    /// requests are served concurrently against the shared registry under
+    /// the optimistic snapshot → compute → validate-and-claim scheme modeled
+    /// in `nela-netsim`'s `ConcurrentWorkload`: clustering and bounding run
+    /// outside the registry lock, conflicts trigger a bounded recompute, and
+    /// a starved request reports [`RequestError::Contention`] instead of
+    /// deadlocking.
+    pub fn request_many(
+        &mut self,
+        hosts: &[UserId],
+        threads: usize,
+    ) -> Vec<Result<CloakingResult, RequestError>> {
+        let threads = nela_par::effective_threads(threads, hosts.len());
+        if threads <= 1 || self.clustering != ClusteringAlgo::TConnDistributed {
+            return hosts.iter().map(|&h| self.request(h)).collect();
+        }
+        // Move the registry behind a lock for the scope of the batch; the
+        // placeholder is never observed (workers only use the mutex).
+        let registry = Mutex::new(std::mem::replace(
+            &mut self.registry,
+            ClusterRegistry::new(0),
+        ));
+        let this: &CloakingEngine<'a> = self;
+        let results: Vec<Option<Result<CloakingResult, RequestError>>> = {
+            let mut slots: Vec<Option<Result<CloakingResult, RequestError>>> =
+                vec![None; hosts.len()];
+            std::thread::scope(|scope| {
+                let registry = &registry;
+                let ranges = nela_par::chunk_ranges(hosts.len(), threads);
+                let mut rest = slots.as_mut_slice();
+                for range in ranges {
+                    let (chunk, tail) = rest.split_at_mut(range.len());
+                    rest = tail;
+                    scope.spawn(move || {
+                        for (&host, slot) in hosts[range].iter().zip(chunk.iter_mut()) {
+                            *slot = Some(this.serve_concurrent(registry, host));
+                        }
+                    });
+                }
+            });
+            slots
+        };
+        self.registry = registry.into_inner();
+        results
+            .into_iter()
+            .map(|r| r.expect("all request slots filled"))
+            .collect()
+    }
+
+    /// One optimistic concurrent request against the locked registry
+    /// (distributed algorithm only). Never holds the lock across clustering
+    /// or bounding.
+    fn serve_concurrent(
+        &self,
+        registry: &Mutex<ClusterRegistry>,
+        host: UserId,
+    ) -> Result<CloakingResult, RequestError> {
+        let n = self.system.points.len();
+        for _attempt in 1..=MAX_CONCURRENT_ATTEMPTS {
+            // Snapshot the membership table (reuse path included).
+            type KnownCluster = Option<(ClusterId, Vec<UserId>, Option<Rect>)>;
+            let (known, snapshot): (KnownCluster, Vec<bool>) = {
+                let reg = registry.lock();
+                match reg.cluster_id_of(host) {
+                    Some(id) => {
+                        let rc = reg.get(id);
+                        (
+                            Some((id, rc.cluster.members.clone(), rc.region)),
+                            Vec::new(),
+                        )
+                    }
+                    None => (
+                        None,
+                        (0..n as UserId).map(|u| reg.is_clustered(u)).collect(),
+                    ),
+                }
+            };
+            if let Some((id, members, region)) = known {
+                return self.finish_concurrent(registry, host, id, &members, region, 0);
+            }
+            // Phase 1 outside the lock.
+            let removed = |u: UserId| snapshot[u as usize];
+            let out =
+                distributed_k_clustering(&self.system.wpg, host, self.system.params.k, &removed)?;
+            // Validate and claim atomically.
+            let claimed = {
+                let mut reg = registry.lock();
+                if let Some(id) = reg.cluster_id_of(host) {
+                    // A rival clustered us meanwhile: reuse its cluster.
+                    let rc = reg.get(id);
+                    Some((id, rc.cluster.members.clone(), rc.region))
+                } else if out
+                    .all_clusters
+                    .iter()
+                    .flat_map(|c| &c.members)
+                    .any(|&m| reg.is_clustered(m))
+                {
+                    None // a rival claimed one of our users: recompute
+                } else {
+                    let mut host_id = None;
+                    for c in out.all_clusters {
+                        let contains_host = c.contains(host);
+                        let members = c.members.clone();
+                        let id = reg.register(c);
+                        if contains_host {
+                            host_id = Some((id, members, None));
+                        }
+                    }
+                    host_id
+                }
+            };
+            if let Some((id, members, region)) = claimed {
+                return self.finish_concurrent(
+                    registry,
+                    host,
+                    id,
+                    &members,
+                    region,
+                    out.involved_users as u64,
+                );
+            }
+        }
+        Err(RequestError::Contention {
+            attempts: MAX_CONCURRENT_ATTEMPTS,
+        })
+    }
+
+    /// Phase 2 for a concurrently served host whose cluster id is claimed:
+    /// reuses the stored region or bounds outside the lock, then publishes
+    /// the region (first writer wins — bounding is deterministic per
+    /// cluster, so rivals compute the identical rectangle).
+    fn finish_concurrent(
+        &self,
+        registry: &Mutex<ClusterRegistry>,
+        host: UserId,
+        id: ClusterId,
+        members: &[UserId],
+        region: Option<Rect>,
+        clustering_messages: u64,
+    ) -> Result<CloakingResult, RequestError> {
+        let cluster_size = members.len();
+        if let Some(region) = region {
+            return Ok(CloakingResult {
+                host,
+                region,
+                cluster_size,
+                clustering_messages,
+                bounding_messages: 0,
+                bounding_rounds: 0,
+                reused: clustering_messages == 0,
+                bounding_cpu: Duration::ZERO,
+            });
+        }
+        let member_points: Vec<Point> = members
+            .iter()
+            .map(|&m| self.system.points[m as usize])
+            .collect();
+        let host_point = self.system.points[host as usize];
+        let started = Instant::now();
+        let bbox = self.bound(&member_points, host_point, cluster_size)?;
+        let bounding_cpu = started.elapsed();
+        registry.lock().set_region(id, bbox.rect);
+        Ok(CloakingResult {
+            host,
+            region: bbox.rect,
+            cluster_size,
+            clustering_messages,
+            bounding_messages: bbox.messages,
+            bounding_rounds: bbox.rounds,
+            reused: false,
+            bounding_cpu,
+        })
     }
 
     /// Serves a kNN-baseline request: a fresh group of the host plus its
     /// k−1 nearest users not consumed by earlier groups, bounded
     /// immediately. Nothing is reused.
-    fn request_knn(&mut self, host: UserId, tie: TieBreak) -> Result<CloakingResult, ClusterError> {
+    fn request_knn(&mut self, host: UserId, tie: TieBreak) -> Result<CloakingResult, RequestError> {
         let taken = &self.knn_taken;
         let removed = |u: UserId| u != host && taken[u as usize];
         let out = knn_cluster(&self.system.wpg, host, self.system.params.k, &removed, tie)?;
@@ -255,7 +496,7 @@ impl<'a> CloakingEngine<'a> {
             .collect();
         let host_point = self.system.points[host as usize];
         let started = Instant::now();
-        let bbox = self.bound(&members, host_point, out.cluster.len());
+        let bbox = self.bound(&members, host_point, out.cluster.len())?;
         let bounding_cpu = started.elapsed();
         Ok(CloakingResult {
             host,
@@ -307,11 +548,11 @@ impl<'a> CloakingEngine<'a> {
         host: UserId,
         id: ClusterId,
         clustering_messages: u64,
-    ) -> CloakingResult {
+    ) -> Result<CloakingResult, RequestError> {
         let rc = self.registry.get(id);
         let cluster_size = rc.cluster.len();
         if let Some(region) = rc.region {
-            return CloakingResult {
+            return Ok(CloakingResult {
                 host,
                 region,
                 cluster_size,
@@ -320,7 +561,7 @@ impl<'a> CloakingEngine<'a> {
                 bounding_rounds: 0,
                 reused: clustering_messages == 0,
                 bounding_cpu: Duration::ZERO,
-            };
+            });
         }
         let members: Vec<Point> = rc
             .cluster
@@ -330,10 +571,10 @@ impl<'a> CloakingEngine<'a> {
             .collect();
         let host_point = self.system.points[host as usize];
         let started = Instant::now();
-        let bbox = self.bound(&members, host_point, cluster_size);
+        let bbox = self.bound(&members, host_point, cluster_size)?;
         let bounding_cpu = started.elapsed();
         self.registry.set_region(id, bbox.rect);
-        CloakingResult {
+        Ok(CloakingResult {
             host,
             region: bbox.rect,
             cluster_size,
@@ -342,22 +583,27 @@ impl<'a> CloakingEngine<'a> {
             bounding_rounds: bbox.rounds,
             reused: false,
             bounding_cpu,
-        }
+        })
     }
 
     /// Runs phase 2 under the configured algorithm.
-    fn bound(&self, members: &[Point], host_point: Point, cluster_size: usize) -> BboxOutcome {
+    fn bound(
+        &self,
+        members: &[Point],
+        host_point: Point,
+        cluster_size: usize,
+    ) -> Result<BboxOutcome, BoundingError> {
         let p: &Params = &self.system.params;
         let span = p.uniform_span(cluster_size);
         match self.bounding {
             BoundingAlgo::Optimal => {
-                let rect = Rect::bounding(members).expect("cluster is non-empty");
-                BboxOutcome {
+                let rect = Rect::bounding(members).ok_or(BoundingError::EmptyCluster)?;
+                Ok(BboxOutcome {
                     rect,
                     messages: cluster_size as u64,
                     rounds: 1,
                     runs: optimal_runs(members, rect),
-                }
+                })
             }
             BoundingAlgo::Secure => {
                 // Per-dimension request-cost coefficient: a bound of extent x

@@ -101,10 +101,26 @@ pub fn run_workload(
     bounding: BoundingAlgo,
     hosts: &[UserId],
 ) -> WorkloadStats {
+    run_workload_threads(system, clustering, bounding, hosts, 1)
+}
+
+/// [`run_workload`] over a batched engine: with `threads > 1` the requests
+/// are served concurrently through [`CloakingEngine::request_many`]. The
+/// aggregate counters (served / failed / reuse and message totals) match the
+/// serial run whenever the requests are independent; per-request attribution
+/// of a reuse may differ, since whichever racing host registers the cluster
+/// first pays its clustering messages.
+pub fn run_workload_threads(
+    system: &System,
+    clustering: ClusteringAlgo,
+    bounding: BoundingAlgo,
+    hosts: &[UserId],
+    threads: usize,
+) -> WorkloadStats {
     let mut engine = CloakingEngine::new(system, clustering, bounding);
     let mut stats = StatsCollector::new();
-    for &h in hosts {
-        match engine.request(h) {
+    for outcome in engine.request_many(hosts, threads) {
+        match outcome {
             Ok(r) => stats.push(&r, &system.params),
             Err(_) => stats.push_failure(),
         }

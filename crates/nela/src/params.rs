@@ -27,6 +27,13 @@ pub struct Params {
     pub distribution: SpatialDistribution,
     /// Master seed for the dataset and host sequences.
     pub seed: u64,
+    /// Worker threads for system construction and batched request serving.
+    /// `1` (the default) runs every pipeline stage serially. Higher values
+    /// build a bit-identical system (grid, proximity graph) in parallel;
+    /// batch serving then runs concurrently, preserving every cloaking
+    /// invariant though per-request attribution may differ from serial
+    /// order under registry contention.
+    pub threads: usize,
 }
 
 impl Params {
@@ -42,6 +49,7 @@ impl Params {
             requests: 2_000,
             distribution: SpatialDistribution::california(),
             seed: 20090329, // ICDE 2009 opening day
+            threads: 1,
         }
     }
 

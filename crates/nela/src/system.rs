@@ -33,10 +33,11 @@ impl System {
             seed: params.seed,
             distribution: params.distribution.clone(),
         };
+        let threads = params.threads.max(1);
         let points = spec.generate();
-        let grid = GridIndex::build(&points, params.delta);
+        let grid = GridIndex::build_threads(&points, params.delta, threads);
         let wpg = WpgBuilder::new(params.delta, params.max_peers, InverseDistanceRss)
-            .build_with_index(&points, &grid);
+            .build_with_index_threads(&points, &grid, threads);
         System {
             params: params.clone(),
             points,
@@ -121,5 +122,23 @@ mod tests {
         let b = System::build(&p);
         assert_eq!(a.points, b.points);
         assert_eq!(a.wpg.m(), b.wpg.m());
+    }
+
+    #[test]
+    fn threaded_build_matches_serial() {
+        let serial = System::build(&Params::scaled(1_500));
+        for threads in [2, 4, 8] {
+            let p = Params {
+                threads,
+                ..Params::scaled(1_500)
+            };
+            let par = System::build(&p);
+            assert_eq!(serial.points, par.points);
+            assert_eq!(
+                serial.wpg.edges().collect::<Vec<_>>(),
+                par.wpg.edges().collect::<Vec<_>>(),
+                "threads = {threads}"
+            );
+        }
     }
 }

@@ -36,9 +36,18 @@ pub struct DiscoveryConfig {
     pub rss_noise: f64,
     /// Beacon period in virtual seconds.
     pub period: f64,
-    /// Seed for loss, jitter, and noise.
+    /// Master seed. Jitter, loss, and noise each draw from their own
+    /// derived stream (`seed ^ tag`), so e.g. enabling RSS noise does not
+    /// reshuffle which beacons are lost.
     pub seed: u64,
 }
+
+/// Stream tag for beacon-schedule jitter.
+const JITTER_STREAM: u64 = 0x4a49_5454; // "JITT"
+/// Stream tag for reception-loss draws.
+const LOSS_STREAM: u64 = 0x4c4f_5353; // "LOSS"
+/// Stream tag for RSS measurement noise.
+const NOISE_STREAM: u64 = 0x4e4f_4953; // "NOIS"
 
 impl Default for DiscoveryConfig {
     fn default() -> Self {
@@ -86,13 +95,15 @@ pub fn run_discovery(
     );
     assert!(cfg.rounds >= 1, "at least one beacon round");
     let n = points.len();
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut jitter_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ JITTER_STREAM);
+    let mut loss_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ LOSS_STREAM);
+    let mut noise_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ NOISE_STREAM);
     let mut queue: EventQueue<Beacon> = EventQueue::new();
     // Jittered beacon schedule: round r, device u beacons at
     // r·period + jitter(u, r) — the jitter decorrelates collisions.
     for round in 0..cfg.rounds {
         for u in 0..n as UserId {
-            let jitter: f64 = rng.gen::<f64>() * cfg.period * 0.9;
+            let jitter: f64 = jitter_rng.gen::<f64>() * cfg.period * 0.9;
             queue.schedule(round as f64 * cfg.period + jitter, Beacon { sender: u });
         }
     }
@@ -106,7 +117,7 @@ pub fn run_discovery(
         stats.beacons += 1;
         grid.neighbors_within(beacon.sender, cfg.delta, &mut in_range);
         for &(receiver, d_sq) in &in_range {
-            if rng.gen::<f64>() < cfg.beacon_loss {
+            if loss_rng.gen::<f64>() < cfg.beacon_loss {
                 stats.lost += 1;
                 continue;
             }
@@ -114,7 +125,7 @@ pub fn run_discovery(
             // The ranking only needs a strictly distance-decreasing signal;
             // use −distance plus measurement noise (cf. nela-wpg's RSS
             // models).
-            let rss = -d_sq.sqrt() + cfg.rss_noise * standard_normal(&mut rng);
+            let rss = -d_sq.sqrt() + cfg.rss_noise * standard_normal(&mut noise_rng);
             let entry = samples[receiver as usize]
                 .entry(beacon.sender)
                 .or_insert((0.0, 0));

@@ -180,6 +180,9 @@ mod tests {
         let err =
             progressive_upper_bound_with(&mut transport, 0.0, 0.0, &mut LinearPolicy::new(0.1))
                 .unwrap_err();
-        assert_eq!(err.index, 1);
+        assert_eq!(
+            err,
+            nela_bounding::protocol::BoundingError::Unreachable { index: 1 }
+        );
     }
 }

@@ -44,42 +44,91 @@ impl<R: RssModel> WpgBuilder<R> {
 
     /// Builds the WPG reusing an existing grid index over the same `points`.
     pub fn build_with_index(&self, points: &[Point], index: &GridIndex) -> Wpg {
+        self.build_with_index_threads(points, index, 1)
+    }
+
+    /// Builds the WPG over `points` splitting the grid build, the per-user
+    /// rank lists, and the mutual-edge pass across `threads` scoped worker
+    /// threads. Bit-identical to the serial [`WpgBuilder::build`] for any
+    /// thread count (see [`WpgBuilder::build_with_index_threads`]).
+    pub fn build_threads(&self, points: &[Point], threads: usize) -> Wpg {
+        let index = GridIndex::build_threads(points, self.delta, threads);
+        self.build_with_index_threads(points, &index, threads)
+    }
+
+    /// Builds the WPG reusing an existing grid index, with the per-user rank
+    /// lists and the mutual-edge pass split across `threads` scoped worker
+    /// threads.
+    ///
+    /// Every per-user computation is independent and the deterministic
+    /// tie-breaks (RSS descending, then id ascending) fix each rank list
+    /// uniquely, so chunked execution reassembled in index order yields a
+    /// graph **bit-identical** to the serial build for any thread count.
+    /// `threads = 1` runs the exact serial loops on the caller's thread.
+    pub fn build_with_index_threads(
+        &self,
+        points: &[Point],
+        index: &GridIndex,
+        threads: usize,
+    ) -> Wpg {
         assert_eq!(points.len(), index.len(), "index does not match points");
         let n = points.len();
-        // Per-user top-M peer list with 1-based RSS ranks.
-        let mut rank_of: Vec<Vec<(UserId, u32)>> = vec![Vec::new(); n];
-        let mut buf: Vec<(UserId, f64)> = Vec::new();
-        let mut scored: Vec<(f64, UserId)> = Vec::new();
-        for u in 0..n as UserId {
-            index.neighbors_within(u, self.delta, &mut buf);
-            scored.clear();
-            scored.extend(buf.iter().map(|&(v, _)| {
-                (
-                    self.rss.rss(u, points[u as usize], v, points[v as usize]),
-                    v,
-                )
-            }));
-            // Strongest first; tie-break on id so the build is deterministic.
-            scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-            scored.truncate(self.max_peers);
-            rank_of[u as usize] = scored
-                .iter()
-                .enumerate()
-                .map(|(i, &(_, v))| (v, i as u32 + 1))
-                .collect();
+        // Per-user top-M peer list with 1-based RSS ranks, chunked over
+        // users; scratch buffers are reused within each chunk.
+        let rank_chunks: Vec<Vec<Vec<(UserId, u32)>>> = nela_par::map_chunks(threads, n, |range| {
+            let mut buf: Vec<(UserId, f64)> = Vec::new();
+            let mut scored: Vec<(f64, UserId)> = Vec::new();
+            range
+                .map(|u| {
+                    let u = u as UserId;
+                    index.neighbors_within(u, self.delta, &mut buf);
+                    scored.clear();
+                    scored.extend(buf.iter().map(|&(v, _)| {
+                        (
+                            self.rss.rss(u, points[u as usize], v, points[v as usize]),
+                            v,
+                        )
+                    }));
+                    // Strongest first; tie-break on id so the build is
+                    // deterministic.
+                    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+                    scored.truncate(self.max_peers);
+                    scored
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &(_, v))| (v, i as u32 + 1))
+                        .collect()
+                })
+                .collect()
+        });
+        let mut rank_of: Vec<Vec<(UserId, u32)>> = Vec::with_capacity(n);
+        for chunk in rank_chunks {
+            rank_of.extend(chunk);
         }
-        // Mutual edges with min-rank weights.
-        let mut edges = Vec::new();
-        for u in 0..n as UserId {
-            for &(v, rank_v_at_u) in &rank_of[u as usize] {
-                if v <= u {
-                    continue; // handle each unordered pair once, from the lower id
-                }
-                if let Some(&(_, rank_u_at_v)) = rank_of[v as usize].iter().find(|&&(x, _)| x == u)
-                {
-                    edges.push(Edge::new(u, v, rank_v_at_u.min(rank_u_at_v)));
+        // Mutual edges with min-rank weights: each chunk emits the edges
+        // whose lower endpoint falls in its range; concatenating in chunk
+        // order reproduces the serial emission order exactly.
+        let rank_of_ref = &rank_of;
+        let edge_chunks: Vec<Vec<Edge>> = nela_par::map_chunks(threads, n, move |range| {
+            let mut edges = Vec::new();
+            for u in range {
+                let u = u as UserId;
+                for &(v, rank_v_at_u) in &rank_of_ref[u as usize] {
+                    if v <= u {
+                        continue; // handle each unordered pair once, from the lower id
+                    }
+                    if let Some(&(_, rank_u_at_v)) =
+                        rank_of_ref[v as usize].iter().find(|&&(x, _)| x == u)
+                    {
+                        edges.push(Edge::new(u, v, rank_v_at_u.min(rank_u_at_v)));
+                    }
                 }
             }
+            edges
+        });
+        let mut edges = Vec::new();
+        for chunk in edge_chunks {
+            edges.extend(chunk);
         }
         Wpg::from_edges(n, &edges)
     }
@@ -165,6 +214,19 @@ mod tests {
         ];
         let g = WpgBuilder::new(0.01, 4, InverseDistanceRss).build(&pts);
         assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn threaded_build_is_bit_identical_to_serial() {
+        let pts = nela_geo::DatasetSpec::small_uniform(600, 21).generate();
+        let b = WpgBuilder::new(0.08, 6, InverseDistanceRss);
+        let serial = b.build(&pts);
+        let serial_edges: Vec<_> = serial.edges().collect();
+        for threads in [1usize, 2, 3, 4, 8] {
+            let par = b.build_threads(&pts, threads);
+            let par_edges: Vec<_> = par.edges().collect();
+            assert_eq!(par_edges, serial_edges, "threads={threads}");
+        }
     }
 
     #[test]

@@ -12,7 +12,11 @@ use nela_geo::{Point, UserId};
 
 /// A model mapping a transmitter/receiver pair to a signal strength.
 /// Larger return values mean *stronger* signal (closer peer).
-pub trait RssModel {
+///
+/// `Sync` is a supertrait so WPG builds can score users from multiple
+/// threads ([`crate::builder::WpgBuilder::build_threads`]); models are
+/// immutable parameter bundles, so this costs implementors nothing.
+pub trait RssModel: Sync {
     /// Signal strength measured at `receiver` for a beacon from `sender`.
     ///
     /// The ids are provided so noisy models can derive deterministic per-pair

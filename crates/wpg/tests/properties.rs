@@ -25,9 +25,9 @@ proptest! {
         }
         for e in g.edges() {
             prop_assert!(e.w >= 1 && e.w <= m as u32);
-            // Edges never exceed the radio range.
+            // Edges never exceed the radio range (δ itself is in range).
             let d = points[e.u as usize].dist(&points[e.v as usize]);
-            prop_assert!(d < delta, "edge of length {d} with δ = {delta}");
+            prop_assert!(d <= delta, "edge of length {d} with δ = {delta}");
         }
     }
 

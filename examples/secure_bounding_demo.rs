@@ -62,7 +62,7 @@ fn main() {
         "algorithm", "rounds", "messages", "bound", "slack", "mean leak width"
     );
     for (name, policy) in policies.iter_mut() {
-        let run = progressive_upper_bound(&xs, x0, 0.0, policy.as_mut());
+        let run = progressive_upper_bound(&xs, x0, 0.0, policy.as_mut()).expect("valid cluster");
         let leak = leak_report(&run, 0.0);
         println!(
             "{name:>12} | {:>7} {:>9} {:>12.6} {:>12.2e} {:>14.2e}",

@@ -85,7 +85,7 @@ fn simulated_bounding_equals_local_bounding() {
     let values: Vec<f64> = participants.iter().map(|&(_, v)| v).collect();
     let x0 = system.points[host as usize].x;
 
-    let local = progressive_upper_bound(&values, x0, 0.0, &mut LinearPolicy::new(1e-3));
+    let local = progressive_upper_bound(&values, x0, 0.0, &mut LinearPolicy::new(1e-3)).unwrap();
     let mut net = Network::reliable();
     let mut transport = SimVerify::new(&mut net, host, &participants);
     let simulated =

@@ -135,7 +135,7 @@ proptest! {
         values in proptest::collection::vec(0.0f64..1.0, 1..20),
         step in 0.01f64..0.5,
     ) {
-        let run = progressive_upper_bound(&values, 0.0, 0.0, &mut LinearPolicy::new(step));
+        let run = progressive_upper_bound(&values, 0.0, 0.0, &mut LinearPolicy::new(step)).unwrap();
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         prop_assert!(run.bound >= max);
         prop_assert!(run.slack(&values) <= step + 1e-12);
@@ -157,7 +157,7 @@ proptest! {
             AreaCost { cr: 1.0e7 },
             1.0,
         );
-        let run = progressive_upper_bound(&values, 0.0, 0.0, &mut policy);
+        let run = progressive_upper_bound(&values, 0.0, 0.0, &mut policy).unwrap();
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         prop_assert!(run.bound >= max);
         prop_assert!(run.rounds < 10_000);

@@ -1,0 +1,123 @@
+//! Batched-request equivalence: `request_many` against the serial
+//! `request` loop, and safety invariants of the concurrent path.
+
+use nela::cluster::registry::ClusterRegistry;
+use nela::geo::UserId;
+use nela::{BoundingAlgo, CloakingEngine, ClusteringAlgo, Params, System};
+
+fn system() -> System {
+    System::build(&Params {
+        k: 5,
+        ..Params::scaled(2_000)
+    })
+}
+
+/// Canonical view of the live registry state: each active cluster's sorted
+/// membership plus its published region, sorted for order-independence.
+type Snapshot = Vec<(Vec<UserId>, Option<(f64, f64, f64, f64)>)>;
+
+fn registry_snapshot(reg: &ClusterRegistry) -> Snapshot {
+    let mut snap: Vec<_> = reg
+        .active_clusters()
+        .map(|(_, c)| {
+            let mut members = c.cluster.members.clone();
+            members.sort_unstable();
+            let region = c.region.map(|r| (r.min_x, r.min_y, r.max_x, r.max_y));
+            (members, region)
+        })
+        .collect();
+    snap.sort_by(|a, b| a.0.cmp(&b.0));
+    snap
+}
+
+#[test]
+fn single_thread_request_many_matches_request_loop() {
+    let s = system();
+    let hosts = s.host_sequence(80, 9);
+
+    let mut serial_engine =
+        CloakingEngine::new(&s, ClusteringAlgo::TConnDistributed, BoundingAlgo::Secure);
+    let serial: Vec<_> = hosts.iter().map(|&h| serial_engine.request(h)).collect();
+
+    let mut batched_engine =
+        CloakingEngine::new(&s, ClusteringAlgo::TConnDistributed, BoundingAlgo::Secure);
+    let batched = batched_engine.request_many(&hosts, 1);
+
+    assert_eq!(serial.len(), batched.len());
+    for (a, b) in serial.iter().zip(&batched) {
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                assert_eq!(x.host, y.host);
+                assert_eq!(x.region, y.region);
+                assert_eq!(x.cluster_size, y.cluster_size);
+                assert_eq!(x.clustering_messages, y.clustering_messages);
+                assert_eq!(x.bounding_messages, y.bounding_messages);
+                assert_eq!(x.reused, y.reused);
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("outcome diverged: {a:?} vs {b:?}"),
+        }
+    }
+    assert_eq!(
+        registry_snapshot(serial_engine.registry()),
+        registry_snapshot(batched_engine.registry()),
+        "single-thread batch must leave the registry exactly as the loop"
+    );
+}
+
+#[test]
+fn concurrent_request_many_preserves_cloaking_invariants() {
+    let s = system();
+    let hosts = s.host_sequence(120, 17);
+
+    for threads in [2usize, 4, 8] {
+        let mut engine =
+            CloakingEngine::new(&s, ClusteringAlgo::TConnDistributed, BoundingAlgo::Secure);
+        let outcomes = engine.request_many(&hosts, threads);
+        assert_eq!(outcomes.len(), hosts.len());
+
+        let mut served = 0usize;
+        for (h, outcome) in hosts.iter().zip(&outcomes) {
+            if let Ok(r) = outcome {
+                served += 1;
+                assert_eq!(r.host, *h);
+                assert!(r.cluster_size >= s.params.k, "cluster below k");
+                assert!(
+                    r.region.contains(&s.points[*h as usize]),
+                    "region must cover its host"
+                );
+            }
+        }
+        assert!(served > 0, "no request served at {threads} threads");
+        // The shared registry must stay mutually consistent: reciprocity
+        // (every member of a cluster maps back to it) and no user in two
+        // live clusters.
+        assert_eq!(
+            engine.registry().reciprocity_violation(),
+            None,
+            "registry corrupted at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn non_tconn_batches_fall_back_to_serial_order() {
+    let s = system();
+    let hosts = s.host_sequence(40, 23);
+    let mut loop_engine =
+        CloakingEngine::new(&s, ClusteringAlgo::TConnCentralized, BoundingAlgo::Optimal);
+    let serial: Vec<_> = hosts.iter().map(|&h| loop_engine.request(h)).collect();
+    let mut batch_engine =
+        CloakingEngine::new(&s, ClusteringAlgo::TConnCentralized, BoundingAlgo::Optimal);
+    let batched = batch_engine.request_many(&hosts, 8);
+    for (a, b) in serial.iter().zip(&batched) {
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                assert_eq!(x.region, y.region);
+                assert_eq!(x.reused, y.reused);
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("fallback diverged: {a:?} vs {b:?}"),
+        }
+    }
+}
