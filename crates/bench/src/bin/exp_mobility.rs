@@ -36,6 +36,7 @@ fn main() {
         rate: env_or("NELA_RATE", 40.0),
         seed: 20090329,
         measure_rebuild: true,
+        threads: env_or("NELA_THREADS", 1usize),
     };
     eprintln!(
         "[mobility] {} users, {} ticks, λ={}/tick, δ={:.2e}",

@@ -14,7 +14,7 @@
 //!
 //! Environment: `NELA_RESULTS_DIR` (optional extra JSON dump location).
 
-use nela::{BoundingAlgo, CloakingEngine, ClusteringAlgo, Params, System};
+use nela::{auto_shard_axis, BoundingAlgo, CloakingEngine, ClusteringAlgo, Params, System};
 use nela_bench::{fmt, print_table, ExpConfig};
 use nela_geo::{DatasetSpec, GridIndex, Point};
 use nela_wpg::connectivity::{components_under, components_under_threads, nothing_removed};
@@ -28,6 +28,8 @@ const THREADS: [usize; 4] = [1, 2, 4, 8];
 struct Cell {
     n: usize,
     threads: usize,
+    /// Registry shards used by the batch stage (0 when it ran serially).
+    shards: usize,
     grid_ms: f64,
     wpg_ms: f64,
     components_ms: f64,
@@ -40,11 +42,27 @@ struct Cell {
     identical: bool,
 }
 
+/// One before/after batch-serving measurement: the same 1,000-host batch
+/// through the global-mutex baseline (`request_many_locked`) and the
+/// sharded registry (`request_many_sharded`).
+#[derive(Debug, Clone, Serialize)]
+struct BatchCell {
+    n: usize,
+    threads: usize,
+    shards: usize,
+    locked_ms: f64,
+    sharded_ms: f64,
+    /// locked_ms / sharded_ms at the same thread count.
+    speedup: f64,
+}
+
 #[derive(Debug, Clone, Serialize)]
 struct Report {
     /// Logical CPUs available to this run (speedups need > 1).
     cores: usize,
     rows: Vec<Cell>,
+    /// Locked-vs-sharded batch serving at the largest n.
+    batch: Vec<BatchCell>,
 }
 
 fn edges_of(g: &Wpg) -> Vec<Edge> {
@@ -97,6 +115,11 @@ fn measure(
         Cell {
             n,
             threads,
+            shards: if threads <= 1 {
+                0
+            } else {
+                auto_shard_axis(threads).pow(2)
+            },
             grid_ms,
             wpg_ms,
             components_ms,
@@ -107,6 +130,55 @@ fn measure(
         },
         artifacts,
     )
+}
+
+/// Times the same 1,000-host batch through the locked baseline and the
+/// sharded path at one thread count.
+fn batch_bench(system: &System, threads: usize) -> BatchCell {
+    let hosts = system.host_sequence(1_000, 7);
+    let t0 = Instant::now();
+    let mut locked = CloakingEngine::new(
+        system,
+        ClusteringAlgo::TConnDistributed,
+        BoundingAlgo::Secure,
+    );
+    let served_locked = locked
+        .request_many_locked(&hosts, threads)
+        .iter()
+        .filter(|o| o.is_ok())
+        .count();
+    let locked_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let axis = auto_shard_axis(threads);
+    let t1 = Instant::now();
+    let mut sharded = CloakingEngine::new(
+        system,
+        ClusteringAlgo::TConnDistributed,
+        BoundingAlgo::Secure,
+    );
+    let served_sharded = sharded
+        .request_many_sharded(&hosts, threads, axis)
+        .iter()
+        .filter(|o| o.is_ok())
+        .count();
+    let sharded_ms = t1.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        served_locked > 0 && served_sharded > 0,
+        "batch served nothing"
+    );
+    assert!(
+        locked.registry().reciprocity_violation().is_none()
+            && sharded.registry().reciprocity_violation().is_none(),
+        "batch corrupted a registry at {threads} threads"
+    );
+    BatchCell {
+        n: system.points.len(),
+        threads,
+        shards: axis * axis,
+        locked_ms,
+        sharded_ms,
+        speedup: locked_ms / sharded_ms,
+    }
 }
 
 fn population(n: usize) -> (Vec<Point>, Params) {
@@ -169,6 +241,29 @@ fn smoke() -> i32 {
             return 1;
         }
     }
+    // The sharded machinery at one worker must also equal the loop, for
+    // more than one shard layout.
+    for axis in [1usize, 3] {
+        let mut sharded_engine = CloakingEngine::new(
+            &system,
+            ClusteringAlgo::TConnDistributed,
+            BoundingAlgo::Secure,
+        );
+        let sharded = sharded_engine.request_many_sharded(&hosts, 1, axis);
+        for (a, b) in looped.iter().zip(&sharded) {
+            let same = match (a, b) {
+                (Ok(x), Ok(y)) => x.region == y.region && x.reused == y.reused,
+                (Err(_), Err(_)) => true,
+                _ => false,
+            };
+            if !same {
+                eprintln!(
+                    "[smoke] FAIL: 1-worker sharded batch (axis {axis}) diverged from request loop"
+                );
+                return 1;
+            }
+        }
+    }
     let mut par_engine = CloakingEngine::new(
         &system,
         ClusteringAlgo::TConnDistributed,
@@ -194,6 +289,7 @@ fn main() {
     let cfg = ExpConfig::from_env();
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     let mut rows = Vec::new();
+    let mut batch = Vec::new();
     for n in [10_000usize, 50_000, 100_000] {
         let (points, params) = population(n);
         eprintln!("[parallel] n = {n}, sweeping {THREADS:?} threads");
@@ -212,6 +308,18 @@ fn main() {
             );
             rows.push(cell);
         }
+        // Locked-vs-sharded batch serving at the largest population: the
+        // before/after for the sharded-registry change.
+        if n == 100_000 {
+            eprintln!("[parallel] n = {n}, locked vs sharded batch serving");
+            let grid = GridIndex::build_threads(&points, params.delta, cores);
+            let wpg = WpgBuilder::new(params.delta, params.max_peers, InverseDistanceRss)
+                .build_with_index_threads(&points, &grid, cores);
+            let system = System::with_parts(params.clone(), points.clone(), grid, wpg);
+            for threads in THREADS {
+                batch.push(batch_bench(&system, threads));
+            }
+        }
     }
 
     let table: Vec<Vec<String>> = rows
@@ -220,6 +328,7 @@ fn main() {
             vec![
                 c.n.to_string(),
                 c.threads.to_string(),
+                c.shards.to_string(),
                 fmt(c.grid_ms),
                 fmt(c.wpg_ms),
                 fmt(c.components_ms),
@@ -235,6 +344,7 @@ fn main() {
         &[
             "n",
             "threads",
+            "shards",
             "grid ms",
             "wpg ms",
             "comps ms",
@@ -246,7 +356,33 @@ fn main() {
         &table,
     );
 
-    let report = Report { cores, rows };
+    let batch_table: Vec<Vec<String>> = batch
+        .iter()
+        .map(|c| {
+            vec![
+                c.n.to_string(),
+                c.threads.to_string(),
+                c.shards.to_string(),
+                fmt(c.locked_ms),
+                fmt(c.sharded_ms),
+                format!("{}x", fmt(c.speedup)),
+            ]
+        })
+        .collect();
+    print_table(
+        "Batch serving: global mutex vs sharded registry (1,000 hosts)",
+        &[
+            "n",
+            "threads",
+            "shards",
+            "locked ms",
+            "sharded ms",
+            "speedup",
+        ],
+        &batch_table,
+    );
+
+    let report = Report { cores, rows, batch };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

@@ -12,6 +12,7 @@ use nela::{
 
 const COMMON: &[&str] = &[
     "users", "seed", "k", "m", "algo", "bounding", "requests", "host", "json", "knn", "threads",
+    "shards",
 ];
 
 fn build_params(args: &Args) -> Result<Params, ArgError> {
@@ -22,6 +23,7 @@ fn build_params(args: &Args) -> Result<Params, ArgError> {
     params.seed = args.num_or("seed", 1u64)?;
     params.requests = args.num_or("requests", params.requests)?;
     params.threads = args.num_or("threads", 1usize)?.max(1);
+    params.shards = args.num_or("shards", 0usize)?; // 0 = auto (≈4 per worker)
     Ok(params)
 }
 
@@ -337,6 +339,7 @@ pub fn mobility(raw: Vec<String>) -> Result<(), ArgError> {
         "ticks",
         "rate",
         "stationary",
+        "threads",
     ];
     let args = Args::parse(raw, FLAGS)?;
     let mut params = {
@@ -345,6 +348,7 @@ pub fn mobility(raw: Vec<String>) -> Result<(), ArgError> {
         p.k = args.num_or("k", p.k)?;
         p.max_peers = args.num_or("m", p.max_peers)?;
         p.seed = args.num_or("seed", 1u64)?;
+        p.threads = args.num_or("threads", 1usize)?.max(1);
         p
     };
     params.requests = 0; // requests arrive as a Poisson stream, not a batch
@@ -363,6 +367,7 @@ pub fn mobility(raw: Vec<String>) -> Result<(), ArgError> {
         rate: args.num_or("rate", 25.0)?,
         seed: params.seed ^ 0xC0_FF_EE,
         measure_rebuild: true,
+        threads: params.threads,
     };
     let summary = nela_mobility::run_continuous(
         &params,

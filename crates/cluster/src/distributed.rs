@@ -130,14 +130,16 @@ pub fn distributed_k_clustering_with(
         if border_has_valid_cluster(&mut adj, v, t, k, removed, &in_c)? {
             continue; // passes now, passes forever (t only increases)
         }
-        // Absorb v; t rises to the lightest edge joining v to C.
+        // Absorb v; t rises to the lightest edge joining v to C. A border
+        // vertex was enqueued because some member listed it, so its own list
+        // must name a member back — unless the transport lied.
         let join_w = adj
             .get(v)?
             .iter()
             .filter(|(y, _)| in_c.contains(y))
             .map(|&(_, w)| w)
             .min()
-            .expect("border vertex must touch the cluster");
+            .ok_or(ClusterError::Inconsistent { user: v })?;
         in_c.insert(v);
         t = t.max(join_w);
         close_under_t(&mut adj, &mut in_c, t, removed)?;
@@ -154,9 +156,12 @@ pub fn distributed_k_clustering_with(
         partition.underfilled.is_empty(),
         "super-cluster is connected and ≥ k, its partition cannot underfill"
     );
+    // The host is in the super-cluster and a connected super-cluster of
+    // size ≥ k cannot underfill, so over an honest transport the partition
+    // always covers the host; a corrupted adjacency view can break that.
     let host_idx = partition
         .cluster_of(host)
-        .expect("host is in the super-cluster");
+        .ok_or(ClusterError::Inconsistent { user: host })?;
     let host_cluster = partition.clusters[host_idx].clone();
 
     Ok(DistributedOutcome {
@@ -405,6 +410,26 @@ mod tests {
         let g = Wpg::from_edges(2, &[Edge::new(0, 1, 1)]);
         let out = distributed_k_clustering(&g, 0, 1, &no_removed).unwrap();
         assert!(out.host_cluster.contains(0));
+    }
+
+    #[test]
+    fn lying_peer_yields_typed_inconsistency_not_panic() {
+        // Peer 1 reports an edge to 2, but 2 denies every edge its peers
+        // claim. 2 fails the border check, must be absorbed, and has no
+        // joining edge — a state that used to panic and now surfaces as a
+        // typed error the engine can degrade on.
+        struct Liar;
+        impl PeerFetch for Liar {
+            fn fetch(&mut self, u: UserId) -> Option<Vec<(UserId, Weight)>> {
+                Some(match u {
+                    0 => vec![(1, 5)],
+                    1 => vec![(0, 5), (2, 9)],
+                    _ => Vec::new(),
+                })
+            }
+        }
+        let err = distributed_k_clustering_with(&mut Liar, 0, 2, &no_removed).unwrap_err();
+        assert_eq!(err, ClusterError::Inconsistent { user: 2 });
     }
 
     #[test]

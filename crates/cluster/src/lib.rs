@@ -37,7 +37,7 @@ pub use distributed::{
 };
 pub use fetch::{LocalFetch, PeerFetch};
 pub use knn::{knn_cluster, knn_cluster_with, KnnOutcome, TieBreak};
-pub use registry::ClusterRegistry;
+pub use registry::{ClaimOutcome, ClusterRegistry, ShardedRegistry};
 
 use nela_geo::UserId;
 use nela_wpg::Weight;
@@ -86,6 +86,12 @@ pub enum ClusterError {
     /// A peer required by the protocol never answered (crashed or all
     /// retransmissions lost). Only produced by fallible transports.
     PeerUnreachable { peer: UserId },
+    /// The adjacency gathered from peers is internally inconsistent at
+    /// `user` — e.g. a member reports an edge its endpoint denies, or the
+    /// final partition fails to cover the host. Impossible over an honest
+    /// in-memory graph; only produced when a lying or corrupting transport
+    /// feeds the algorithm contradictory views.
+    Inconsistent { user: UserId },
 }
 
 impl std::fmt::Display for ClusterError {
@@ -97,6 +103,9 @@ impl std::fmt::Display for ClusterError {
             ),
             ClusterError::PeerUnreachable { peer } => {
                 write!(f, "peer {peer} is unreachable")
+            }
+            ClusterError::Inconsistent { user } => {
+                write!(f, "peer-reported adjacency is inconsistent at user {user}")
             }
         }
     }

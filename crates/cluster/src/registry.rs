@@ -13,9 +13,17 @@
 //! retires such a cluster — its members become unassigned (their next
 //! request pays full cloaking cost again) while the retired entry stays in
 //! place as a tombstone so previously issued [`ClusterId`]s never dangle.
+//!
+//! For concurrent batch serving, [`ShardedRegistry`] overlays a frozen
+//! registry with a region-sharded write path and a lock-free membership
+//! table, then folds back into a plain [`ClusterRegistry`] when the batch
+//! ends.
 
 use crate::Cluster;
-use nela_geo::{Rect, UserId};
+use nela_geo::{Point, Rect, UserId};
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Identifier of a registered cluster.
 pub type ClusterId = u32;
@@ -189,6 +197,273 @@ impl ClusterRegistry {
     }
 }
 
+/// Sentinel for "no cluster" in [`ShardedRegistry`]'s atomic assignment
+/// table.
+const UNASSIGNED: u32 = u32::MAX;
+
+/// Outcome of [`ShardedRegistry::try_claim`].
+#[derive(Debug)]
+pub enum ClaimOutcome {
+    /// Every produced cluster was registered atomically; the host's cluster
+    /// id and members are returned for phase 2.
+    Claimed { id: ClusterId, members: Vec<UserId> },
+    /// A rival claimed the host or one of the produced members between the
+    /// caller's computation and this claim; nothing was registered — look
+    /// the host up again (it may now be served by reuse) or recompute.
+    Conflict,
+    /// No produced cluster contains the host; nothing was registered. Only
+    /// possible when the clustering algorithm returns an inconsistent
+    /// cluster set (lying or fallible transports).
+    HostMissing,
+}
+
+/// A region-sharded concurrent view of a [`ClusterRegistry`] for batch
+/// serving.
+///
+/// The single-`Mutex` batch path serializes every request on one lock and
+/// copies an O(n) membership snapshot per attempt. This type removes both
+/// walls:
+///
+/// - **Membership reads are lock-free.** A flat `AtomicU32` table holds
+///   every user's current cluster id; the clustering algorithms' `removed`
+///   predicate is a single atomic load per probed user.
+/// - **Writes lock only the affected shards.** The unit square is cut into
+///   `axis × axis` regions; each shard owns the clusters whose *home cell*
+///   (the position of the cluster's lowest member id) falls in its region.
+///   A claim locks the home shards of every member of every produced
+///   cluster — neighbor shards included when a cluster straddles a region
+///   boundary — **in ascending shard order**, so overlapping claims always
+///   acquire their common shards in the same order and cannot deadlock.
+///   Requests in disjoint regions share no lock at all.
+///
+/// The sharded state is a batch-scoped overlay: the pre-batch registry is
+/// frozen (reads need no lock), new clusters accumulate per shard, and
+/// [`ShardedRegistry::into_registry`] folds everything back into a plain
+/// [`ClusterRegistry`] — cluster ids issued during the batch are private to
+/// it, which is sound because served results never expose cluster ids.
+pub struct ShardedRegistry {
+    base: ClusterRegistry,
+    base_count: u32,
+    axis: usize,
+    /// Home shard of every user, from its position in the shard grid.
+    shard_of_user: Vec<u32>,
+    /// Current cluster id per user ([`UNASSIGNED`] when free). Writers hold
+    /// the user's home-shard lock; lock-free readers see a claim only once
+    /// it is certain (stores happen after validation, under the locks).
+    assignment: Vec<AtomicU32>,
+    shards: Vec<Mutex<Shard>>,
+}
+
+#[derive(Default)]
+struct Shard {
+    /// Clusters registered during this batch and homed here, each with its
+    /// write-once published region.
+    clusters: Vec<(Cluster, Option<Rect>)>,
+    /// Write-once region publications for *base* clusters homed here that
+    /// had no region when the batch started.
+    base_regions: Vec<(ClusterId, Rect)>,
+}
+
+impl ShardedRegistry {
+    /// Wraps `base` for a concurrent batch over users at `points`,
+    /// sharding the unit square `shards_per_axis × shards_per_axis` ways.
+    ///
+    /// # Panics
+    /// Panics if `points` does not match the registry population.
+    pub fn new(base: ClusterRegistry, points: &[Point], shards_per_axis: usize) -> Self {
+        assert_eq!(
+            base.population(),
+            points.len(),
+            "points do not match registry population"
+        );
+        let axis = shards_per_axis.clamp(1, 1 << 10);
+        let shard_of_user = points
+            .iter()
+            .map(|p| {
+                let sx = ((p.x * axis as f64) as usize).min(axis - 1);
+                let sy = ((p.y * axis as f64) as usize).min(axis - 1);
+                (sy * axis + sx) as u32
+            })
+            .collect();
+        let assignment = base
+            .assignment
+            .iter()
+            .map(|a| AtomicU32::new(a.unwrap_or(UNASSIGNED)))
+            .collect();
+        let base_count = base.cluster_count() as u32;
+        let mut shards = Vec::with_capacity(axis * axis);
+        shards.resize_with(axis * axis, || Mutex::new(Shard::default()));
+        ShardedRegistry {
+            base,
+            base_count,
+            axis,
+            shard_of_user,
+            assignment,
+            shards,
+        }
+    }
+
+    /// Number of shards (`shards_per_axis²`).
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard-grid resolution per axis.
+    pub fn shards_per_axis(&self) -> usize {
+        self.axis
+    }
+
+    /// Lock-free: true when `u` currently belongs to a cluster. The
+    /// predicate the clustering algorithms probe — replaces the per-attempt
+    /// O(n) snapshot copy of the single-lock path.
+    #[inline]
+    pub fn is_clustered(&self, u: UserId) -> bool {
+        self.assignment[u as usize].load(Ordering::Acquire) != UNASSIGNED
+    }
+
+    /// The cluster of `u` — id, members, and published region — if `u` is
+    /// assigned. Locks at most the cluster's home shard.
+    pub fn lookup(&self, u: UserId) -> Option<(ClusterId, Vec<UserId>, Option<Rect>)> {
+        let id = self.assignment[u as usize].load(Ordering::Acquire);
+        if id == UNASSIGNED {
+            return None;
+        }
+        Some(self.view(id))
+    }
+
+    fn view(&self, id: ClusterId) -> (ClusterId, Vec<UserId>, Option<Rect>) {
+        if id < self.base_count {
+            let rc = self.base.get(id);
+            let members = rc.cluster.members.clone();
+            let region = rc.region.or_else(|| {
+                let home = self.home_shard_of_members(&members);
+                self.shards[home]
+                    .lock()
+                    .base_regions
+                    .iter()
+                    .find(|(i, _)| *i == id)
+                    .map(|&(_, r)| r)
+            });
+            (id, members, region)
+        } else {
+            let (shard, local) = self.decode(id);
+            let guard = self.shards[shard].lock();
+            let (c, region) = &guard.clusters[local];
+            (id, c.members.clone(), *region)
+        }
+    }
+
+    /// Atomically validates that the host and every member of every
+    /// produced cluster are still unclaimed, then registers all produced
+    /// clusters. Locks the home shards of all members in ascending order
+    /// (see the type docs for the deadlock argument).
+    pub fn try_claim(&self, host: UserId, produced: Vec<Cluster>) -> ClaimOutcome {
+        if !produced.iter().any(|c| c.contains(host)) {
+            return ClaimOutcome::HostMissing;
+        }
+        let touched: BTreeSet<usize> = produced
+            .iter()
+            .flat_map(|c| &c.members)
+            .map(|&m| self.shard_of_user[m as usize] as usize)
+            .collect();
+        let order: Vec<usize> = touched.into_iter().collect();
+        let mut guards: Vec<_> = order.iter().map(|&s| self.shards[s].lock()).collect();
+        // Under the locks every touched slot is stable: a writer must hold
+        // the member's home-shard lock, and we hold all of them.
+        let claimed = |m: UserId| self.assignment[m as usize].load(Ordering::Acquire) != UNASSIGNED;
+        if claimed(host)
+            || produced
+                .iter()
+                .flat_map(|c| &c.members)
+                .any(|&m| claimed(m))
+        {
+            return ClaimOutcome::Conflict;
+        }
+        let mut host_claim = None;
+        for c in produced {
+            let home = self.home_shard_of_members(&c.members);
+            let slot = order.binary_search(&home).expect("home shard is locked");
+            let guard = &mut guards[slot];
+            let id = self.encode(home, guard.clusters.len());
+            for &m in &c.members {
+                self.assignment[m as usize].store(id, Ordering::Release);
+            }
+            if c.contains(host) {
+                host_claim = Some((id, c.members.clone()));
+            }
+            guard.clusters.push((c, None));
+        }
+        let (id, members) = host_claim.expect("coverage checked above");
+        ClaimOutcome::Claimed { id, members }
+    }
+
+    /// Publishes the phase-2 region of cluster `id`, first writer wins —
+    /// bounding is deterministic per cluster, so rivals compute the
+    /// identical rectangle. Locks only the cluster's home shard.
+    pub fn set_region(&self, id: ClusterId, region: Rect) {
+        if id < self.base_count {
+            let rc = self.base.get(id);
+            if rc.region.is_some() {
+                return;
+            }
+            let home = self.home_shard_of_members(&rc.cluster.members);
+            let mut guard = self.shards[home].lock();
+            if !guard.base_regions.iter().any(|(i, _)| *i == id) {
+                guard.base_regions.push((id, region));
+            }
+        } else {
+            let (shard, local) = self.decode(id);
+            let mut guard = self.shards[shard].lock();
+            let slot = &mut guard.clusters[local].1;
+            if slot.is_none() {
+                *slot = Some(region);
+            }
+        }
+    }
+
+    /// Folds the batch back into a plain registry: base-cluster region
+    /// publications are applied, then every new cluster is registered
+    /// (shards in ascending order, registration order within each). The
+    /// batch-scoped cluster ids die here; the returned registry satisfies
+    /// reciprocity by construction.
+    pub fn into_registry(self) -> ClusterRegistry {
+        let mut reg = self.base;
+        for shard in self.shards {
+            let shard = shard.into_inner();
+            for (id, region) in shard.base_regions {
+                if reg.get(id).region.is_none() {
+                    reg.set_region(id, region);
+                }
+            }
+            for (cluster, region) in shard.clusters {
+                let id = reg.register(cluster);
+                if let Some(r) = region {
+                    reg.set_region(id, r);
+                }
+            }
+        }
+        reg
+    }
+
+    /// A cluster's home shard: the shard of its lowest member id's position
+    /// (members are sorted). Deterministic, so every claimer computes the
+    /// same home for the same cluster.
+    fn home_shard_of_members(&self, members: &[UserId]) -> usize {
+        self.shard_of_user[members[0] as usize] as usize
+    }
+
+    /// Batch-scoped id of the `local`-th cluster homed in `shard`; decodable
+    /// and collision-free across shards.
+    fn encode(&self, shard: usize, local: usize) -> ClusterId {
+        self.base_count + (local * self.shards.len() + shard) as u32
+    }
+
+    fn decode(&self, id: ClusterId) -> (usize, usize) {
+        let r = (id - self.base_count) as usize;
+        (r % self.shards.len(), r / self.shards.len())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,5 +567,150 @@ mod tests {
         assert_eq!(reg.invalidate_containing(3), 2);
         assert_eq!(reg.invalidate_containing(3), 0);
         assert_eq!(reg.invalidate_containing(5), 0);
+    }
+
+    /// Users 0..4 in the lower-left region, 4..8 in the upper-right — two
+    /// distinct shards at any axis ≥ 2.
+    fn two_region_points() -> Vec<Point> {
+        (0..8)
+            .map(|i| {
+                if i < 4 {
+                    Point::new(0.1 + i as f64 * 0.01, 0.1)
+                } else {
+                    Point::new(0.9, 0.9 - (i - 4) as f64 * 0.01)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_claim_and_lookup() {
+        let pts = two_region_points();
+        let sharded = ShardedRegistry::new(ClusterRegistry::new(8), &pts, 2);
+        assert_eq!(sharded.n_shards(), 4);
+        assert!(!sharded.is_clustered(1));
+        match sharded.try_claim(1, vec![cluster(&[0, 1, 2])]) {
+            ClaimOutcome::Claimed { id, members } => {
+                assert_eq!(members, vec![0, 1, 2]);
+                assert!(sharded.is_clustered(0));
+                assert!(!sharded.is_clustered(3));
+                let (lid, lmembers, region) = sharded.lookup(2).unwrap();
+                assert_eq!((lid, lmembers), (id, vec![0, 1, 2]));
+                assert!(region.is_none());
+                sharded.set_region(id, Rect::new(0.0, 0.0, 0.3, 0.3));
+                // First writer wins: a rival's identical publish is a no-op.
+                sharded.set_region(id, Rect::new(0.0, 0.0, 0.9, 0.9));
+                assert_eq!(sharded.lookup(0).unwrap().2.unwrap().area(), 0.09);
+            }
+            other => panic!("claim failed: {other:?}"),
+        }
+        let reg = sharded.into_registry();
+        assert_eq!(reg.clustered_users(), 3);
+        assert_eq!(reg.reciprocity_violation(), None);
+        assert_eq!(reg.cluster_of(1).unwrap().region.unwrap().area(), 0.09);
+    }
+
+    #[test]
+    fn sharded_conflict_leaves_nothing_registered() {
+        let pts = two_region_points();
+        let sharded = ShardedRegistry::new(ClusterRegistry::new(8), &pts, 2);
+        assert!(matches!(
+            sharded.try_claim(0, vec![cluster(&[0, 1])]),
+            ClaimOutcome::Claimed { .. }
+        ));
+        // 1 is taken: the whole rival claim must be rejected atomically.
+        assert!(matches!(
+            sharded.try_claim(2, vec![cluster(&[1, 2]), cluster(&[3, 4])]),
+            ClaimOutcome::Conflict
+        ));
+        assert!(!sharded.is_clustered(3));
+        assert!(!sharded.is_clustered(4));
+        let reg = sharded.into_registry();
+        assert_eq!(reg.cluster_count(), 1);
+        assert_eq!(reg.reciprocity_violation(), None);
+    }
+
+    #[test]
+    fn sharded_cluster_straddling_a_boundary_claims_cleanly() {
+        let pts = two_region_points();
+        let sharded = ShardedRegistry::new(ClusterRegistry::new(8), &pts, 2);
+        // Members span both regions: the claim locks both home shards (in
+        // ascending order) and still lands in one piece.
+        match sharded.try_claim(5, vec![cluster(&[2, 3, 5, 6])]) {
+            ClaimOutcome::Claimed { members, .. } => {
+                assert_eq!(members, vec![2, 3, 5, 6]);
+            }
+            other => panic!("straddling claim failed: {other:?}"),
+        }
+        assert!(sharded.is_clustered(6));
+        assert_eq!(sharded.into_registry().reciprocity_violation(), None);
+    }
+
+    #[test]
+    fn sharded_host_missing_registers_nothing() {
+        let pts = two_region_points();
+        let sharded = ShardedRegistry::new(ClusterRegistry::new(8), &pts, 2);
+        assert!(matches!(
+            sharded.try_claim(7, vec![cluster(&[0, 1])]),
+            ClaimOutcome::HostMissing
+        ));
+        assert!(!sharded.is_clustered(0));
+        assert_eq!(sharded.into_registry().cluster_count(), 0);
+    }
+
+    #[test]
+    fn sharded_base_clusters_survive_with_regions() {
+        let pts = two_region_points();
+        let mut base = ClusterRegistry::new(8);
+        let a = base.register(cluster(&[0, 1]));
+        base.set_region(a, Rect::new(0.0, 0.0, 0.5, 0.5));
+        let b = base.register(cluster(&[4, 5]));
+        let sharded = ShardedRegistry::new(base, &pts, 4);
+        // Pre-batch assignments are visible lock-free.
+        assert!(sharded.is_clustered(0));
+        assert_eq!(sharded.lookup(1).unwrap().2.unwrap().area(), 0.25);
+        // A base cluster without a region gets a write-once publication.
+        assert!(sharded.lookup(4).unwrap().2.is_none());
+        sharded.set_region(b, Rect::new(0.8, 0.8, 1.0, 1.0));
+        sharded.set_region(b, Rect::UNIT); // loses: first writer won
+        let (_, _, region) = sharded.lookup(5).unwrap();
+        assert!((region.unwrap().area() - 0.04).abs() < 1e-12);
+        // A new cluster on top of the frozen base folds back consistently.
+        assert!(matches!(
+            sharded.try_claim(2, vec![cluster(&[2, 3])]),
+            ClaimOutcome::Claimed { .. }
+        ));
+        let reg = sharded.into_registry();
+        assert_eq!(reg.cluster_count(), 3);
+        assert_eq!(reg.reciprocity_violation(), None);
+        assert!((reg.get(b).region.unwrap().area() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharded_concurrent_claims_in_disjoint_regions() {
+        // Claims racing from many threads must keep the registry sound:
+        // every user in at most one cluster, reciprocity preserved.
+        let n = 64usize;
+        let pts: Vec<Point> = (0..n)
+            .map(|i| Point::new((i % 8) as f64 / 8.0 + 0.05, (i / 8) as f64 / 8.0 + 0.05))
+            .collect();
+        let sharded = ShardedRegistry::new(ClusterRegistry::new(n), &pts, 4);
+        std::thread::scope(|scope| {
+            for t in 0..8u32 {
+                let sharded = &sharded;
+                scope.spawn(move || {
+                    // Thread t claims clusters over overlapping id windows so
+                    // some claims genuinely conflict.
+                    for start in (0..56).step_by(4) {
+                        let members: Vec<UserId> =
+                            (start..start + 4 + (t % 2)).map(|i| i as UserId).collect();
+                        let _ = sharded.try_claim(members[0], vec![cluster(&members)]);
+                    }
+                });
+            }
+        });
+        let reg = sharded.into_registry();
+        assert_eq!(reg.reciprocity_violation(), None);
+        assert!(reg.cluster_count() > 0);
     }
 }

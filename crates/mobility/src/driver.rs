@@ -41,6 +41,10 @@ pub struct DriverConfig {
     /// Also time a from-scratch WPG rebuild each tick for the speedup
     /// metric (doubles the per-tick cost; disable for long runs).
     pub measure_rebuild: bool,
+    /// Worker threads for the per-tick [`GridIndex`] rebuild. `1` (the
+    /// default) builds serially; higher counts build a bit-identical index
+    /// in parallel, so the run stays deterministic for any value.
+    pub threads: usize,
 }
 
 impl Default for DriverConfig {
@@ -50,6 +54,7 @@ impl Default for DriverConfig {
             rate: 10.0,
             seed: 0xC0_FF_EE,
             measure_rebuild: true,
+            threads: 1,
         }
     }
 }
@@ -168,7 +173,7 @@ pub fn run_continuous(
         let system = nela::System::with_parts(
             params.clone(),
             world.points().to_vec(),
-            GridIndex::build(world.points(), params.delta),
+            GridIndex::build_threads(world.points(), params.delta, config.threads),
             wpg,
         );
         let mut engine = CloakingEngine::with_registry(&system, clustering, bounding, registry);
@@ -242,6 +247,10 @@ mod tests {
     use super::*;
 
     fn small_run(seed: u64) -> RunSummary {
+        small_run_threads(seed, 1)
+    }
+
+    fn small_run_threads(seed: u64, threads: usize) -> RunSummary {
         let params = Params {
             k: 5,
             ..Params::scaled(1_000)
@@ -251,6 +260,7 @@ mod tests {
             rate: 8.0,
             seed,
             measure_rebuild: false,
+            threads,
         };
         run_continuous(
             &params,
@@ -274,6 +284,27 @@ mod tests {
                 (x.moved, x.dirty, x.served, x.reused),
                 (y.moved, y.dirty, y.served, y.reused)
             );
+        }
+    }
+
+    #[test]
+    fn threaded_grid_rebuild_keeps_run_identical() {
+        // The grid build is the only stage the `threads` knob touches, and
+        // it is bit-identical in parallel — so the whole run must be too.
+        let serial = small_run_threads(7, 1);
+        for threads in [2usize, 4] {
+            let par = small_run_threads(7, threads);
+            assert_eq!(serial.served, par.served, "{threads} threads");
+            assert_eq!(serial.reused, par.reused, "{threads} threads");
+            assert_eq!(serial.invalidated, par.invalidated, "{threads} threads");
+            assert_eq!(serial.valid_served, par.valid_served, "{threads} threads");
+            for (x, y) in serial.per_tick.iter().zip(&par.per_tick) {
+                assert_eq!(
+                    (x.moved, x.dirty, x.served, x.reused, x.valid_served),
+                    (y.moved, y.dirty, y.served, y.reused, y.valid_served),
+                    "tick diverged at {threads} threads"
+                );
+            }
         }
     }
 
@@ -315,6 +346,7 @@ mod tests {
             rate: 6.0,
             seed: 2,
             measure_rebuild: false,
+            threads: 1,
         };
         let s = run_continuous(
             &params,

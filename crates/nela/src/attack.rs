@@ -157,7 +157,13 @@ mod tests {
             .host_sequence(200, 7)
             .into_iter()
             .find(|&h| engine.request(h).is_ok())
-            .expect("servable host");
+            .unwrap_or_else(|| {
+                panic!(
+                    "no servable host in 200-host sample (n={}, k={}, seed=7)",
+                    system.points.len(),
+                    system.params.k
+                )
+            });
         let regions: Vec<Rect> = (0..3)
             .map(|_| engine.request(host).unwrap().region)
             .collect();

@@ -25,7 +25,7 @@ use nela_bounding::protocol::{BoundingError, IncrementPolicy};
 use nela_cluster::centralized::centralized_k_clustering;
 use nela_cluster::distributed::distributed_k_clustering;
 use nela_cluster::knn::{knn_cluster, TieBreak};
-use nela_cluster::registry::{ClusterId, ClusterRegistry};
+use nela_cluster::registry::{ClaimOutcome, ClusterId, ClusterRegistry, ShardedRegistry};
 use nela_cluster::ClusterError;
 use nela_geo::{Point, Rect, UserId};
 use parking_lot::Mutex;
@@ -49,6 +49,14 @@ pub enum RequestError {
         /// Attempts made before giving up.
         attempts: u32,
     },
+    /// Phase 1 produced a partition that does not cover the host — a
+    /// protocol-level inconsistency (impossible over an honest in-memory
+    /// graph). The request fails; nothing is registered, so the engine
+    /// stays usable.
+    HostNotClustered,
+    /// Batch serving only: a worker died before filling this host's result
+    /// slot. Reported per-request instead of panicking the whole batch.
+    SlotUnfilled,
 }
 
 impl From<ClusterError> for RequestError {
@@ -71,6 +79,12 @@ impl std::fmt::Display for RequestError {
             RequestError::Contention { attempts } => {
                 write!(f, "request starved after {attempts} contended attempts")
             }
+            RequestError::HostNotClustered => {
+                write!(f, "clustering returned a partition that misses the host")
+            }
+            RequestError::SlotUnfilled => {
+                write!(f, "batch worker never filled this request's result slot")
+            }
         }
     }
 }
@@ -80,7 +94,9 @@ impl std::error::Error for RequestError {
         match self {
             RequestError::Cluster(e) => Some(e),
             RequestError::Bounding(e) => Some(e),
-            RequestError::Contention { .. } => None,
+            RequestError::Contention { .. }
+            | RequestError::HostNotClustered
+            | RequestError::SlotUnfilled => None,
         }
     }
 }
@@ -258,6 +274,12 @@ impl<'a> CloakingEngine<'a> {
                     self.system.params.k,
                     &removed,
                 )?;
+                // Check coverage before registering anything: a partition
+                // that misses the host must fail the request, not poison
+                // the registry (and must never panic the engine).
+                if !out.all_clusters.iter().any(|c| c.contains(host)) {
+                    return Err(RequestError::HostNotClustered);
+                }
                 let mut host_id = None;
                 for c in out.all_clusters {
                     let contains_host = c.contains(host);
@@ -266,10 +288,8 @@ impl<'a> CloakingEngine<'a> {
                         host_id = Some(id);
                     }
                 }
-                (
-                    host_id.expect("host is in one produced cluster"),
-                    out.involved_users as u64,
-                )
+                let host_id = host_id.ok_or(RequestError::HostNotClustered)?;
+                (host_id, out.involved_users as u64)
             }
             ClusteringAlgo::TConnCentralized => {
                 let setup = self.ensure_centralized_built() + self.carried_messages;
@@ -292,7 +312,10 @@ impl<'a> CloakingEngine<'a> {
                 };
                 (id, setup)
             }
-            ClusteringAlgo::Knn(_) => unreachable!("handled by request_knn"),
+            // Already dispatched at the top of `request`; keep the arm
+            // functional (not `unreachable!`) so no panic path survives on
+            // the request surface.
+            ClusteringAlgo::Knn(tie) => return self.request_knn(host, tie),
         };
 
         self.serve_registered(host, host_cluster_id, clustering_messages)
@@ -305,13 +328,36 @@ impl<'a> CloakingEngine<'a> {
     /// distributed one, whose setup is inherently global — this is exactly
     /// the serial `for h in hosts { engine.request(h) }` loop, result for
     /// result. With more threads and [`ClusteringAlgo::TConnDistributed`],
-    /// requests are served concurrently against the shared registry under
-    /// the optimistic snapshot → compute → validate-and-claim scheme modeled
-    /// in `nela-netsim`'s `ConcurrentWorkload`: clustering and bounding run
-    /// outside the registry lock, conflicts trigger a bounded recompute, and
-    /// a starved request reports [`RequestError::Contention`] instead of
-    /// deadlocking.
+    /// the batch runs on the sharded registry path
+    /// ([`CloakingEngine::request_many_sharded`]) with
+    /// [`auto_shard_axis`]-many shards per axis (or the count pinned by
+    /// [`Params::shards`]): requests lock only the grid shards their cluster
+    /// touches, conflicts trigger a bounded recompute, and a starved request
+    /// reports [`RequestError::Contention`] instead of deadlocking.
     pub fn request_many(
+        &mut self,
+        hosts: &[UserId],
+        threads: usize,
+    ) -> Vec<Result<CloakingResult, RequestError>> {
+        let threads = nela_par::effective_threads(threads, hosts.len());
+        if threads <= 1 || self.clustering != ClusteringAlgo::TConnDistributed {
+            return hosts.iter().map(|&h| self.request(h)).collect();
+        }
+        let axis = match self.system.params.shards {
+            0 => auto_shard_axis(threads),
+            shards => shard_axis_for_total(shards),
+        };
+        self.request_many_sharded(hosts, threads, axis)
+    }
+
+    /// The pre-sharding batch path, kept as the measured baseline: one
+    /// global mutex around the whole registry, every attempt snapshotting
+    /// the O(n) membership table under the lock. Semantically equivalent to
+    /// [`CloakingEngine::request_many`]; only its scaling differs (the
+    /// snapshot copy serializes workers on large populations). Exercised by
+    /// the differential tests in `tests/parallel.rs` and benchmarked
+    /// against the sharded path by `exp_parallel`.
+    pub fn request_many_locked(
         &mut self,
         hosts: &[UserId],
         threads: usize,
@@ -349,8 +395,154 @@ impl<'a> CloakingEngine<'a> {
         self.registry = registry.into_inner();
         results
             .into_iter()
-            .map(|r| r.expect("all request slots filled"))
+            .map(|r| r.unwrap_or(Err(RequestError::SlotUnfilled)))
             .collect()
+    }
+
+    /// Serves a batch over a [`ShardedRegistry`] with `shards_per_axis`²
+    /// grid shards: membership checks are lock-free atomic reads, and a
+    /// claim locks only the shards hosting the produced clusters' members
+    /// (in ascending shard order, so rival claims cannot deadlock). With
+    /// one worker the machinery still runs but is deterministic — the
+    /// results equal the serial `request` loop for any shard count, which
+    /// the equivalence tests pin. Falls back to the serial loop for
+    /// non-distributed algorithms, whose setup is inherently global.
+    pub fn request_many_sharded(
+        &mut self,
+        hosts: &[UserId],
+        threads: usize,
+        shards_per_axis: usize,
+    ) -> Vec<Result<CloakingResult, RequestError>> {
+        if self.clustering != ClusteringAlgo::TConnDistributed {
+            return hosts.iter().map(|&h| self.request(h)).collect();
+        }
+        let workers = nela_par::effective_threads(threads.max(1), hosts.len()).max(1);
+        let base = std::mem::replace(&mut self.registry, ClusterRegistry::new(0));
+        let sharded = ShardedRegistry::new(base, &self.system.points, shards_per_axis);
+        let this: &CloakingEngine<'a> = self;
+        let mut slots: Vec<Option<Result<CloakingResult, RequestError>>> = vec![None; hosts.len()];
+        if workers <= 1 {
+            for (&host, slot) in hosts.iter().zip(slots.iter_mut()) {
+                *slot = Some(this.serve_sharded(&sharded, host));
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let sharded = &sharded;
+                let ranges = nela_par::chunk_ranges(hosts.len(), workers);
+                let mut rest = slots.as_mut_slice();
+                for range in ranges {
+                    let (chunk, tail) = rest.split_at_mut(range.len());
+                    rest = tail;
+                    scope.spawn(move || {
+                        for (&host, slot) in hosts[range].iter().zip(chunk.iter_mut()) {
+                            *slot = Some(this.serve_sharded(sharded, host));
+                        }
+                    });
+                }
+            });
+        }
+        self.registry = sharded.into_registry();
+        slots
+            .into_iter()
+            .map(|r| r.unwrap_or(Err(RequestError::SlotUnfilled)))
+            .collect()
+    }
+
+    /// One optimistic request against the sharded registry. Reuse and
+    /// removed-membership checks are lock-free atomic reads; clustering and
+    /// bounding run with no locks held; only the claim itself takes the
+    /// (few) shard locks the produced clusters touch.
+    fn serve_sharded(
+        &self,
+        sharded: &ShardedRegistry,
+        host: UserId,
+    ) -> Result<CloakingResult, RequestError> {
+        for _attempt in 1..=MAX_CONCURRENT_ATTEMPTS {
+            // Reuse path: the host is already in a cluster (possibly
+            // claimed by a rival since the last attempt).
+            if let Some((id, members, region)) = sharded.lookup(host) {
+                return self.finish_sharded(sharded, host, id, &members, region, 0);
+            }
+            // Membership probes read the assignment atomics directly — one
+            // plain load each, against the locked path's O(n) snapshot copy
+            // per attempt. The view can go stale mid-computation, exactly
+            // like a snapshot can; safety never rests on it, because
+            // `try_claim` re-validates every member under the shard locks
+            // and reports a conflict. The host is force-read as present: a
+            // rival may claim it between the `lookup` above and the first
+            // probe, and the algorithm (correctly) asserts its host is
+            // never removed — the claim-time check catches that rival too.
+            let removed = |u: UserId| u != host && sharded.is_clustered(u);
+            let out =
+                distributed_k_clustering(&self.system.wpg, host, self.system.params.k, &removed)?;
+            if !out.all_clusters.iter().any(|c| c.contains(host)) {
+                return Err(RequestError::HostNotClustered);
+            }
+            match sharded.try_claim(host, out.all_clusters) {
+                ClaimOutcome::Claimed { id, members } => {
+                    return self.finish_sharded(
+                        sharded,
+                        host,
+                        id,
+                        &members,
+                        None,
+                        out.involved_users as u64,
+                    );
+                }
+                ClaimOutcome::Conflict => continue, // rival won a member: recompute
+                ClaimOutcome::HostMissing => return Err(RequestError::HostNotClustered),
+            }
+        }
+        Err(RequestError::Contention {
+            attempts: MAX_CONCURRENT_ATTEMPTS,
+        })
+    }
+
+    /// Phase 2 for a sharded-path host whose cluster id is claimed: reuses
+    /// the stored region or bounds with no locks held, then publishes the
+    /// region (first writer wins — bounding is deterministic per cluster,
+    /// so rivals compute the identical rectangle).
+    fn finish_sharded(
+        &self,
+        sharded: &ShardedRegistry,
+        host: UserId,
+        id: ClusterId,
+        members: &[UserId],
+        region: Option<Rect>,
+        clustering_messages: u64,
+    ) -> Result<CloakingResult, RequestError> {
+        let cluster_size = members.len();
+        if let Some(region) = region {
+            return Ok(CloakingResult {
+                host,
+                region,
+                cluster_size,
+                clustering_messages,
+                bounding_messages: 0,
+                bounding_rounds: 0,
+                reused: clustering_messages == 0,
+                bounding_cpu: Duration::ZERO,
+            });
+        }
+        let member_points: Vec<Point> = members
+            .iter()
+            .map(|&m| self.system.points[m as usize])
+            .collect();
+        let host_point = self.system.points[host as usize];
+        let started = Instant::now();
+        let bbox = self.bound(&member_points, host_point, cluster_size)?;
+        let bounding_cpu = started.elapsed();
+        sharded.set_region(id, bbox.rect);
+        Ok(CloakingResult {
+            host,
+            region: bbox.rect,
+            cluster_size,
+            clustering_messages,
+            bounding_messages: bbox.messages,
+            bounding_rounds: bbox.rounds,
+            reused: false,
+            bounding_cpu,
+        })
     }
 
     /// One optimistic concurrent request against the locked registry
@@ -388,6 +580,11 @@ impl<'a> CloakingEngine<'a> {
             let removed = |u: UserId| snapshot[u as usize];
             let out =
                 distributed_k_clustering(&self.system.wpg, host, self.system.params.k, &removed)?;
+            // A partition that misses the host is a typed failure, not a
+            // retry (and must never be registered).
+            if !out.all_clusters.iter().any(|c| c.contains(host)) {
+                return Err(RequestError::HostNotClustered);
+            }
             // Validate and claim atomically.
             let claimed = {
                 let mut reg = registry.lock();
@@ -629,6 +826,20 @@ impl<'a> CloakingEngine<'a> {
     }
 }
 
+/// Shards-per-axis chosen for a worker count: about four shards per worker
+/// (so rival claims rarely meet in one shard), laid out on a square grid —
+/// axis = ⌈√(4·threads)⌉, clamped to \[1, 64\] so shards never get smaller
+/// than a few radio ranges on the unit square.
+pub fn auto_shard_axis(threads: usize) -> usize {
+    (((4 * threads.max(1)) as f64).sqrt().ceil() as usize).clamp(1, 64)
+}
+
+/// Shards-per-axis for a user-pinned *total* shard count ([`Params::shards`]):
+/// the smallest square grid with at least that many shards.
+pub fn shard_axis_for_total(shards: usize) -> usize {
+    ((shards.max(1) as f64).sqrt().ceil() as usize).clamp(1, 64)
+}
+
 /// Degenerate per-direction runs for the optimal algorithm (kept so
 /// [`BboxOutcome`] stays uniform across algorithms).
 fn optimal_runs(members: &[Point], rect: Rect) -> [nela_bounding::protocol::BoundingRun; 4] {
@@ -663,7 +874,13 @@ mod tests {
         s.host_sequence(300, seed)
             .into_iter()
             .find(|&h| distributed_k_clustering(&s.wpg, h, s.params.k, &|_| false).is_ok())
-            .expect("no servable host in sample")
+            .unwrap_or_else(|| {
+                panic!(
+                    "no servable host in 300-host sample (n={}, k={}, seed={seed})",
+                    s.points.len(),
+                    s.params.k
+                )
+            })
     }
 
     #[test]

@@ -46,7 +46,10 @@ pub mod system;
 pub mod verify;
 
 pub use attack::{anonymity_of, center_attack, intersection_attack};
-pub use engine::{BoundingAlgo, CloakingEngine, CloakingResult, ClusteringAlgo};
+pub use engine::{
+    auto_shard_axis, shard_axis_for_total, BoundingAlgo, CloakingEngine, CloakingResult,
+    ClusteringAlgo, RequestError,
+};
 pub use metrics::{service_request_cost, WorkloadStats};
 pub use params::Params;
 pub use system::System;

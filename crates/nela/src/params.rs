@@ -34,6 +34,12 @@ pub struct Params {
     /// invariant though per-request attribution may differ from serial
     /// order under registry contention.
     pub threads: usize,
+    /// Total registry shards for concurrent batch serving (laid out on the
+    /// smallest square grid holding at least this many). `0` (the default)
+    /// picks ≈ 4 shards per worker automatically. Ignored when batches run
+    /// serially. (The vendored serde derive has no `default` attribute, so
+    /// serialized `Params` always carry this field explicitly.)
+    pub shards: usize,
 }
 
 impl Params {
@@ -50,6 +56,7 @@ impl Params {
             distribution: SpatialDistribution::california(),
             seed: 20090329, // ICDE 2009 opening day
             threads: 1,
+            shards: 0,
         }
     }
 

@@ -130,7 +130,9 @@ impl<R: RssModel> WpgBuilder<R> {
         for chunk in edge_chunks {
             edges.extend(chunk);
         }
-        Wpg::from_edges(n, &edges)
+        // CSR assembly was the build's last serial stage; the counting-sort
+        // fill is bit-identical to the serial `from_edges`.
+        Wpg::from_edges_threads(n, &edges, threads)
     }
 }
 

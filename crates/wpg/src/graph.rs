@@ -11,6 +11,12 @@ pub struct Edge {
     pub w: Weight,
 }
 
+/// Ceiling on vertex count for the parallel CSR fill: above this the
+/// per-thread degree histograms (`threads × n` u32 counters) outweigh the
+/// scatter win and [`Wpg::from_edges_threads`] falls back to the serial
+/// path. Same shape as the grid fill's cell guard.
+const PARALLEL_CSR_MAX_VERTICES: usize = 1 << 22;
+
 impl Edge {
     /// Creates an edge, normalizing endpoint order so `u < v`.
     #[inline]
@@ -75,6 +81,95 @@ impl Wpg {
             nbr_ids,
             nbr_weights,
             n_edges: edges.len(),
+        };
+        debug_assert!(g.check_no_duplicates(), "duplicate edges in WPG input");
+        g
+    }
+
+    /// Builds the same CSR as [`Wpg::from_edges`] with the degree count and
+    /// the neighbor scatter split across `threads` scoped worker threads —
+    /// the counting-sort scheme of `GridIndex::build_threads`: per-chunk
+    /// degree histograms, an exclusive prefix over (vertex, chunk) turning
+    /// the histograms into disjoint write cursors, and a parallel scatter
+    /// through `nela_par::ScatterWriter`. Chunk `t`'s entries for a vertex
+    /// land after every earlier chunk's, in chunk-local edge order — exactly
+    /// the serial emission order — so the result is **bit-identical** to
+    /// [`Wpg::from_edges`] for any thread count. `threads <= 1` runs the
+    /// serial path on the caller's thread.
+    pub fn from_edges_threads(n: usize, edges: &[Edge], threads: usize) -> Self {
+        let m = edges.len();
+        let threads = nela_par::effective_threads(threads, m);
+        if threads <= 1 || n > PARALLEL_CSR_MAX_VERTICES {
+            return Self::from_edges(n, edges);
+        }
+        // Pass 1 (parallel): per-chunk degree histograms; every edge counts
+        // once at each endpoint.
+        let ranges = nela_par::chunk_ranges(m, threads);
+        let mut chunk_deg: Vec<Vec<u32>> = nela_par::map_chunks(threads, m, |range| {
+            let mut deg = vec![0u32; n];
+            for e in &edges[range] {
+                debug_assert!(
+                    (e.u as usize) < n && (e.v as usize) < n,
+                    "edge out of range"
+                );
+                deg[e.u as usize] += 1;
+                deg[e.v as usize] += 1;
+            }
+            deg
+        });
+        // Exclusive prefix over (vertex, chunk): chunk_deg[t][v] becomes the
+        // first write cursor of chunk t inside v's neighbor slice.
+        let mut offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            let mut acc = 0u32;
+            for deg in chunk_deg.iter_mut() {
+                let here = deg[v];
+                deg[v] = acc;
+                acc += here;
+            }
+            offsets[v + 1] = acc;
+        }
+        for v in 1..=n {
+            offsets[v] += offsets[v - 1];
+        }
+        let total = offsets[n] as usize;
+        let mut nbr_ids = vec![0 as UserId; total];
+        let mut nbr_weights = vec![0 as Weight; total];
+        // Pass 2 (parallel): scatter both directed copies of every edge into
+        // the disjoint cursor ranges.
+        {
+            let ids = nela_par::ScatterWriter::new(&mut nbr_ids);
+            let weights = nela_par::ScatterWriter::new(&mut nbr_weights);
+            let offsets_ref = &offsets;
+            std::thread::scope(|scope| {
+                for (range, mut cursors) in ranges.into_iter().zip(chunk_deg) {
+                    let ids = &ids;
+                    let weights = &weights;
+                    scope.spawn(move || {
+                        for e in &edges[range] {
+                            for (a, b) in [(e.u, e.v), (e.v, e.u)] {
+                                let a = a as usize;
+                                let at = (offsets_ref[a] + cursors[a]) as usize;
+                                cursors[a] += 1;
+                                // SAFETY: cursor ranges are disjoint per
+                                // (vertex, chunk) by the prefix-sum
+                                // construction, so every index is written
+                                // exactly once.
+                                unsafe {
+                                    ids.write(at, b);
+                                    weights.write(at, e.w);
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        let g = Wpg {
+            offsets,
+            nbr_ids,
+            nbr_weights,
+            n_edges: m,
         };
         debug_assert!(g.check_no_duplicates(), "duplicate edges in WPG input");
         g
@@ -249,6 +344,34 @@ mod tests {
         assert_eq!(g.m(), 0);
         assert_eq!(g.max_weight(), None);
         assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn from_edges_threads_is_bit_identical_to_serial() {
+        // A messy edge set: skewed degrees, duplicated endpoints across many
+        // chunks, weights out of order.
+        let n = 50usize;
+        let mut edges = Vec::new();
+        for i in 0..n as UserId {
+            for j in 1..=3u32 {
+                let v = (i + j * 7) % n as UserId;
+                if v != i && i < v {
+                    edges.push(Edge::new(i, v, (i + j) % 9 + 1));
+                }
+            }
+        }
+        let serial = Wpg::from_edges(n, &edges);
+        for threads in [1usize, 2, 3, 4, 8] {
+            let par = Wpg::from_edges_threads(n, &edges, threads);
+            assert_eq!(par.offsets, serial.offsets, "threads={threads}");
+            assert_eq!(par.nbr_ids, serial.nbr_ids, "threads={threads}");
+            assert_eq!(par.nbr_weights, serial.nbr_weights, "threads={threads}");
+            assert_eq!(par.m(), serial.m());
+        }
+        // Empty edge lists must not spawn or misbuild.
+        let empty = Wpg::from_edges_threads(4, &[], 8);
+        assert_eq!(empty.n(), 4);
+        assert_eq!(empty.m(), 0);
     }
 
     #[test]

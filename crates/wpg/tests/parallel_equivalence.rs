@@ -7,12 +7,25 @@
 
 use nela_geo::{GridIndex, Point, UserId};
 use nela_wpg::connectivity::{components_under, components_under_threads, nothing_removed};
-use nela_wpg::{InverseDistanceRss, WpgBuilder};
+use nela_wpg::{Edge, InverseDistanceRss, Wpg, WpgBuilder};
 use proptest::prelude::*;
+use std::collections::HashSet;
 
 fn arb_points() -> impl Strategy<Value = Vec<Point>> {
     proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..200)
         .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+/// A deduplicated undirected edge list over `n` vertices.
+fn arb_edges(n: usize) -> impl Strategy<Value = Vec<Edge>> {
+    proptest::collection::vec((0..n as UserId, 0..n as UserId, 1u32..12), 0..400).prop_map(|raw| {
+        let mut seen = HashSet::new();
+        raw.into_iter()
+            .filter(|&(a, b, _)| a != b)
+            .map(|(a, b, w)| Edge::new(a, b, w))
+            .filter(|e| seen.insert((e.u, e.v)))
+            .collect()
+    })
 }
 
 proptest! {
@@ -33,6 +46,28 @@ proptest! {
                 par.edges().collect::<Vec<_>>(),
                 "edge list diverged at {} threads", threads
             );
+        }
+    }
+
+    #[test]
+    fn counting_sort_csr_matches_serial(
+        edges in arb_edges(60),
+    ) {
+        // The counting-sort CSR assembly must reproduce the serial
+        // `from_edges` layout exactly: same neighbor order per vertex, for
+        // any thread count (including more threads than edges).
+        let n = 60usize;
+        let serial = Wpg::from_edges(n, &edges);
+        for threads in [1usize, 2, 3, 4, 8, 64] {
+            let par = Wpg::from_edges_threads(n, &edges, threads);
+            prop_assert_eq!(par.m(), serial.m());
+            for u in 0..n as UserId {
+                prop_assert_eq!(
+                    par.neighbors(u).collect::<Vec<_>>(),
+                    serial.neighbors(u).collect::<Vec<_>>(),
+                    "neighbor slice of {} diverged at {} threads", u, threads
+                );
+            }
         }
     }
 
