@@ -21,8 +21,8 @@ struct Row {
     edge_recall: f64,
     served: usize,
     failed: usize,
-    mean_cost: f64,
-    mean_area: f64,
+    mean_cost: Option<f64>,
+    mean_area: Option<f64>,
 }
 
 fn main() {
@@ -55,7 +55,8 @@ fn main() {
             period: 1.0,
             seed: 5,
         };
-        let (wpg, _) = run_discovery(&ideal_system.points, &ideal_system.grid, &dcfg);
+        let (wpg, _) = run_discovery(&ideal_system.points, &ideal_system.grid, &dcfg)
+            .expect("sweep configs are valid");
         let recall = edge_recall(&ideal_system.wpg, &wpg);
         // Run the standard workload over the discovered graph.
         let system = System {
@@ -104,8 +105,8 @@ fn main() {
                     fmt(r.edge_recall),
                     r.served.to_string(),
                     r.failed.to_string(),
-                    fmt(r.mean_cost),
-                    fmt(r.mean_area),
+                    r.mean_cost.map_or_else(|| "n/a".to_string(), fmt),
+                    r.mean_area.map_or_else(|| "n/a".to_string(), fmt),
                 ]
             })
             .collect::<Vec<_>>(),

@@ -32,16 +32,18 @@ fn main() {
     let central = run(ClusteringAlgo::TConnCentralized);
 
     // Expected POIs returned by a range query over the average region.
-    let pois = |w: &WorkloadStats| w.avg_cloaked_area * params.n_users as f64;
+    let pois =
+        |w: &WorkloadStats| w.avg_cloaked_area.expect("workload served") * params.n_users as f64;
+    let cost = |w: &WorkloadStats| w.avg_clustering_messages.expect("workload served");
 
     let mut rows = Vec::new();
     for r10 in 0..=20u32 {
         let ratio = r10 as f64;
         rows.push(Row {
             ratio,
-            tconn_total: tconn.avg_clustering_messages + ratio * pois(&tconn),
-            knn_total: knn.avg_clustering_messages + ratio * pois(&knn),
-            central_total: central.avg_clustering_messages + ratio * pois(&central),
+            tconn_total: cost(&tconn) + ratio * pois(&tconn),
+            knn_total: cost(&knn) + ratio * pois(&knn),
+            central_total: cost(&central) + ratio * pois(&central),
         });
     }
 

@@ -10,6 +10,7 @@
 
 use nela::cluster::knn::TieBreak;
 use nela::metrics::run_workload;
+use nela::WorkloadStats;
 use nela::{BoundingAlgo, ClusteringAlgo};
 use nela_bench::{fmt, print_table, ExpConfig};
 use serde::Serialize;
@@ -43,14 +44,16 @@ fn main() {
         let tconn = run(ClusteringAlgo::TConnDistributed);
         let knn = run(ClusteringAlgo::Knn(TieBreak::Id));
         let central = run(ClusteringAlgo::TConnCentralized);
+        let cost = |st: &WorkloadStats| st.avg_clustering_messages.expect("workload served");
+        let area = |st: &WorkloadStats| st.avg_cloaked_area.expect("workload served");
         rows.push(Row {
             s,
-            tconn_cost: tconn.avg_clustering_messages,
-            knn_cost: knn.avg_clustering_messages,
-            central_cost: central.avg_clustering_messages,
-            tconn_area: tconn.avg_cloaked_area,
-            knn_area: knn.avg_cloaked_area,
-            central_area: central.avg_cloaked_area,
+            tconn_cost: cost(&tconn),
+            knn_cost: cost(&knn),
+            central_cost: cost(&central),
+            tconn_area: area(&tconn),
+            knn_area: area(&knn),
+            central_area: area(&central),
         });
     }
 

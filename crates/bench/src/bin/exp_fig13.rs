@@ -50,15 +50,15 @@ fn main() {
             .iter()
             .map(|&(_, b)| run_workload(&system_k, ClusteringAlgo::TConnDistributed, b, &hosts))
             .collect();
-        let opt_request = stats[3].avg_request_cost.max(f64::MIN_POSITIVE);
+        let bounding_msgs = |i: usize| stats[i].avg_bounding_messages.expect("workload served");
+        let request_cost = |i: usize| stats[i].avg_request_cost.expect("workload served");
+        let opt_request = request_cost(3).max(f64::MIN_POSITIVE);
         rows.push(Row {
             k,
-            bounding: std::array::from_fn(|i| stats[i].avg_bounding_messages),
-            request_ratio: std::array::from_fn(|i| stats[i].avg_request_cost / opt_request),
-            total: std::array::from_fn(|i| {
-                stats[i].avg_bounding_messages + stats[i].avg_request_cost
-            }),
-            cpu_ms: std::array::from_fn(|i| stats[i].avg_bounding_cpu_ms),
+            bounding: std::array::from_fn(bounding_msgs),
+            request_ratio: std::array::from_fn(|i| request_cost(i) / opt_request),
+            total: std::array::from_fn(|i| bounding_msgs(i) + request_cost(i)),
+            cpu_ms: std::array::from_fn(|i| stats[i].avg_bounding_cpu_ms.expect("workload served")),
         });
     }
 

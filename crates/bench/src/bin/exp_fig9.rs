@@ -11,6 +11,7 @@
 
 use nela::cluster::knn::TieBreak;
 use nela::metrics::run_workload;
+use nela::WorkloadStats;
 use nela::{BoundingAlgo, ClusteringAlgo, Params};
 use nela_bench::{fmt, print_table, ExpConfig};
 use serde::Serialize;
@@ -55,15 +56,17 @@ fn main() {
             BoundingAlgo::Optimal,
             &hosts,
         );
+        let cost = |s: &WorkloadStats| s.avg_clustering_messages.expect("workload served");
+        let area = |s: &WorkloadStats| s.avg_cloaked_area.expect("workload served");
         rows.push(Row {
             m,
             avg_degree: system.avg_degree(),
-            tconn_cost: tconn.avg_clustering_messages,
-            knn_cost: knn.avg_clustering_messages,
-            central_cost: central.avg_clustering_messages,
-            tconn_area: tconn.avg_cloaked_area,
-            knn_area: knn.avg_cloaked_area,
-            central_area: central.avg_cloaked_area,
+            tconn_cost: cost(&tconn),
+            knn_cost: cost(&knn),
+            central_cost: cost(&central),
+            tconn_area: area(&tconn),
+            knn_area: area(&knn),
+            central_area: area(&central),
         });
     }
 

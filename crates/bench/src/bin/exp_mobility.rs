@@ -12,6 +12,10 @@
 //! `NELA_STATIONARY` (stationary fraction, default 0.9 — roughly 10% of
 //! devices in motion during any tick), `NELA_RESULTS_DIR` (optional JSON
 //! dump).
+//!
+//! `--metrics` enables the `nela-obs` recorder (per-tick incremental and
+//! rebuild timings, engine stage histograms) and writes the snapshot to
+//! `BENCH_obs.json` at the repository root.
 
 use nela::{BoundingAlgo, ClusteringAlgo, Params};
 use nela_bench::{fmt, print_table, ExpConfig};
@@ -25,6 +29,10 @@ fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
 }
 
 fn main() {
+    let record_metrics = std::env::args().any(|a| a == "--metrics");
+    if record_metrics {
+        nela_obs::enable();
+    }
     let cfg = ExpConfig::from_env();
     let params = Params {
         k: 10,
@@ -102,4 +110,12 @@ fn main() {
     );
 
     cfg.write_json("exp_mobility", &summary);
+
+    if record_metrics {
+        let obs_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_obs.json");
+        std::fs::write(&obs_path, nela_obs::snapshot().to_json()).expect("write BENCH_obs.json");
+        eprintln!("[results] wrote {}", obs_path.display());
+    }
 }

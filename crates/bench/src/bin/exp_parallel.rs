@@ -12,6 +12,11 @@
 //! any parallel/serial divergence — the CI guard for the determinism
 //! contract.
 //!
+//! `--metrics` additionally enables the `nela-obs` recorder for the whole
+//! sweep (plus a lossy-network clustering stage, so the RPC retransmission
+//! counters are populated) and writes the snapshot to `BENCH_obs.json` at
+//! the repository root.
+//!
 //! Environment: `NELA_RESULTS_DIR` (optional extra JSON dump location).
 
 use nela::{auto_shard_axis, BoundingAlgo, CloakingEngine, ClusteringAlgo, Params, System};
@@ -282,9 +287,39 @@ fn smoke() -> i32 {
     0
 }
 
+/// Runs the distributed clustering protocol over a lossy simulated radio so
+/// the metrics snapshot also carries the `net.rpc.*` retransmission and
+/// timeout counters alongside the pipeline stage histograms.
+fn netsim_stage() {
+    use nela::cluster::distributed::distributed_k_clustering_with;
+    use nela::netsim::network::{Network, NetworkConfig};
+    use nela::netsim::proto::SimFetch;
+
+    let (points, params) = population(2_000);
+    let grid = GridIndex::build(&points, params.delta);
+    let wpg = WpgBuilder::new(params.delta, params.max_peers, InverseDistanceRss)
+        .build_with_index(&points, &grid);
+    let system = System::with_parts(params.clone(), points, grid, wpg);
+    for (i, &host) in system.host_sequence(40, 7).iter().enumerate() {
+        let mut net = Network::new(NetworkConfig {
+            loss: 0.3,
+            max_retries: 5,
+            seed: i as u64,
+            ..Default::default()
+        })
+        .expect("config is valid");
+        let mut fetch = SimFetch::new(&mut net, &system.wpg, host);
+        let _ = distributed_k_clustering_with(&mut fetch, host, params.k, &|_| false);
+    }
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--smoke") {
         std::process::exit(smoke());
+    }
+    let record_metrics = std::env::args().any(|a| a == "--metrics");
+    if record_metrics {
+        nela_obs::enable();
     }
     let cfg = ExpConfig::from_env();
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
@@ -390,4 +425,14 @@ fn main() {
     std::fs::write(&root, &json).expect("write BENCH_parallel.json");
     eprintln!("[results] wrote {}", root.display());
     cfg.write_json("exp_parallel", &report);
+
+    if record_metrics {
+        eprintln!("[parallel] lossy-network clustering stage for RPC counters");
+        netsim_stage();
+        let obs_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_obs.json");
+        std::fs::write(&obs_path, nela_obs::snapshot().to_json()).expect("write BENCH_obs.json");
+        eprintln!("[results] wrote {}", obs_path.display());
+    }
 }

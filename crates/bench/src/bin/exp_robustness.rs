@@ -118,7 +118,8 @@ fn main() {
                 max_retries: 5,
                 seed: i as u64,
                 ..Default::default()
-            });
+            })
+            .expect("config is valid");
             let mut fetch = SimFetch::new(&mut net, &base.wpg, h);
             match distributed_k_clustering_with(&mut fetch, h, params.k, &none) {
                 Ok(_) => {

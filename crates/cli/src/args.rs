@@ -66,9 +66,14 @@ impl Args {
         Ok(Args { options })
     }
 
+    /// String option, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
     /// String option with a default.
     pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
-        self.options.get(key).map(String::as_str).unwrap_or(default)
+        self.get(key).unwrap_or(default)
     }
 
     /// Parsed numeric option with a default.

@@ -12,8 +12,34 @@ use nela::{
 
 const COMMON: &[&str] = &[
     "users", "seed", "k", "m", "algo", "bounding", "requests", "host", "json", "knn", "threads",
-    "shards",
+    "shards", "metrics",
 ];
+
+/// `--metrics <path>` support: enables the global recorder on construction
+/// (so every stage from `System::build` onward is captured) and writes the
+/// snapshot on drop — covering every exit path of a subcommand.
+struct MetricsSink(Option<String>);
+
+impl MetricsSink {
+    fn from(args: &Args) -> Self {
+        let path = args.get("metrics").map(str::to_string);
+        if path.is_some() {
+            nela_obs::enable();
+        }
+        MetricsSink(path)
+    }
+}
+
+impl Drop for MetricsSink {
+    fn drop(&mut self) {
+        if let Some(path) = &self.0 {
+            let snapshot = nela_obs::snapshot();
+            if let Err(e) = std::fs::write(path, snapshot.to_json()) {
+                eprintln!("warning: could not write metrics to {path}: {e}");
+            }
+        }
+    }
+}
 
 fn build_params(args: &Args) -> Result<Params, ArgError> {
     let users: usize = args.num_or("users", 20_000)?;
@@ -74,6 +100,7 @@ fn choose_host(system: &System, args: &Args) -> Result<UserId, ArgError> {
 /// `nela inspect`
 pub fn inspect(raw: Vec<String>) -> Result<(), ArgError> {
     let args = Args::parse(raw, COMMON)?;
+    let _metrics = MetricsSink::from(&args);
     let params = build_params(&args)?;
     let system = System::build(&params);
     let g = &system.wpg;
@@ -124,6 +151,7 @@ pub fn inspect(raw: Vec<String>) -> Result<(), ArgError> {
 /// `nela cloak`
 pub fn cloak(raw: Vec<String>) -> Result<(), ArgError> {
     let args = Args::parse(raw, COMMON)?;
+    let _metrics = MetricsSink::from(&args);
     let params = build_params(&args)?;
     let system = System::build(&params);
     let mut engine = CloakingEngine::new(&system, clustering_algo(&args)?, bounding_algo(&args)?);
@@ -174,6 +202,7 @@ pub fn cloak(raw: Vec<String>) -> Result<(), ArgError> {
 /// `nela simulate`
 pub fn simulate(raw: Vec<String>) -> Result<(), ArgError> {
     let args = Args::parse(raw, COMMON)?;
+    let _metrics = MetricsSink::from(&args);
     let params = build_params(&args)?;
     let system = System::build(&params);
     let hosts = system.host_sequence(params.requests, 1);
@@ -198,23 +227,45 @@ pub fn simulate(raw: Vec<String>) -> Result<(), ArgError> {
         stats.failed,
         stats.reused
     );
+    if stats.failed > 0 {
+        println!(
+            "failure rate    : {:.1}% ({} of {} requests failed)",
+            stats.failure_rate * 100.0,
+            stats.failed,
+            stats.served + stats.failed
+        );
+    }
+    let avg = |v: Option<f64>, fmt: fn(f64) -> String| match v {
+        Some(v) => fmt(v),
+        None => "n/a (no request served)".to_string(),
+    };
     println!(
-        "clustering msgs : {:.2} per request",
-        stats.avg_clustering_messages
+        "clustering msgs : {}",
+        avg(stats.avg_clustering_messages, |v| format!(
+            "{v:.2} per request"
+        ))
     );
     println!(
-        "bounding msgs   : {:.2} per request",
-        stats.avg_bounding_messages
+        "bounding msgs   : {}",
+        avg(stats.avg_bounding_messages, |v| format!(
+            "{v:.2} per request"
+        ))
     );
-    println!("cloaked area    : {:.4e} average", stats.avg_cloaked_area);
     println!(
-        "request cost    : {:.1} units average",
-        stats.avg_request_cost
+        "cloaked area    : {}",
+        avg(stats.avg_cloaked_area, |v| format!("{v:.4e} average"))
     );
-    println!("cluster size    : {:.1} average", stats.avg_cluster_size);
     println!(
-        "bounding CPU    : {:.4} ms average",
-        stats.avg_bounding_cpu_ms
+        "request cost    : {}",
+        avg(stats.avg_request_cost, |v| format!("{v:.1} units average"))
+    );
+    println!(
+        "cluster size    : {}",
+        avg(stats.avg_cluster_size, |v| format!("{v:.1} average"))
+    );
+    println!(
+        "bounding CPU    : {}",
+        avg(stats.avg_bounding_cpu_ms, |v| format!("{v:.4} ms average"))
     );
     Ok(())
 }
@@ -222,6 +273,7 @@ pub fn simulate(raw: Vec<String>) -> Result<(), ArgError> {
 /// `nela query`
 pub fn query(raw: Vec<String>) -> Result<(), ArgError> {
     let args = Args::parse(raw, COMMON)?;
+    let _metrics = MetricsSink::from(&args);
     let params = build_params(&args)?;
     let system = System::build(&params);
     let mut server = LbsServer::new(PoiStore::from_points(&system.points, params.cr as u32));
@@ -267,6 +319,7 @@ pub fn query(raw: Vec<String>) -> Result<(), ArgError> {
 /// `nela attack`
 pub fn attack(raw: Vec<String>) -> Result<(), ArgError> {
     let args = Args::parse(raw, COMMON)?;
+    let _metrics = MetricsSink::from(&args);
     let params = build_params(&args)?;
     let system = System::build(&params);
     let mut engine = CloakingEngine::new(&system, clustering_algo(&args)?, bounding_algo(&args)?);
@@ -340,8 +393,10 @@ pub fn mobility(raw: Vec<String>) -> Result<(), ArgError> {
         "rate",
         "stationary",
         "threads",
+        "metrics",
     ];
     let args = Args::parse(raw, FLAGS)?;
+    let _metrics = MetricsSink::from(&args);
     let mut params = {
         let users: usize = args.num_or("users", 20_000)?;
         let mut p = Params::scaled(users);
@@ -404,5 +459,23 @@ pub fn mobility(raw: Vec<String>) -> Result<(), ArgError> {
         "wpg maintenance : {:.1}x faster than rebuild (mean per tick)",
         summary.mean_speedup
     );
+    Ok(())
+}
+
+/// `nela stats` — render a metrics snapshot written by `--metrics <path>`.
+pub fn stats(raw: Vec<String>) -> Result<(), ArgError> {
+    let args = Args::parse(raw, &["file", "json"])?;
+    let path = args
+        .get("file")
+        .ok_or_else(|| ArgError("--file <path> is required".into()))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("--file {path}: {e}")))?;
+    let snapshot = nela_obs::MetricsSnapshot::from_json(&text)
+        .map_err(|e| ArgError(format!("--file {path}: not a metrics snapshot: {e}")))?;
+    if args.flag("json") {
+        println!("{}", snapshot.to_json());
+        return Ok(());
+    }
+    print!("{}", snapshot.render());
     Ok(())
 }

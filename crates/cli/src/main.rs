@@ -8,6 +8,7 @@
 //! nela query     [--users N] [--k K] [--knn Q]          cloak + LBS roundtrip
 //! nela attack    [--users N] [--requests S]             adversary evaluation
 //! nela mobility  [--users N] [--ticks T] [--rate R]     continuous cloaking under motion
+//! nela stats     --file PATH                             render a --metrics snapshot
 //! ```
 //!
 //! All subcommands accept `--json` for machine-readable output.
@@ -31,6 +32,7 @@ fn main() {
         "query" => commands::query(rest),
         "attack" => commands::attack(rest),
         "mobility" => commands::mobility(rest),
+        "stats" => commands::stats(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -60,6 +62,8 @@ COMMANDS:
   mobility   run the continuous pipeline: motion, incremental WPG
              maintenance, cluster invalidation, Poisson requests
              (--ticks T, --rate R, --stationary F)
+  stats      render a metrics snapshot written by --metrics
+             (--file PATH, --json to echo the raw snapshot)
   help       show this help
 
 COMMON FLAGS:
@@ -73,5 +77,7 @@ COMMON FLAGS:
   --host ID      specific host user id
   --threads T    worker threads for build + batched serving (default 1;
                  the built system is bit-identical to the serial run)
+  --metrics P    record per-stage latency histograms and counters, writing
+                 the JSON snapshot to P on exit (render with `nela stats`)
   --json         machine-readable output"
 }

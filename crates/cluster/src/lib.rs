@@ -37,7 +37,7 @@ pub use distributed::{
 };
 pub use fetch::{LocalFetch, PeerFetch};
 pub use knn::{knn_cluster, knn_cluster_with, KnnOutcome, TieBreak};
-pub use registry::{ClaimOutcome, ClusterRegistry, ShardedRegistry};
+pub use registry::{ClaimOutcome, ClusterRegistry, ShardTelemetry, ShardedRegistry};
 
 use nela_geo::UserId;
 use nela_wpg::Weight;

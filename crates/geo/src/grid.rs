@@ -88,6 +88,7 @@ impl GridIndex {
             min_cell_side.is_finite() && min_cell_side > 0.0,
             "cell side must be positive, got {min_cell_side}"
         );
+        let _span = nela_obs::span(nela_obs::stage::GRID_BUILD);
         let cells = cells_per_axis(min_cell_side);
         let cell_side = 1.0 / cells as f64;
         let n = points.len();

@@ -154,6 +154,10 @@ pub fn run_continuous(
         let stats = world.tick();
         let wpg = world.wpg_snapshot();
         let incremental_us = t0.elapsed().as_micros() as u64;
+        nela_obs::observe(
+            nela_obs::stage::MOBILITY_INCREMENTAL,
+            incremental_us.saturating_mul(1_000),
+        );
 
         // 2. Reference rebuild for the speedup series.
         let rebuild_us = if config.measure_rebuild {
@@ -161,6 +165,7 @@ pub fn run_continuous(
             let rebuilt = rebuild_builder.build(world.points());
             let us = t1.elapsed().as_micros() as u64;
             debug_assert_eq!(rebuilt.m(), wpg.m(), "incremental update diverged");
+            nela_obs::observe(nela_obs::stage::MOBILITY_REBUILD, us.saturating_mul(1_000));
             us
         } else {
             0

@@ -255,6 +255,12 @@ impl<'a> CloakingEngine<'a> {
     /// remaining WPG (paper Fig. 5's disconnected problem);
     /// [`RequestError::Bounding`] when phase 2 fails on a malformed cluster.
     pub fn request(&mut self, host: UserId) -> Result<CloakingResult, RequestError> {
+        let result = self.request_inner(host);
+        record_outcome(&result);
+        result
+    }
+
+    fn request_inner(&mut self, host: UserId) -> Result<CloakingResult, RequestError> {
         // The kNN baseline forms a fresh group per request (no reuse).
         if let ClusteringAlgo::Knn(tie) = self.clustering {
             return self.request_knn(host, tie);
@@ -268,12 +274,15 @@ impl<'a> CloakingEngine<'a> {
         let (host_cluster_id, clustering_messages) = match self.clustering {
             ClusteringAlgo::TConnDistributed => {
                 let removed = |u: UserId| self.registry.is_clustered(u);
-                let out = distributed_k_clustering(
+                let cluster_span = nela_obs::span(nela_obs::stage::CLUSTERING);
+                let outcome = distributed_k_clustering(
                     &self.system.wpg,
                     host,
                     self.system.params.k,
                     &removed,
-                )?;
+                );
+                drop(cluster_span);
+                let out = outcome?;
                 // Check coverage before registering anything: a partition
                 // that misses the host must fail the request, not poison
                 // the registry (and must never panic the engine).
@@ -385,7 +394,9 @@ impl<'a> CloakingEngine<'a> {
                     rest = tail;
                     scope.spawn(move || {
                         for (&host, slot) in hosts[range].iter().zip(chunk.iter_mut()) {
-                            *slot = Some(this.serve_concurrent(registry, host));
+                            let r = this.serve_concurrent(registry, host);
+                            record_outcome(&r);
+                            *slot = Some(r);
                         }
                     });
                 }
@@ -423,7 +434,9 @@ impl<'a> CloakingEngine<'a> {
         let mut slots: Vec<Option<Result<CloakingResult, RequestError>>> = vec![None; hosts.len()];
         if workers <= 1 {
             for (&host, slot) in hosts.iter().zip(slots.iter_mut()) {
-                *slot = Some(this.serve_sharded(&sharded, host));
+                let r = this.serve_sharded(&sharded, host);
+                record_outcome(&r);
+                *slot = Some(r);
             }
         } else {
             std::thread::scope(|scope| {
@@ -435,7 +448,9 @@ impl<'a> CloakingEngine<'a> {
                     rest = tail;
                     scope.spawn(move || {
                         for (&host, slot) in hosts[range].iter().zip(chunk.iter_mut()) {
-                            *slot = Some(this.serve_sharded(sharded, host));
+                            let r = this.serve_sharded(sharded, host);
+                            record_outcome(&r);
+                            *slot = Some(r);
                         }
                     });
                 }
@@ -473,12 +488,18 @@ impl<'a> CloakingEngine<'a> {
             // probe, and the algorithm (correctly) asserts its host is
             // never removed — the claim-time check catches that rival too.
             let removed = |u: UserId| u != host && sharded.is_clustered(u);
-            let out =
-                distributed_k_clustering(&self.system.wpg, host, self.system.params.k, &removed)?;
+            let cluster_span = nela_obs::span(nela_obs::stage::CLUSTERING);
+            let outcome =
+                distributed_k_clustering(&self.system.wpg, host, self.system.params.k, &removed);
+            drop(cluster_span);
+            let out = outcome?;
             if !out.all_clusters.iter().any(|c| c.contains(host)) {
                 return Err(RequestError::HostNotClustered);
             }
-            match sharded.try_claim(host, out.all_clusters) {
+            let claim_span = nela_obs::span(nela_obs::stage::REGISTRY_CLAIM);
+            let claim = sharded.try_claim(host, out.all_clusters);
+            drop(claim_span);
+            match claim {
                 ClaimOutcome::Claimed { id, members } => {
                     return self.finish_sharded(
                         sharded,
@@ -489,7 +510,11 @@ impl<'a> CloakingEngine<'a> {
                         out.involved_users as u64,
                     );
                 }
-                ClaimOutcome::Conflict => continue, // rival won a member: recompute
+                ClaimOutcome::Conflict => {
+                    // Rival won a member: recompute on the next attempt.
+                    nela_obs::add(nela_obs::counter::CLAIM_RETRIES, 1);
+                    continue;
+                }
                 ClaimOutcome::HostMissing => return Err(RequestError::HostNotClustered),
             }
         }
@@ -532,6 +557,7 @@ impl<'a> CloakingEngine<'a> {
         let started = Instant::now();
         let bbox = self.bound(&member_points, host_point, cluster_size)?;
         let bounding_cpu = started.elapsed();
+        nela_obs::observe_duration(nela_obs::stage::BOUNDING, bounding_cpu);
         sharded.set_region(id, bbox.rect);
         Ok(CloakingResult {
             host,
@@ -578,8 +604,11 @@ impl<'a> CloakingEngine<'a> {
             }
             // Phase 1 outside the lock.
             let removed = |u: UserId| snapshot[u as usize];
-            let out =
-                distributed_k_clustering(&self.system.wpg, host, self.system.params.k, &removed)?;
+            let cluster_span = nela_obs::span(nela_obs::stage::CLUSTERING);
+            let outcome =
+                distributed_k_clustering(&self.system.wpg, host, self.system.params.k, &removed);
+            drop(cluster_span);
+            let out = outcome?;
             // A partition that misses the host is a typed failure, not a
             // retry (and must never be registered).
             if !out.all_clusters.iter().any(|c| c.contains(host)) {
@@ -622,6 +651,7 @@ impl<'a> CloakingEngine<'a> {
                     out.involved_users as u64,
                 );
             }
+            nela_obs::add(nela_obs::counter::CLAIM_RETRIES, 1);
         }
         Err(RequestError::Contention {
             attempts: MAX_CONCURRENT_ATTEMPTS,
@@ -662,6 +692,7 @@ impl<'a> CloakingEngine<'a> {
         let started = Instant::now();
         let bbox = self.bound(&member_points, host_point, cluster_size)?;
         let bounding_cpu = started.elapsed();
+        nela_obs::observe_duration(nela_obs::stage::BOUNDING, bounding_cpu);
         registry.lock().set_region(id, bbox.rect);
         Ok(CloakingResult {
             host,
@@ -695,6 +726,7 @@ impl<'a> CloakingEngine<'a> {
         let started = Instant::now();
         let bbox = self.bound(&members, host_point, out.cluster.len())?;
         let bounding_cpu = started.elapsed();
+        nela_obs::observe_duration(nela_obs::stage::BOUNDING, bounding_cpu);
         Ok(CloakingResult {
             host,
             region: bbox.rect,
@@ -770,6 +802,7 @@ impl<'a> CloakingEngine<'a> {
         let started = Instant::now();
         let bbox = self.bound(&members, host_point, cluster_size)?;
         let bounding_cpu = started.elapsed();
+        nela_obs::observe_duration(nela_obs::stage::BOUNDING, bounding_cpu);
         self.registry.set_region(id, bbox.rect);
         Ok(CloakingResult {
             host,
@@ -821,6 +854,30 @@ impl<'a> CloakingEngine<'a> {
                 secure_bounding_box(members, host_point, Rect::UNIT, || {
                     Box::new(ExponentialPolicy::new(span)) as Box<dyn IncrementPolicy>
                 })
+            }
+        }
+    }
+}
+
+/// Tallies one request outcome into the global obs counters. Called once
+/// per request: inside [`CloakingEngine::request`] for serial paths, and at
+/// the batch worker call sites for the concurrent paths (which bypass
+/// `request`).
+fn record_outcome(result: &Result<CloakingResult, RequestError>) {
+    if !nela_obs::enabled() {
+        return;
+    }
+    match result {
+        Ok(r) => {
+            nela_obs::add(nela_obs::counter::REQ_SERVED, 1);
+            if r.reused {
+                nela_obs::add(nela_obs::counter::REQ_REUSED, 1);
+            }
+        }
+        Err(e) => {
+            nela_obs::add(nela_obs::counter::REQ_FAILED, 1);
+            if matches!(e, RequestError::Contention { .. }) {
+                nela_obs::add(nela_obs::counter::REQ_CONTENTION, 1);
             }
         }
     }

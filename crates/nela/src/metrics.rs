@@ -18,26 +18,38 @@ pub fn service_request_cost(area: f64, params: &Params) -> f64 {
 /// Aggregated metrics over a workload of cloaking requests — the quantities
 /// plotted in Figs. 9–13, all averaged over the total number of requests
 /// (including zero-cost reuses, as the paper does).
+///
+/// Averages are `None` when no request was served: an all-failed workload
+/// must not report fabricated `0.0` costs, it must report its failure count.
+/// The message *totals* are exact and defined for every workload, so they
+/// are the quantities to compare across runs (serial vs. parallel).
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct WorkloadStats {
     /// Requests served (including reuses).
     pub served: usize,
     /// Requests that failed (host could not reach k users).
     pub failed: usize,
+    /// Fraction of the workload that failed: `failed / (served + failed)`,
+    /// `0.0` for an empty workload.
+    pub failure_rate: f64,
     /// Requests answered entirely from the registry.
     pub reused: usize,
-    /// Average phase-1 messages per request.
-    pub avg_clustering_messages: f64,
-    /// Average cloaked-region area per request.
-    pub avg_cloaked_area: f64,
-    /// Average phase-2 verification messages per request.
-    pub avg_bounding_messages: f64,
-    /// Average service-request transfer cost per request.
-    pub avg_request_cost: f64,
-    /// Average phase-2 CPU time per request, in milliseconds.
-    pub avg_bounding_cpu_ms: f64,
+    /// Total phase-1 messages across all served requests.
+    pub clustering_messages_total: u64,
+    /// Total phase-2 verification messages across all served requests.
+    pub bounding_messages_total: u64,
+    /// Average phase-1 messages per served request.
+    pub avg_clustering_messages: Option<f64>,
+    /// Average cloaked-region area per served request.
+    pub avg_cloaked_area: Option<f64>,
+    /// Average phase-2 verification messages per served request.
+    pub avg_bounding_messages: Option<f64>,
+    /// Average service-request transfer cost per served request.
+    pub avg_request_cost: Option<f64>,
+    /// Average phase-2 CPU time per served request, in milliseconds.
+    pub avg_bounding_cpu_ms: Option<f64>,
     /// Average cluster size per served request.
-    pub avg_cluster_size: f64,
+    pub avg_cluster_size: Option<f64>,
 }
 
 /// Accumulator for [`WorkloadStats`].
@@ -46,9 +58,9 @@ pub struct StatsCollector {
     served: usize,
     failed: usize,
     reused: usize,
-    clustering_messages: f64,
+    clustering_messages: u64,
     area: f64,
-    bounding_messages: f64,
+    bounding_messages: u64,
     request_cost: f64,
     cpu_ms: f64,
     cluster_size: f64,
@@ -64,9 +76,9 @@ impl StatsCollector {
     pub fn push(&mut self, r: &CloakingResult, params: &Params) {
         self.served += 1;
         self.reused += usize::from(r.reused);
-        self.clustering_messages += r.clustering_messages as f64;
+        self.clustering_messages += r.clustering_messages;
         self.area += r.region.area();
-        self.bounding_messages += r.bounding_messages as f64;
+        self.bounding_messages += r.bounding_messages;
         self.request_cost += service_request_cost(r.region.area(), params);
         self.cpu_ms += r.bounding_cpu.as_secs_f64() * 1e3;
         self.cluster_size += r.cluster_size as f64;
@@ -77,19 +89,29 @@ impl StatsCollector {
         self.failed += 1;
     }
 
-    /// Finalizes the averages (over served requests).
+    /// Finalizes the averages (over served requests). With zero served
+    /// requests every average is `None` — there is nothing to average, and
+    /// reporting `0.0` would make a fully failed run look free.
     pub fn finish(self) -> WorkloadStats {
-        let n = self.served.max(1) as f64;
+        let avg = |sum: f64| (self.served > 0).then(|| sum / self.served as f64);
+        let total = self.served + self.failed;
         WorkloadStats {
             served: self.served,
             failed: self.failed,
+            failure_rate: if total > 0 {
+                self.failed as f64 / total as f64
+            } else {
+                0.0
+            },
             reused: self.reused,
-            avg_clustering_messages: self.clustering_messages / n,
-            avg_cloaked_area: self.area / n,
-            avg_bounding_messages: self.bounding_messages / n,
-            avg_request_cost: self.request_cost / n,
-            avg_bounding_cpu_ms: self.cpu_ms / n,
-            avg_cluster_size: self.cluster_size / n,
+            clustering_messages_total: self.clustering_messages,
+            bounding_messages_total: self.bounding_messages,
+            avg_clustering_messages: avg(self.clustering_messages as f64),
+            avg_cloaked_area: avg(self.area),
+            avg_bounding_messages: avg(self.bounding_messages as f64),
+            avg_request_cost: avg(self.request_cost),
+            avg_bounding_cpu_ms: avg(self.cpu_ms),
+            avg_cluster_size: avg(self.cluster_size),
         }
     }
 }
@@ -161,8 +183,43 @@ mod tests {
             &hosts,
         );
         assert!(stats.served + stats.failed == 40);
-        assert!(stats.avg_cloaked_area > 0.0);
-        assert!(stats.avg_cluster_size >= 5.0);
+        assert!(stats.avg_cloaked_area.unwrap() > 0.0);
+        assert!(stats.avg_cluster_size.unwrap() >= 5.0);
+        assert!(stats.clustering_messages_total > 0);
+    }
+
+    #[test]
+    fn all_failed_workload_reports_failures_not_zero_averages() {
+        // Ask for a cluster larger than the whole population: every request
+        // fails, so no average is defined — the stats must say so instead of
+        // fabricating 0.0 costs.
+        let s = System::build(&Params {
+            k: 5_000,
+            ..Params::scaled(2_000)
+        });
+        let hosts = s.host_sequence(10, 7);
+        let stats = run_workload(
+            &s,
+            ClusteringAlgo::TConnDistributed,
+            BoundingAlgo::Optimal,
+            &hosts,
+        );
+        assert_eq!(stats.served, 0);
+        assert_eq!(stats.failed, 10);
+        assert_eq!(stats.failure_rate, 1.0);
+        assert!(stats.avg_cloaked_area.is_none());
+        assert!(stats.avg_request_cost.is_none());
+        assert!(stats.avg_cluster_size.is_none());
+        let json = serde_json::to_string(&stats).unwrap();
+        assert!(json.contains("\"failed\": 10") || json.contains("\"failed\":10"));
+        assert!(
+            json.contains("null"),
+            "averages must serialize as null: {json}"
+        );
+        assert!(
+            !json.contains("\"avg_cloaked_area\": 0") && !json.contains("\"avg_cloaked_area\":0"),
+            "no fabricated zero average: {json}"
+        );
     }
 
     #[test]
@@ -176,27 +233,22 @@ mod tests {
         let heavy = s.host_sequence(340, 11); // ~85% of users consumed by kNN groups
         let run =
             |algo, hosts: &[nela_geo::UserId]| run_workload(&s, algo, BoundingAlgo::Optimal, hosts);
-        let knn_light = run(ClusteringAlgo::Knn(TieBreak::Id), &light);
-        let knn_heavy = run(ClusteringAlgo::Knn(TieBreak::Id), &heavy);
-        let tconn_light = run(ClusteringAlgo::TConnDistributed, &light);
-        let tconn_heavy = run(ClusteringAlgo::TConnDistributed, &heavy);
+        let area = |st: &WorkloadStats| st.avg_cloaked_area.unwrap();
+        let knn_light = area(&run(ClusteringAlgo::Knn(TieBreak::Id), &light));
+        let knn_heavy = area(&run(ClusteringAlgo::Knn(TieBreak::Id), &heavy));
+        let tconn_light = area(&run(ClusteringAlgo::TConnDistributed, &light));
+        let tconn_heavy = area(&run(ClusteringAlgo::TConnDistributed, &heavy));
         assert!(
-            knn_heavy.avg_cloaked_area > 1.3 * knn_light.avg_cloaked_area,
-            "kNN should degrade: light {} heavy {}",
-            knn_light.avg_cloaked_area,
-            knn_heavy.avg_cloaked_area
+            knn_heavy > 1.3 * knn_light,
+            "kNN should degrade: light {knn_light} heavy {knn_heavy}"
         );
         assert!(
-            tconn_heavy.avg_cloaked_area < 1.3 * tconn_light.avg_cloaked_area,
-            "t-Conn should stay flat: light {} heavy {}",
-            tconn_light.avg_cloaked_area,
-            tconn_heavy.avg_cloaked_area
+            tconn_heavy < 1.3 * tconn_light,
+            "t-Conn should stay flat: light {tconn_light} heavy {tconn_heavy}"
         );
         assert!(
-            tconn_heavy.avg_cloaked_area < knn_heavy.avg_cloaked_area,
-            "under sustained load t-Conn must win: {} vs {}",
-            tconn_heavy.avg_cloaked_area,
-            knn_heavy.avg_cloaked_area
+            tconn_heavy < knn_heavy,
+            "under sustained load t-Conn must win: {tconn_heavy} vs {knn_heavy}"
         );
     }
 

@@ -15,6 +15,7 @@
 //! on (`exp_robustness` uses the same machinery at the algorithm level).
 
 use crate::event::EventQueue;
+use crate::network::ConfigError;
 use nela_geo::{GridIndex, Point, UserId};
 use nela_wpg::{Edge, Wpg};
 use rand::{Rng, SeedableRng};
@@ -48,6 +49,41 @@ const JITTER_STREAM: u64 = 0x4a49_5454; // "JITT"
 const LOSS_STREAM: u64 = 0x4c4f_5353; // "LOSS"
 /// Stream tag for RSS measurement noise.
 const NOISE_STREAM: u64 = 0x4e4f_4953; // "NOIS"
+
+impl DiscoveryConfig {
+    /// Checks every field against its domain. [`run_discovery`] calls this
+    /// at entry, so a malformed config is a typed error up front instead of
+    /// a mid-run panic.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.delta.is_finite() || self.delta <= 0.0 {
+            return Err(ConfigError::new("delta", self.delta, "finite and > 0"));
+        }
+        if self.max_peers < 1 {
+            return Err(ConfigError::new("max_peers", self.max_peers as f64, ">= 1"));
+        }
+        if self.rounds < 1 {
+            return Err(ConfigError::new("rounds", self.rounds as f64, ">= 1"));
+        }
+        if !(0.0..1.0).contains(&self.beacon_loss) {
+            return Err(ConfigError::new(
+                "beacon_loss",
+                self.beacon_loss,
+                "in [0, 1)",
+            ));
+        }
+        if !self.rss_noise.is_finite() || self.rss_noise < 0.0 {
+            return Err(ConfigError::new(
+                "rss_noise",
+                self.rss_noise,
+                "finite and >= 0",
+            ));
+        }
+        if !self.period.is_finite() || self.period <= 0.0 {
+            return Err(ConfigError::new("period", self.period, "finite and > 0"));
+        }
+        Ok(())
+    }
+}
 
 impl Default for DiscoveryConfig {
     fn default() -> Self {
@@ -83,17 +119,21 @@ struct Beacon {
 }
 
 /// Runs the discovery phase and assembles the discovered WPG.
+///
+/// # Errors
+/// [`ConfigError`] when any [`DiscoveryConfig`] field is outside its domain
+/// (see [`DiscoveryConfig::validate`]).
+///
+/// # Panics
+/// Panics if `grid` does not index `points` — a programming error at the
+/// call site, not a configuration problem.
 pub fn run_discovery(
     points: &[Point],
     grid: &GridIndex,
     cfg: &DiscoveryConfig,
-) -> (Wpg, DiscoveryStats) {
+) -> Result<(Wpg, DiscoveryStats), ConfigError> {
     assert_eq!(points.len(), grid.len(), "grid must index the population");
-    assert!(
-        (0.0..1.0).contains(&cfg.beacon_loss),
-        "loss must be in [0,1)"
-    );
-    assert!(cfg.rounds >= 1, "at least one beacon round");
+    cfg.validate()?;
     let n = points.len();
     let mut jitter_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ JITTER_STREAM);
     let mut loss_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ LOSS_STREAM);
@@ -162,7 +202,7 @@ pub fn run_discovery(
             }
         }
     }
-    (Wpg::from_edges(n, &edges), stats)
+    Ok((Wpg::from_edges(n, &edges), stats))
 }
 
 /// Measures how much of the reference WPG's edge set survives in the
@@ -214,7 +254,7 @@ mod tests {
     #[test]
     fn lossless_noiseless_discovery_matches_ideal_wpg() {
         let (points, grid) = population(400, 1);
-        let (discovered, stats) = run_discovery(&points, &grid, &cfg());
+        let (discovered, stats) = run_discovery(&points, &grid, &cfg()).unwrap();
         let ideal = WpgBuilder::new(0.05, 6, InverseDistanceRss).build_with_index(&points, &grid);
         let a: Vec<_> = discovered.edges().collect();
         let b: Vec<_> = ideal.edges().collect();
@@ -232,7 +272,7 @@ mod tests {
             rounds: 1, // single round: losses directly erase peers
             ..cfg()
         };
-        let (discovered, stats) = run_discovery(&points, &grid, &lossy);
+        let (discovered, stats) = run_discovery(&points, &grid, &lossy).unwrap();
         assert!(stats.lost > 0);
         let recall = edge_recall(&ideal, &discovered);
         assert!(recall < 1.0, "60% loss with one round must lose edges");
@@ -253,8 +293,8 @@ mod tests {
             rounds: 12,
             ..cfg()
         };
-        let (d1, _) = run_discovery(&points, &grid, &one);
-        let (d12, _) = run_discovery(&points, &grid, &many);
+        let (d1, _) = run_discovery(&points, &grid, &one).unwrap();
+        let (d12, _) = run_discovery(&points, &grid, &many).unwrap();
         assert!(
             edge_recall(&ideal, &d12) > edge_recall(&ideal, &d1),
             "redundant beaconing must improve recall"
@@ -271,7 +311,7 @@ mod tests {
             rounds: 6,        // averaging tames it
             ..cfg()
         };
-        let (discovered, _) = run_discovery(&points, &grid, &noisy);
+        let (discovered, _) = run_discovery(&points, &grid, &noisy).unwrap();
         let recall = edge_recall(&ideal, &discovered);
         assert!(recall > 0.7, "recall {recall}");
     }
@@ -284,16 +324,70 @@ mod tests {
             rss_noise: 0.002,
             ..cfg()
         };
-        let (a, sa) = run_discovery(&points, &grid, &noisy);
-        let (b, sb) = run_discovery(&points, &grid, &noisy);
+        let (a, sa) = run_discovery(&points, &grid, &noisy).unwrap();
+        let (b, sb) = run_discovery(&points, &grid, &noisy).unwrap();
         assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
         assert_eq!(sa, sb);
     }
 
     #[test]
+    fn rejects_malformed_configs_with_typed_errors() {
+        let (points, grid) = population(20, 7);
+        let bad_loss = DiscoveryConfig {
+            beacon_loss: 1.0,
+            ..cfg()
+        };
+        let err = run_discovery(&points, &grid, &bad_loss).unwrap_err();
+        assert_eq!(err.field, "beacon_loss");
+        assert_eq!(
+            err.to_string(),
+            "invalid beacon_loss = 1: must be in [0, 1)"
+        );
+
+        let err = DiscoveryConfig { rounds: 0, ..cfg() }
+            .validate()
+            .unwrap_err();
+        assert_eq!(err.field, "rounds");
+
+        let err = DiscoveryConfig {
+            delta: f64::NAN,
+            ..cfg()
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(err.field, "delta");
+
+        let err = DiscoveryConfig {
+            max_peers: 0,
+            ..cfg()
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(err.field, "max_peers");
+
+        let err = DiscoveryConfig {
+            rss_noise: -0.1,
+            ..cfg()
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(err.field, "rss_noise");
+
+        let err = DiscoveryConfig {
+            period: 0.0,
+            ..cfg()
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(err.field, "period");
+
+        assert!(cfg().validate().is_ok());
+    }
+
+    #[test]
     fn degree_cap_is_respected() {
         let (points, grid) = population(300, 6);
-        let (discovered, _) = run_discovery(&points, &grid, &cfg());
+        let (discovered, _) = run_discovery(&points, &grid, &cfg()).unwrap();
         for u in 0..discovered.n() as UserId {
             assert!(discovered.degree(u) <= 6);
         }

@@ -30,5 +30,5 @@ pub mod proto;
 pub use concurrency::{ConcurrentWorkload, RequestResolution};
 pub use discovery::{edge_recall, run_discovery, DiscoveryConfig, DiscoveryStats};
 pub use event::EventQueue;
-pub use network::{LatencyModel, Network, NetworkConfig, NetworkStats, RpcError};
+pub use network::{ConfigError, LatencyModel, Network, NetworkConfig, NetworkStats, RpcError};
 pub use proto::{SimFetch, SimVerify};

@@ -32,6 +32,41 @@ impl Default for LatencyModel {
     }
 }
 
+/// A rejected configuration value: which field, what it held, and what it
+/// must satisfy. Returned by the `validate()` entry points instead of
+/// panicking mid-run, so callers can surface bad configs as ordinary errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigError {
+    /// The offending field, e.g. `"loss"` or `"beacon_loss"`.
+    pub field: &'static str,
+    /// The rejected value (integer fields are widened to f64).
+    pub value: f64,
+    /// What the field must satisfy, e.g. `"in [0, 1)"`.
+    pub requirement: &'static str,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid {} = {}: must be {}",
+            self.field, self.value, self.requirement
+        )
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl ConfigError {
+    pub(crate) fn new(field: &'static str, value: f64, requirement: &'static str) -> Self {
+        ConfigError {
+            field,
+            value,
+            requirement,
+        }
+    }
+}
+
 /// Network configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetworkConfig {
@@ -56,6 +91,36 @@ impl Default for NetworkConfig {
             latency: LatencyModel::default(),
             seed: 0,
         }
+    }
+}
+
+impl NetworkConfig {
+    /// Checks every field against its domain. [`Network::new`] calls this,
+    /// so a malformed config is rejected at construction with a typed error
+    /// instead of silently mis-simulating (`loss = 1.5` used to drop every
+    /// packet; a negative `timeout` ran the clock backwards).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(0.0..1.0).contains(&self.loss) {
+            return Err(ConfigError::new("loss", self.loss, "in [0, 1)"));
+        }
+        if !self.timeout.is_finite() || self.timeout < 0.0 {
+            return Err(ConfigError::new("timeout", self.timeout, "finite and >= 0"));
+        }
+        if !self.latency.base.is_finite() || self.latency.base < 0.0 {
+            return Err(ConfigError::new(
+                "latency.base",
+                self.latency.base,
+                "finite and >= 0",
+            ));
+        }
+        if !self.latency.jitter.is_finite() || self.latency.jitter < 0.0 {
+            return Err(ConfigError::new(
+                "latency.jitter",
+                self.latency.jitter,
+                "finite and >= 0",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -104,20 +169,24 @@ pub struct Network {
 
 impl Network {
     /// Creates a network with the given configuration.
-    pub fn new(cfg: NetworkConfig) -> Self {
-        assert!((0.0..1.0).contains(&cfg.loss), "loss must be in [0, 1)");
-        Network {
+    ///
+    /// # Errors
+    /// [`ConfigError`] when any field is outside its domain (see
+    /// [`NetworkConfig::validate`]).
+    pub fn new(cfg: NetworkConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(Network {
             rng: ChaCha8Rng::seed_from_u64(cfg.seed),
             cfg,
             clock: 0.0,
             down: std::collections::HashSet::new(),
             stats: NetworkStats::default(),
-        }
+        })
     }
 
     /// A lossless, crash-free network (analysis parity).
     pub fn reliable() -> Self {
-        Network::new(NetworkConfig::default())
+        Network::new(NetworkConfig::default()).expect("default config is valid")
     }
 
     /// Current virtual time in seconds.
@@ -154,13 +223,17 @@ impl Network {
     /// On success the clock has advanced by the attempt latencies; on
     /// failure by the full retry budget's timeouts.
     pub fn rpc(&mut self, _from: UserId, to: UserId) -> Result<(), RpcError> {
-        for _attempt in 0..=self.cfg.max_retries {
+        for attempt in 0..=self.cfg.max_retries {
+            if attempt > 0 {
+                nela_obs::add(nela_obs::counter::RPC_RETRANSMITS, 1);
+            }
             // Request leg.
             self.stats.transmissions += 1;
             let request_lost = self.rng.gen::<f64>() < self.cfg.loss || self.down.contains(&to);
             if request_lost {
                 self.stats.lost += 1;
                 self.clock += self.cfg.timeout;
+                nela_obs::add(nela_obs::counter::RPC_TIMEOUTS, 1);
                 continue;
             }
             self.clock += self.one_way_latency();
@@ -170,13 +243,16 @@ impl Network {
             if reply_lost {
                 self.stats.lost += 1;
                 self.clock += self.cfg.timeout;
+                nela_obs::add(nela_obs::counter::RPC_TIMEOUTS, 1);
                 continue;
             }
             self.clock += self.one_way_latency();
             self.stats.rpcs_ok += 1;
+            nela_obs::add(nela_obs::counter::RPC_OK, 1);
             return Ok(());
         }
         self.stats.rpcs_failed += 1;
+        nela_obs::add(nela_obs::counter::RPC_FAILED, 1);
         if self.down.contains(&to) {
             Err(RpcError::PeerDown(to))
         } else {
@@ -237,7 +313,8 @@ mod tests {
             max_retries: 5,
             seed: 42,
             ..Default::default()
-        });
+        })
+        .unwrap();
         let mut ok = 0;
         for i in 0..200 {
             if net.rpc(0, (i % 10) + 1).is_ok() {
@@ -256,7 +333,8 @@ mod tests {
             max_retries: 2,
             seed: 7,
             ..Default::default()
-        });
+        })
+        .unwrap();
         for _ in 0..50 {
             let _ = net.rpc(0, 1);
         }
@@ -272,7 +350,8 @@ mod tests {
                 loss: 0.3,
                 seed,
                 ..Default::default()
-            });
+            })
+            .unwrap();
             let mut outcomes = Vec::new();
             for _ in 0..20 {
                 outcomes.push(net.rpc(0, 1).is_ok());
@@ -291,11 +370,63 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "loss must be in")]
-    fn rejects_invalid_loss() {
-        Network::new(NetworkConfig {
+    fn rejects_malformed_configs_with_typed_errors() {
+        let err = Network::new(NetworkConfig {
             loss: 1.0,
             ..Default::default()
-        });
+        })
+        .unwrap_err();
+        assert_eq!(err.field, "loss");
+        assert_eq!(err.to_string(), "invalid loss = 1: must be in [0, 1)");
+
+        let err = Network::new(NetworkConfig {
+            loss: -0.1,
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert_eq!(err.field, "loss");
+
+        let err = Network::new(NetworkConfig {
+            timeout: -1.0,
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert_eq!(err.field, "timeout");
+
+        let err = Network::new(NetworkConfig {
+            timeout: f64::NAN,
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert_eq!(err.field, "timeout");
+
+        let err = Network::new(NetworkConfig {
+            latency: LatencyModel {
+                base: f64::INFINITY,
+                jitter: 0.0,
+            },
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert_eq!(err.field, "latency.base");
+
+        let err = Network::new(NetworkConfig {
+            latency: LatencyModel {
+                base: 0.01,
+                jitter: -0.5,
+            },
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert_eq!(err.field, "latency.jitter");
+
+        // The boundary values are accepted.
+        assert!(NetworkConfig {
+            loss: 0.0,
+            timeout: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_ok());
     }
 }

@@ -116,7 +116,8 @@ mod tests {
             max_retries: 6,
             seed: 3,
             ..Default::default()
-        });
+        })
+        .unwrap();
         let mut fetch = SimFetch::new(&mut net, &g, 7);
         let simulated = distributed_k_clustering_with(&mut fetch, 7, 5, &no_removed).unwrap();
         assert!(simulated.host_cluster.is_valid(5));

@@ -1,0 +1,177 @@
+//! Name → instrument map backing the global recorder.
+
+use crate::hist::Histogram;
+use crate::snapshot::{CounterSnapshot, HistogramSnapshot, MetricsSnapshot};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A registry of named histograms and counters. Instruments are created on
+/// first use and live for the registry's lifetime; recording into an
+/// existing instrument takes one read-lock plus one hash lookup. Handles
+/// ([`Registry::histogram`], [`Registry::counter`]) are `Arc`s, so hot
+/// loops can look a name up once and record lock-free afterwards.
+#[derive(Debug, Default)]
+pub struct Registry {
+    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+    counters: RwLock<HashMap<String, Arc<AtomicU64>>>,
+}
+
+/// Lock discipline: the maps are only ever locked one at a time, and a
+/// poisoned lock (a panicking recorder thread) must not take the whole
+/// telemetry layer down — recover the guard and keep serving.
+fn read<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = read(&self.histograms).get(name) {
+            return Arc::clone(h);
+        }
+        let mut map = write(&self.histograms);
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        if let Some(c) = read(&self.counters).get(name) {
+            return Arc::clone(c);
+        }
+        let mut map = write(&self.counters);
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    /// Records `value` into histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        self.histogram(name).record(value);
+    }
+
+    /// Adds `delta` to counter `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.counter(name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value of counter `name` (0 when it was never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        read(&self.counters)
+            .get(name)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Zeroes every instrument, keeping the handles alive (outstanding
+    /// `Arc`s keep recording into the same cells).
+    pub fn reset(&self) {
+        for h in read(&self.histograms).values() {
+            h.reset();
+        }
+        for c in read(&self.counters).values() {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Freezes the registry into a serializable snapshot, instruments
+    /// sorted by name so output is deterministic.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut histograms: Vec<HistogramSnapshot> = read(&self.histograms)
+            .iter()
+            .map(|(name, h)| HistogramSnapshot::of(name, h))
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut counters: Vec<CounterSnapshot> = read(&self.counters)
+            .iter()
+            .map(|(name, c)| CounterSnapshot {
+                name: name.clone(),
+                value: c.load(Ordering::Relaxed),
+            })
+            .collect();
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot {
+            enabled: true,
+            histograms,
+            counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruments_are_created_on_first_use_and_shared() {
+        let r = Registry::new();
+        r.observe("a", 10);
+        r.observe("a", 20);
+        r.add("c", 3);
+        r.add("c", 4);
+        assert_eq!(r.histogram("a").count(), 2);
+        assert_eq!(r.counter_value("c"), 7);
+        assert_eq!(r.counter_value("never"), 0);
+        // The handle records into the same cell as the name.
+        let h = r.histogram("a");
+        h.record(30);
+        assert_eq!(r.histogram("a").count(), 3);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.observe("z.stage", 5);
+        r.observe("a.stage", 5);
+        r.add("m.counter", 1);
+        let s = r.snapshot();
+        let names: Vec<&str> = s.histograms.iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(names, vec!["a.stage", "z.stage"]);
+        assert_eq!(s.counters.len(), 1);
+        assert_eq!(s.counters[0].value, 1);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles_live() {
+        let r = Registry::new();
+        let h = r.histogram("x");
+        let c = r.counter("y");
+        h.record(1);
+        c.fetch_add(5, Ordering::Relaxed);
+        r.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(r.counter_value("y"), 0);
+        h.record(2);
+        assert_eq!(r.histogram("x").count(), 1);
+    }
+
+    #[test]
+    fn concurrent_mixed_recording_is_sound() {
+        let r = Registry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let r = &r;
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        r.observe("hist", i);
+                        r.add("ctr", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.histogram("hist").count(), 4_000);
+        assert_eq!(r.counter_value("ctr"), 4_000);
+    }
+}

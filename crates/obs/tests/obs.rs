@@ -1,0 +1,152 @@
+//! Integration tests for nela-obs: bucket boundaries, quantile properties,
+//! snapshot round-trips, and the disabled-recorder guarantees.
+
+use nela_obs::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, CounterSnapshot, Histogram,
+    HistogramSnapshot, MetricsSnapshot, Registry, N_BUCKETS,
+};
+use proptest::prelude::*;
+
+#[test]
+fn exact_powers_of_two_open_new_buckets() {
+    // 2^k is the smallest value of its bucket: one below lands a bucket
+    // earlier for every finite bucket.
+    for k in 0..N_BUCKETS - 2 {
+        let v = 1u64 << k;
+        assert_eq!(bucket_index(v), k + 1, "2^{k} opens bucket {}", k + 1);
+        if v > 1 {
+            assert_eq!(bucket_index(v - 1), k, "2^{k} - 1 stays in bucket {k}");
+        }
+        assert_eq!(bucket_lower_bound(k + 1), v);
+    }
+}
+
+#[test]
+fn overflow_bucket_catches_everything_above_the_last_finite_bound() {
+    let last_finite = N_BUCKETS - 2;
+    let edge = bucket_upper_bound(last_finite).expect("finite bucket");
+    assert_eq!(bucket_index(edge), last_finite);
+    assert_eq!(bucket_index(edge + 1), N_BUCKETS - 1);
+    assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+    assert_eq!(bucket_upper_bound(N_BUCKETS - 1), None);
+
+    let h = Histogram::new();
+    h.record(u64::MAX);
+    h.record(edge + 1);
+    assert_eq!(h.buckets()[N_BUCKETS - 1], 2);
+    // The overflow bucket still reports a finite quantile: the observed max.
+    assert_eq!(h.quantile(1.0), u64::MAX);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(h.quantile(lo) <= h.quantile(hi));
+    }
+
+    #[test]
+    fn quantile_never_understates_and_respects_max(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let estimate = h.quantile(q);
+        let max = *values.iter().max().unwrap();
+        prop_assert!(estimate <= max);
+        // The estimate is a bucket upper bound: at least the true quantile.
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        prop_assert!(estimate >= sorted[rank - 1]);
+    }
+
+    #[test]
+    fn snapshot_json_round_trip(
+        values in proptest::collection::vec(0u64..u64::MAX, 0..50),
+        ctr in 0u64..u64::MAX,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = MetricsSnapshot {
+            enabled: true,
+            histograms: vec![HistogramSnapshot::of("stage.rt", &h)],
+            counters: vec![CounterSnapshot { name: "ctr.rt".to_string(), value: ctr }],
+        };
+        let back = MetricsSnapshot::from_json(&snap.to_json()).expect("parse back");
+        prop_assert_eq!(back, snap);
+    }
+}
+
+/// All assertions about the process-global recorder live in this single
+/// test: enable/disable flips shared state, and parallel test threads would
+/// otherwise race on it.
+#[test]
+fn global_recorder_lifecycle() {
+    // Disabled (the default): nothing records, nothing allocates.
+    assert!(!nela_obs::enabled());
+    nela_obs::add("ctr", 1);
+    nela_obs::observe("hist", 1);
+    {
+        let span = nela_obs::span("hist");
+        assert!(!span.is_recording());
+    }
+    assert!(
+        !nela_obs::initialized(),
+        "disabled recording must not allocate the global registry"
+    );
+    let empty = nela_obs::snapshot();
+    assert!(!empty.enabled);
+    assert!(empty.histograms.is_empty() && empty.counters.is_empty());
+
+    // Enabled: the same calls land in the global registry.
+    nela_obs::enable();
+    assert!(nela_obs::enabled() && nela_obs::initialized());
+    nela_obs::add("ctr", 2);
+    nela_obs::observe("hist", 7);
+    {
+        let span = nela_obs::span("hist");
+        assert!(span.is_recording());
+    }
+    let live = nela_obs::snapshot();
+    assert!(live.enabled);
+    assert_eq!(live.counter("ctr"), Some(2));
+    let h = live.histogram("hist").expect("histogram exists");
+    assert_eq!(h.count, 2, "observe + span drop");
+
+    // Disable again: recording stops, existing data stays until reset.
+    nela_obs::disable();
+    nela_obs::add("ctr", 100);
+    assert_eq!(nela_obs::snapshot().counter("ctr"), Some(2));
+    nela_obs::reset();
+    let cleared = nela_obs::snapshot();
+    assert_eq!(cleared.counter("ctr"), Some(0));
+    assert_eq!(cleared.histogram("hist").unwrap().count, 0);
+}
+
+#[test]
+fn explicit_registry_is_independent_of_the_global() {
+    let r = Registry::new();
+    r.observe("local", 3);
+    r.add("local.ctr", 9);
+    let s = r.snapshot();
+    assert_eq!(s.counter("local.ctr"), Some(9));
+    assert_eq!(s.histogram("local").unwrap().count, 1);
+    // Nothing leaked into (or from) the process-global registry.
+    assert_eq!(nela_obs::snapshot().counter("local.ctr"), None);
+}

@@ -72,9 +72,11 @@ impl<R: RssModel> WpgBuilder<R> {
         threads: usize,
     ) -> Wpg {
         assert_eq!(points.len(), index.len(), "index does not match points");
+        let _build_span = nela_obs::span(nela_obs::stage::WPG_BUILD);
         let n = points.len();
         // Per-user top-M peer list with 1-based RSS ranks, chunked over
         // users; scratch buffers are reused within each chunk.
+        let rank_span = nela_obs::span(nela_obs::stage::WPG_RANK);
         let rank_chunks: Vec<Vec<Vec<(UserId, u32)>>> = nela_par::map_chunks(threads, n, |range| {
             let mut buf: Vec<(UserId, f64)> = Vec::new();
             let mut scored: Vec<(f64, UserId)> = Vec::new();
@@ -105,9 +107,11 @@ impl<R: RssModel> WpgBuilder<R> {
         for chunk in rank_chunks {
             rank_of.extend(chunk);
         }
+        drop(rank_span);
         // Mutual edges with min-rank weights: each chunk emits the edges
         // whose lower endpoint falls in its range; concatenating in chunk
         // order reproduces the serial emission order exactly.
+        let edge_span = nela_obs::span(nela_obs::stage::WPG_EDGES);
         let rank_of_ref = &rank_of;
         let edge_chunks: Vec<Vec<Edge>> = nela_par::map_chunks(threads, n, move |range| {
             let mut edges = Vec::new();
@@ -130,8 +134,10 @@ impl<R: RssModel> WpgBuilder<R> {
         for chunk in edge_chunks {
             edges.extend(chunk);
         }
+        drop(edge_span);
         // CSR assembly was the build's last serial stage; the counting-sort
         // fill is bit-identical to the serial `from_edges`.
+        let _csr_span = nela_obs::span(nela_obs::stage::WPG_CSR);
         Wpg::from_edges_threads(n, &edges, threads)
     }
 }

@@ -43,9 +43,12 @@ fn main() {
         );
         println!(
             "{s:>10} | {:>12.1} {:>12.1} {:>12.3} {:>8.0}%",
-            central.avg_clustering_messages,
-            distributed.avg_clustering_messages,
-            distributed.avg_cloaked_area / central.avg_cloaked_area,
+            central.avg_clustering_messages.expect("workload served"),
+            distributed
+                .avg_clustering_messages
+                .expect("workload served"),
+            distributed.avg_cloaked_area.expect("workload served")
+                / central.avg_cloaked_area.expect("workload served"),
             100.0 * distributed.reused as f64 / distributed.served.max(1) as f64,
         );
     }

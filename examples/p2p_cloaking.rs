@@ -36,7 +36,8 @@ fn main() {
             max_retries: 6,
             seed: 1,
             ..Default::default()
-        });
+        })
+        .expect("config is valid");
         let mut fetch = SimFetch::new(&mut net, &system.wpg, host);
         let outcome = distributed_k_clustering_with(&mut fetch, host, params.k, &|_| false);
         let stats = net.stats();

@@ -57,7 +57,8 @@ fn lossy_network_changes_cost_but_not_result() {
         max_retries: 8,
         seed: 5,
         ..Default::default()
-    });
+    })
+    .expect("config is valid");
     let mut fetch = SimFetch::new(&mut net, &system.wpg, host);
     let simulated =
         distributed_k_clustering_with(&mut fetch, host, system.params.k, &none).unwrap();

@@ -122,13 +122,16 @@ fn stats_accounting_is_internally_consistent() {
     );
     assert_eq!(stats.served + stats.failed, hosts.len());
     assert!(stats.reused <= stats.served);
-    assert!(stats.avg_cluster_size >= system.params.k as f64);
-    assert!(stats.avg_cloaked_area > 0.0);
-    assert!(stats.avg_request_cost > 0.0);
+    let area = stats.avg_cloaked_area.unwrap();
+    let request_cost = stats.avg_request_cost.unwrap();
+    assert!(stats.avg_cluster_size.unwrap() >= system.params.k as f64);
+    assert!(area > 0.0);
+    assert!(request_cost > 0.0);
+    assert!((stats.failure_rate - stats.failed as f64 / hosts.len() as f64).abs() < 1e-12);
     // Request cost is area-proportional by definition.
-    let expected = nela::service_request_cost(stats.avg_cloaked_area, &system.params);
+    let expected = nela::service_request_cost(area, &system.params);
     assert!(
-        (stats.avg_request_cost - expected).abs() / expected < 1e-9,
+        (request_cost - expected).abs() / expected < 1e-9,
         "request cost must be the area-proportional model"
     );
 }

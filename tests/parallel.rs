@@ -271,6 +271,55 @@ proptest! {
     }
 }
 
+/// Differential test for the thread-count invariance promised by
+/// `run_workload_threads`: with one host per t-connectivity component the
+/// requests touch pairwise disjoint user sets, so no interleaving can change
+/// what is computed — served / failed / reused and the exact message totals
+/// must be bit-equal to the serial run at every worker count.
+#[test]
+fn aggregate_stats_are_thread_count_invariant_for_independent_hosts() {
+    use nela::metrics::run_workload_threads;
+    use nela::wpg::connectivity::{components_under, nothing_removed};
+    use nela::wpg::Weight;
+
+    let s = system();
+    let mut comps = components_under(&s.wpg, s.params.max_peers as Weight, &nothing_removed);
+    // One representative per component, largest components first so most
+    // sampled hosts can actually reach k users.
+    comps.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    let hosts: Vec<UserId> = comps.iter().take(32).map(|c| c[0]).collect();
+    assert!(
+        hosts.len() >= 4,
+        "graph too connected for a meaningful differential sample"
+    );
+
+    let run = |threads| {
+        run_workload_threads(
+            &s,
+            ClusteringAlgo::TConnDistributed,
+            BoundingAlgo::Secure,
+            &hosts,
+            threads,
+        )
+    };
+    let serial = run(1);
+    assert!(serial.served > 0, "differential baseline served nothing");
+    for threads in [2usize, 4, 8] {
+        let par = run(threads);
+        assert_eq!(serial.served, par.served, "served diverged at {threads}");
+        assert_eq!(serial.failed, par.failed, "failed diverged at {threads}");
+        assert_eq!(serial.reused, par.reused, "reused diverged at {threads}");
+        assert_eq!(
+            serial.clustering_messages_total, par.clustering_messages_total,
+            "clustering messages diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial.bounding_messages_total, par.bounding_messages_total,
+            "bounding messages diverged at {threads} threads"
+        );
+    }
+}
+
 #[test]
 fn non_tconn_batches_fall_back_to_serial_order() {
     let s = system();
