@@ -1,0 +1,214 @@
+//! End-to-end serving benchmark: sustained throughput and per-stage latency
+//! of the anonymized LBS serving subsystem (`nela-serve`) under open-loop
+//! Poisson load.
+//!
+//! Full mode builds one system (`NELA_USERS`, default 20,000), then sweeps
+//! query type ∈ {range, krnn} × workers ∈ {1, 2, 4, 8} × offered load,
+//! running a fresh serving session per cell. Every session drives each
+//! admitted request through the whole pipeline — cluster + secure bounding,
+//! cloaked query at the LBS, client refinement — and the report carries
+//! exact per-stage p50/p95/p99 plus backpressure accounting. Results go to
+//! `BENCH_serve.json` at the repository root.
+//!
+//! `--smoke` runs a small population and exits non-zero unless (a) two
+//! same-seed single-worker sessions replay bit-identically (served/shed
+//! counts and the per-request answer digest), and (b) a 2-worker session
+//! with covering queue capacity serves requests with zero shed — the CI
+//! guard for the serving determinism and liveness contracts.
+//!
+//! Environment: `NELA_USERS`, `NELA_RESULTS_DIR` (optional JSON dump).
+
+use nela_bench::{fmt, print_table, ExpConfig};
+use nela_serve::{run_with_system, QueryMix, ServeConfig, ServeReport};
+use serde::Serialize;
+
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+/// Offered loads swept per (query, workers) cell, in requests per second.
+const RATES: [f64; 2] = [500.0, 2_000.0];
+/// Requests per serving session (each cell is one bounded session).
+const REQUESTS: usize = 400;
+/// Range-query radius (unit square) and kRNN size for the workload.
+const RADIUS: f64 = 0.02;
+const K: usize = 5;
+
+#[derive(Debug, Clone, Serialize)]
+struct Row {
+    query: String,
+    report: ServeReport,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Report {
+    /// Logical CPUs available (sustained throughput needs real cores).
+    cores: usize,
+    population: usize,
+    rows: Vec<Row>,
+}
+
+fn cell_config(query: QueryMix, workers: usize, rate: f64) -> ServeConfig {
+    ServeConfig {
+        requests: REQUESTS,
+        rate,
+        workers,
+        queue_capacity: 1_024,
+        query,
+        seed: 42,
+        ..ServeConfig::default()
+    }
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn smoke() -> i32 {
+    let cfg = ExpConfig {
+        users: 2_500,
+        results_dir: None,
+    };
+    let system = cfg.build(&cfg.params());
+    let replay_cfg = ServeConfig {
+        requests: 60,
+        rate: 20_000.0,
+        workers: 1,
+        queue_capacity: 128,
+        seed: 9,
+        query: QueryMix::Mixed {
+            radius: RADIUS,
+            k: K,
+            range_frac: 0.5,
+        },
+        ..ServeConfig::default()
+    };
+    eprintln!("[smoke] replay: two single-worker sessions, same seed");
+    let a = run_with_system(&system, &replay_cfg).expect("valid config");
+    let b = run_with_system(&system, &replay_cfg).expect("valid config");
+    if (a.served, a.shed, a.failed, a.expired) != (b.served, b.shed, b.failed, b.expired) {
+        eprintln!(
+            "[smoke] FAIL: outcome counts diverged across replays \
+             ({}/{}/{}/{} vs {}/{}/{}/{})",
+            a.served, a.shed, a.failed, a.expired, b.served, b.shed, b.failed, b.expired
+        );
+        return 1;
+    }
+    if a.answers_digest != b.answers_digest {
+        eprintln!(
+            "[smoke] FAIL: answer digests diverged across replays \
+             ({:#x} vs {:#x})",
+            a.answers_digest, b.answers_digest
+        );
+        return 1;
+    }
+    if a.served == 0 {
+        eprintln!("[smoke] FAIL: single-worker session served nothing");
+        return 1;
+    }
+
+    eprintln!("[smoke] liveness: 2 workers, covering queue capacity");
+    let pool_cfg = ServeConfig {
+        workers: 2,
+        ..replay_cfg
+    };
+    let pooled = run_with_system(&system, &pool_cfg).expect("valid config");
+    if pooled.served == 0 {
+        eprintln!("[smoke] FAIL: 2-worker session served nothing");
+        return 1;
+    }
+    if pooled.shed != 0 {
+        eprintln!(
+            "[smoke] FAIL: shed {} requests with capacity covering the whole schedule",
+            pooled.shed
+        );
+        return 1;
+    }
+    if pooled.served + pooled.failed + pooled.expired != pooled.admitted {
+        eprintln!("[smoke] FAIL: admitted requests unaccounted for");
+        return 1;
+    }
+    eprintln!(
+        "[smoke] OK: replay identical (digest {:#x}), {} served across both checks",
+        a.answers_digest,
+        a.served + pooled.served
+    );
+    0
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        std::process::exit(smoke());
+    }
+    let cfg = ExpConfig::from_env();
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let system = cfg.build(&cfg.params());
+    let mut rows = Vec::new();
+    for (label, query) in [
+        ("range", QueryMix::Range { radius: RADIUS }),
+        ("krnn", QueryMix::Knn { k: K }),
+    ] {
+        for workers in WORKERS {
+            for rate in RATES {
+                eprintln!("[serve] query = {label}, workers = {workers}, rate = {rate} req/s");
+                let report = run_with_system(&system, &cell_config(query, workers, rate))
+                    .expect("cell config is valid");
+                rows.push(Row {
+                    query: label.to_string(),
+                    report,
+                });
+            }
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.query.clone(),
+                r.report.workers.to_string(),
+                fmt(r.report.offered_rps),
+                fmt(r.report.sustained_rps),
+                format!("{}/{}", r.report.served, r.report.requests),
+                r.report.shed.to_string(),
+                fmt(ms(r.report.e2e.p50_ns)),
+                fmt(ms(r.report.e2e.p95_ns)),
+                fmt(ms(r.report.e2e.p99_ns)),
+                fmt(ms(r.report.cloak.p50_ns)),
+                fmt(ms(r.report.lbs.p50_ns)),
+                fmt(ms(r.report.refine.p50_ns)),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Serving under open-loop load, {} users ({cores} cores available)",
+            system.points.len()
+        ),
+        &[
+            "query",
+            "workers",
+            "offered/s",
+            "sustained/s",
+            "served",
+            "shed",
+            "e2e p50 ms",
+            "e2e p95 ms",
+            "e2e p99 ms",
+            "cloak p50",
+            "lbs p50",
+            "refine p50",
+        ],
+        &table,
+    );
+
+    let report = Report {
+        cores,
+        population: system.points.len(),
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_serve.json");
+    std::fs::write(&root, &json).expect("write BENCH_serve.json");
+    eprintln!("[results] wrote {}", root.display());
+    cfg.write_json("exp_serve", &report);
+}

@@ -9,6 +9,7 @@ use nela::{
     anonymity_of, audit_result, center_attack, intersection_attack, BoundingAlgo, CloakingEngine,
     ClusteringAlgo, Params, System,
 };
+use nela_serve::{QueryMix, ServeConfig};
 
 const COMMON: &[&str] = &[
     "users", "seed", "k", "m", "algo", "bounding", "requests", "host", "json", "knn", "threads",
@@ -276,7 +277,7 @@ pub fn query(raw: Vec<String>) -> Result<(), ArgError> {
     let _metrics = MetricsSink::from(&args);
     let params = build_params(&args)?;
     let system = System::build(&params);
-    let mut server = LbsServer::new(PoiStore::from_points(&system.points, params.cr as u32));
+    let server = LbsServer::new(PoiStore::from_points(&system.points, params.cr as u32));
     let mut engine = CloakingEngine::new(&system, clustering_algo(&args)?, bounding_algo(&args)?);
     let host = choose_host(&system, &args)?;
     let result = engine
@@ -458,6 +459,110 @@ pub fn mobility(raw: Vec<String>) -> Result<(), ArgError> {
     println!(
         "wpg maintenance : {:.1}x faster than rebuild (mean per tick)",
         summary.mean_speedup
+    );
+    Ok(())
+}
+
+/// `nela serve` — one bounded serving session under open-loop Poisson load:
+/// admit requests at the offered rate, cloak each (cluster + secure
+/// bounding), answer it at the LBS over the cloaked region, refine at the
+/// true position, and report end-to-end latency and backpressure.
+pub fn serve(raw: Vec<String>) -> Result<(), ArgError> {
+    const FLAGS: &[&str] = &[
+        "users",
+        "seed",
+        "k",
+        "m",
+        "threads",
+        "shards",
+        "requests",
+        "rate",
+        "query",
+        "radius",
+        "knn",
+        "queue",
+        "deadline-ms",
+        "json",
+        "metrics",
+    ];
+    let args = Args::parse(raw, FLAGS)?;
+    let _metrics = MetricsSink::from(&args);
+    let params = build_params(&args)?;
+    let radius: f64 = args.num_or("radius", 0.02)?;
+    let k: usize = args.num_or("knn", 5)?;
+    let query = match args.get_or("query", "knn") {
+        "range" => QueryMix::Range { radius },
+        "knn" => QueryMix::Knn { k },
+        "mix" | "mixed" => QueryMix::Mixed {
+            radius,
+            k,
+            range_frac: 0.5,
+        },
+        other => {
+            return Err(ArgError(format!(
+                "--query {other}: expected range | knn | mix"
+            )))
+        }
+    };
+    let deadline_ms: u64 = args.num_or("deadline-ms", 0u64)?;
+    let config = ServeConfig {
+        requests: args.num_or("requests", 200usize)?,
+        rate: args.num_or("rate", 500.0f64)?,
+        workers: params.threads,
+        shards: params.shards,
+        queue_capacity: args.num_or("queue", 1_024usize)?,
+        deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
+        seed: params.seed,
+        query,
+    };
+    let report = nela_serve::run(&params, &config)
+        .map_err(|e| ArgError(format!("invalid serve configuration: {e}")))?;
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("serialize")
+        );
+        return Ok(());
+    }
+    let ms = |ns: u64| ns as f64 / 1e6;
+    println!(
+        "workload        : {} requests offered at {:.0} req/s ({} workers, {} shards)",
+        report.requests, report.offered_rps, report.workers, report.shards
+    );
+    println!(
+        "admission       : {} admitted, {} shed (queue depth peaked at {})",
+        report.admitted, report.shed, report.max_queue_depth
+    );
+    println!(
+        "outcomes        : {} served, {} failed, {} expired",
+        report.served, report.failed, report.expired
+    );
+    println!(
+        "throughput      : {:.1} req/s sustained over {:.2} s",
+        report.sustained_rps, report.wall_s
+    );
+    println!(
+        "e2e latency     : p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
+        ms(report.e2e.p50_ns),
+        ms(report.e2e.p95_ns),
+        ms(report.e2e.p99_ns),
+        ms(report.e2e.max_ns)
+    );
+    println!(
+        "stage p50       : queue {:.3} ms, cloak {:.3} ms, lbs {:.3} ms, refine {:.3} ms",
+        ms(report.queue_wait.p50_ns),
+        ms(report.cloak.p50_ns),
+        ms(report.lbs.p50_ns),
+        ms(report.refine.p50_ns)
+    );
+    let avg = |v: Option<f64>, unit: &str| match v {
+        Some(v) => format!("{v:.1} {unit}"),
+        None => "n/a (no request served)".to_string(),
+    };
+    println!(
+        "per query       : {} candidates, {} transferred",
+        avg(report.mean_candidates, "mean"),
+        avg(report.mean_transfer_units, "units mean")
     );
     Ok(())
 }

@@ -8,6 +8,7 @@
 //! nela query     [--users N] [--k K] [--knn Q]          cloak + LBS roundtrip
 //! nela attack    [--users N] [--requests S]             adversary evaluation
 //! nela mobility  [--users N] [--ticks T] [--rate R]     continuous cloaking under motion
+//! nela serve     [--users N] [--rate R] [--threads T]   open-loop serving session
 //! nela stats     --file PATH                             render a --metrics snapshot
 //! ```
 //!
@@ -32,6 +33,7 @@ fn main() {
         "query" => commands::query(rest),
         "attack" => commands::attack(rest),
         "mobility" => commands::mobility(rest),
+        "serve" => commands::serve(rest),
         "stats" => commands::stats(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -62,6 +64,11 @@ COMMANDS:
   mobility   run the continuous pipeline: motion, incremental WPG
              maintenance, cluster invalidation, Poisson requests
              (--ticks T, --rate R, --stationary F)
+  serve      run a bounded serving session under open-loop Poisson load:
+             cloak, LBS query, refine per request, end-to-end latency
+             (--rate R req/s, --requests N, --query range|knn|mix,
+             --radius F, --knn K, --queue C, --deadline-ms D;
+             --threads sets the worker pool)
   stats      render a metrics snapshot written by --metrics
              (--file PATH, --json to echo the raw snapshot)
   help       show this help

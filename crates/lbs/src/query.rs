@@ -14,6 +14,7 @@ use nela_geo::{Point, Rect};
 /// minimal position-oblivious superset for this query class.
 pub fn cloaked_range(store: &PoiStore, region: &Rect, radius: f64) -> Vec<u32> {
     assert!(radius >= 0.0, "radius must be non-negative");
+    let _span = nela_obs::span(nela_obs::stage::LBS_RANGE);
     let expanded = Rect::new(
         (region.min_x - radius).max(0.0),
         (region.min_y - radius).max(0.0),
@@ -39,6 +40,7 @@ pub fn cloaked_range(store: &PoiStore, region: &Rect, radius: f64) -> Vec<u32> {
 /// correct, conservative superset (the classic corner bound).
 pub fn cloaked_krnn(store: &PoiStore, region: &Rect, k: usize) -> Vec<u32> {
     assert!(k >= 1, "k must be positive");
+    let _span = nela_obs::span(nela_obs::stage::LBS_KRNN);
     let corners = [
         Point::new(region.min_x, region.min_y),
         Point::new(region.min_x, region.max_y),
@@ -61,6 +63,7 @@ pub fn refine_range(
     position: Point,
     radius: f64,
 ) -> Vec<u32> {
+    let _span = nela_obs::span(nela_obs::stage::LBS_REFINE);
     candidates
         .iter()
         .copied()
@@ -71,6 +74,7 @@ pub fn refine_range(
 /// Client-side refinement of a kRNN candidate set: the exact k nearest
 /// among the candidates (ascending by distance, ties by id).
 pub fn refine_knn(store: &PoiStore, candidates: &[u32], position: Point, k: usize) -> Vec<u32> {
+    let _span = nela_obs::span(nela_obs::stage::LBS_REFINE);
     let mut scored: Vec<(f64, u32)> = candidates
         .iter()
         .map(|&id| (store.get(id).position.dist_sq(&position), id))

@@ -4,6 +4,7 @@ use crate::query::{cloaked_krnn, cloaked_range};
 use crate::store::PoiStore;
 use nela_geo::Rect;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A service request as the server sees it: a cloaked region and a query —
 /// never a position.
@@ -29,11 +30,15 @@ pub struct Response {
 
 /// The untrusted LBS server: holds the POI dataset, answers cloaked
 /// queries, and keeps aggregate accounting.
+///
+/// The store is immutable and the accounting is atomic, so one server can
+/// be shared by any number of concurrent workers ([`LbsServer::handle`]
+/// takes `&self`) — the serving subsystem drives it from a worker pool.
 #[derive(Debug)]
 pub struct LbsServer {
     store: PoiStore,
-    queries_served: u64,
-    total_transfer: u64,
+    queries_served: AtomicU64,
+    total_transfer: AtomicU64,
 }
 
 impl LbsServer {
@@ -41,8 +46,8 @@ impl LbsServer {
     pub fn new(store: PoiStore) -> Self {
         LbsServer {
             store,
-            queries_served: 0,
-            total_transfer: 0,
+            queries_served: AtomicU64::new(0),
+            total_transfer: AtomicU64::new(0),
         }
     }
 
@@ -52,14 +57,18 @@ impl LbsServer {
     }
 
     /// Handles one cloaked query.
-    pub fn handle(&mut self, region: &Rect, query: &CloakedQuery) -> Response {
+    pub fn handle(&self, region: &Rect, query: &CloakedQuery) -> Response {
+        let _span = nela_obs::span(nela_obs::stage::LBS_HANDLE);
         let candidates = match query {
             CloakedQuery::Range { radius } => cloaked_range(&self.store, region, *radius),
             CloakedQuery::Knn { k } => cloaked_krnn(&self.store, region, *k),
         };
         let transfer_units = self.store.transfer_units(&candidates);
-        self.queries_served += 1;
-        self.total_transfer += transfer_units;
+        self.queries_served.fetch_add(1, Ordering::Relaxed);
+        self.total_transfer
+            .fetch_add(transfer_units, Ordering::Relaxed);
+        nela_obs::add(nela_obs::counter::LBS_QUERIES, 1);
+        nela_obs::add(nela_obs::counter::LBS_CANDIDATES, candidates.len() as u64);
         Response {
             candidates,
             transfer_units,
@@ -68,16 +77,20 @@ impl LbsServer {
 
     /// Queries served so far.
     pub fn queries_served(&self) -> u64 {
-        self.queries_served
+        self.queries_served.load(Ordering::Relaxed)
     }
 
-    /// Mean transfer units per query.
-    pub fn mean_transfer(&self) -> f64 {
-        if self.queries_served == 0 {
-            0.0
-        } else {
-            self.total_transfer as f64 / self.queries_served as f64
-        }
+    /// Total content units transferred across all queries.
+    pub fn total_transfer(&self) -> u64 {
+        self.total_transfer.load(Ordering::Relaxed)
+    }
+
+    /// Mean transfer units per query, `None` before any query was served —
+    /// an idle server has no average to report (a `0.0/0` here would be NaN,
+    /// and fabricating `0.0` would make an unused server look free).
+    pub fn mean_transfer(&self) -> Option<f64> {
+        let served = self.queries_served();
+        (served > 0).then(|| self.total_transfer() as f64 / served as f64)
     }
 }
 
@@ -97,7 +110,7 @@ mod tests {
 
     #[test]
     fn end_to_end_range_roundtrip() {
-        let mut srv = server(1000, 1);
+        let srv = server(1000, 1);
         let position = Point::new(0.33, 0.61);
         let region = Rect::new(0.30, 0.58, 0.36, 0.64); // cloak around it
         let radius = 0.03;
@@ -112,7 +125,7 @@ mod tests {
 
     #[test]
     fn end_to_end_knn_roundtrip() {
-        let mut srv = server(1000, 2);
+        let srv = server(1000, 2);
         let position = Point::new(0.7, 0.2);
         let region = Rect::new(0.68, 0.18, 0.73, 0.23);
         let resp = srv.handle(&region, &CloakedQuery::Knn { k: 7 });
@@ -122,13 +135,40 @@ mod tests {
 
     #[test]
     fn larger_region_costs_more() {
-        let mut srv = server(2000, 3);
+        let srv = server(2000, 3);
         let small = Rect::new(0.5, 0.5, 0.52, 0.52);
         let large = Rect::new(0.4, 0.4, 0.62, 0.62);
         let a = srv.handle(&small, &CloakedQuery::Range { radius: 0.01 });
         let b = srv.handle(&large, &CloakedQuery::Range { radius: 0.01 });
         assert!(b.transfer_units > a.transfer_units);
         assert_eq!(srv.queries_served(), 2);
-        assert!(srv.mean_transfer() > 0.0);
+        assert_eq!(srv.total_transfer(), a.transfer_units + b.transfer_units);
+        assert!(srv.mean_transfer().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn idle_server_has_no_mean_transfer() {
+        let srv = server(100, 4);
+        assert_eq!(srv.queries_served(), 0);
+        assert_eq!(srv.mean_transfer(), None);
+    }
+
+    #[test]
+    fn shared_server_accounts_exactly_under_concurrency() {
+        let srv = server(500, 5);
+        let region = Rect::new(0.4, 0.4, 0.5, 0.5);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..25 {
+                        srv.handle(&region, &CloakedQuery::Knn { k: 3 });
+                    }
+                });
+            }
+        });
+        assert_eq!(srv.queries_served(), 100);
+        // Same region + query every time: the mean is one query's cost.
+        let one = srv.handle(&region, &CloakedQuery::Knn { k: 3 });
+        assert_eq!(srv.mean_transfer(), Some(one.transfer_units as f64));
     }
 }

@@ -2,6 +2,7 @@
 
 use nela_geo::{Point, Rect};
 use nela_lbs::query::{cloaked_krnn, cloaked_range, refine_knn, refine_range};
+use nela_lbs::server::{CloakedQuery, LbsServer};
 use nela_lbs::store::PoiStore;
 use proptest::prelude::*;
 
@@ -77,5 +78,56 @@ proptest! {
         let candidates = cloaked_krnn(&store, &region, k);
         let refined = refine_knn(&store, &candidates, p, k);
         prop_assert_eq!(refined, store.knn(p, k));
+    }
+
+    // The server façade loses no answers: for a range query through
+    // `LbsServer::handle`, refining the response at the true position gives
+    // exactly the brute-force scan from that position — the server never saw
+    // the position, yet the client recovers the exact answer.
+    #[test]
+    fn server_range_response_loses_no_answers(
+        store in arb_store(),
+        region in arb_region(),
+        radius in 0.0f64..0.2,
+        px in 0.0f64..1.0,
+        py in 0.0f64..1.0,
+    ) {
+        let p = Point::new(
+            px.clamp(region.min_x, region.max_x),
+            py.clamp(region.min_y, region.max_y),
+        );
+        let server = LbsServer::new(store);
+        let resp = server.handle(&region, &CloakedQuery::Range { radius });
+        let refined = refine_range(server.store(), &resp.candidates, p, radius);
+        let exact: Vec<u32> = (0..server.store().len() as u32)
+            .filter(|&i| server.store().get(i).position.dist(&p) <= radius)
+            .collect();
+        prop_assert_eq!(refined, exact, "refined range answer must equal brute force");
+        // The response accounting covers exactly the candidate contents.
+        prop_assert_eq!(resp.transfer_units, server.store().transfer_units(&resp.candidates));
+        prop_assert_eq!(server.queries_served(), 1);
+    }
+
+    // Same contract for kRNN through the façade: exact k nearest recovered
+    // from the cloaked response for any position inside the region.
+    #[test]
+    fn server_krnn_response_loses_no_answers(
+        store in arb_store(),
+        region in arb_region(),
+        k in 1usize..8,
+        px in 0.0f64..1.0,
+        py in 0.0f64..1.0,
+    ) {
+        let p = Point::new(
+            px.clamp(region.min_x, region.max_x),
+            py.clamp(region.min_y, region.max_y),
+        );
+        let server = LbsServer::new(store);
+        let resp = server.handle(&region, &CloakedQuery::Knn { k });
+        let refined = refine_knn(server.store(), &resp.candidates, p, k);
+        prop_assert_eq!(refined, server.store().knn(p, k),
+            "refined kNN answer must equal brute force");
+        prop_assert!(resp.candidates.len() >= k.min(server.store().len()),
+            "candidate set must cover the answer size");
     }
 }

@@ -859,6 +859,81 @@ impl<'a> CloakingEngine<'a> {
     }
 }
 
+/// A long-lived concurrent cloaking session over the sharded registry — the
+/// engine glue for service front-ends (`nela-serve`) that admit requests one
+/// at a time from a worker pool instead of in pre-assembled batches.
+///
+/// [`CloakingEngine::request_many_sharded`] owns the whole batch: it spawns
+/// the workers, partitions the hosts, and folds the registry back when the
+/// batch ends. A serving loop inverts that control flow — *its* workers pull
+/// requests off a queue for as long as the service runs — so the session
+/// exposes the same lock-free optimistic path ([`EngineSession::request`]
+/// takes `&self` and is safe to call from any number of threads) while the
+/// caller decides threading and lifetime. [`EngineSession::finish`] returns
+/// the engine with every cluster claimed during the session folded back into
+/// its registry.
+///
+/// With one calling thread the session is exactly the serial `request` loop,
+/// result for result — the determinism contract the replay tests pin.
+pub struct EngineSession<'a> {
+    engine: CloakingEngine<'a>,
+    sharded: ShardedRegistry,
+}
+
+impl<'a> CloakingEngine<'a> {
+    /// Opens a concurrent serving session with `shards_per_axis`² grid
+    /// shards (see [`auto_shard_axis`] for a worker-count-derived choice),
+    /// consuming the engine; its registry seeds the session.
+    ///
+    /// # Panics
+    /// Panics unless the engine runs [`ClusteringAlgo::TConnDistributed`] —
+    /// the centralized, hilbASR, and kNN modes have inherently global setup
+    /// and no lock-free request path.
+    pub fn into_session(mut self, shards_per_axis: usize) -> EngineSession<'a> {
+        assert_eq!(
+            self.clustering,
+            ClusteringAlgo::TConnDistributed,
+            "EngineSession requires the distributed clustering algorithm"
+        );
+        let base = std::mem::replace(&mut self.registry, ClusterRegistry::new(0));
+        let sharded = ShardedRegistry::new(base, &self.system.points, shards_per_axis);
+        EngineSession {
+            engine: self,
+            sharded,
+        }
+    }
+}
+
+impl<'a> EngineSession<'a> {
+    /// The system this session serves.
+    pub fn system(&self) -> &'a System {
+        self.engine.system
+    }
+
+    /// Serves one cloaking request. Thread-safe: membership probes are
+    /// lock-free atomic reads, clustering and bounding run with no locks
+    /// held, and only the claim itself takes the (few) shard locks the
+    /// produced clusters touch.
+    ///
+    /// # Errors
+    /// The same failures as [`CloakingEngine::request`], plus
+    /// [`RequestError::Contention`] when rival requests kept claiming
+    /// members of every computed cluster.
+    pub fn request(&self, host: UserId) -> Result<CloakingResult, RequestError> {
+        let result = self.engine.serve_sharded(&self.sharded, host);
+        record_outcome(&result);
+        result
+    }
+
+    /// Ends the session, folding all claimed clusters back into the
+    /// engine's registry (audits, reciprocity checks, carry-over).
+    pub fn finish(self) -> CloakingEngine<'a> {
+        let mut engine = self.engine;
+        engine.registry = self.sharded.into_registry();
+        engine
+    }
+}
+
 /// Tallies one request outcome into the global obs counters. Called once
 /// per request: inside [`CloakingEngine::request`] for serial paths, and at
 /// the batch worker call sites for the concurrent paths (which bypass
@@ -1078,6 +1153,69 @@ mod tests {
             hilb_area / both as f64,
             tconn_area / both as f64
         );
+    }
+
+    #[test]
+    fn session_equals_serial_loop_single_threaded() {
+        let s = small_system();
+        let hosts = s.host_sequence(60, 9);
+        let mut serial =
+            CloakingEngine::new(&s, ClusteringAlgo::TConnDistributed, BoundingAlgo::Secure);
+        let looped: Vec<_> = hosts.iter().map(|&h| serial.request(h)).collect();
+        for axis in [1usize, 3] {
+            let session =
+                CloakingEngine::new(&s, ClusteringAlgo::TConnDistributed, BoundingAlgo::Secure)
+                    .into_session(axis);
+            for (&h, expect) in hosts.iter().zip(&looped) {
+                let got = session.request(h);
+                match (expect, &got) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.region, b.region, "axis {axis}, host {h}");
+                        assert_eq!(a.reused, b.reused, "axis {axis}, host {h}");
+                    }
+                    (Err(_), Err(_)) => {}
+                    _ => panic!("session diverged from serial loop at host {h}, axis {axis}"),
+                }
+            }
+            let engine = session.finish();
+            assert_eq!(engine.registry().reciprocity_violation(), None);
+        }
+    }
+
+    #[test]
+    fn session_serves_concurrently_and_folds_back() {
+        let s = small_system();
+        let hosts = s.host_sequence(80, 10);
+        let session =
+            CloakingEngine::new(&s, ClusteringAlgo::TConnDistributed, BoundingAlgo::Secure)
+                .into_session(auto_shard_axis(4));
+        let served: usize = std::thread::scope(|scope| {
+            let session = &session;
+            let handles: Vec<_> = hosts
+                .chunks(hosts.len().div_ceil(4))
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .filter(|&&h| session.request(h).is_ok())
+                            .count()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert!(served > 0, "concurrent session served nothing");
+        let engine = session.finish();
+        assert_eq!(engine.registry().reciprocity_violation(), None);
+        assert!(engine.registry().active_cluster_count() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distributed clustering")]
+    fn session_rejects_non_distributed_algorithms() {
+        let s = small_system();
+        let _ = CloakingEngine::new(&s, ClusteringAlgo::TConnCentralized, BoundingAlgo::Secure)
+            .into_session(2);
     }
 
     #[test]

@@ -60,6 +60,22 @@ pub mod stage {
     pub const MOBILITY_INCREMENTAL: &str = "mobility.tick.incremental";
     /// One mobility tick's from-scratch rebuild (when measured).
     pub const MOBILITY_REBUILD: &str = "mobility.tick.rebuild";
+    /// One `LbsServer::handle` call (query evaluation + transfer accounting).
+    pub const LBS_HANDLE: &str = "lbs.handle";
+    /// One server-side cloaked range query (`cloaked_range`).
+    pub const LBS_RANGE: &str = "lbs.query.range";
+    /// One server-side kRNN query (`cloaked_krnn`), its inner range query
+    /// included.
+    pub const LBS_KRNN: &str = "lbs.query.krnn";
+    /// One client-side refinement (`refine_range` / `refine_knn`).
+    pub const LBS_REFINE: &str = "lbs.refine";
+    /// Serve mode: time a request spent queued before a worker picked it up.
+    pub const SERVE_QUEUE_WAIT: &str = "serve.queue.wait";
+    /// Serve mode: the cloaking leg of one request (cluster + bounding,
+    /// claim retries included).
+    pub const SERVE_CLOAK: &str = "serve.cloak";
+    /// Serve mode: one request end to end — admission to refined answer.
+    pub const SERVE_E2E: &str = "serve.request.e2e";
 }
 
 /// Canonical counter names recorded by the pipeline (plain event counts).
@@ -84,6 +100,21 @@ pub mod counter {
     pub const RPC_OK: &str = "net.rpc.ok";
     /// RPCs abandoned after the full retry budget.
     pub const RPC_FAILED: &str = "net.rpc.failed";
+    /// Cloaked LBS queries evaluated by the server.
+    pub const LBS_QUERIES: &str = "lbs.query.served";
+    /// Candidate POIs returned across all cloaked queries.
+    pub const LBS_CANDIDATES: &str = "lbs.query.candidates";
+    /// Serve mode: requests admitted into the queue.
+    pub const SERVE_ADMITTED: &str = "serve.request.admitted";
+    /// Serve mode: arrivals dropped because the queue was full.
+    pub const SERVE_SHED: &str = "serve.request.shed";
+    /// Serve mode: requests answered end to end (cloak + query + refine).
+    pub const SERVE_SERVED: &str = "serve.request.served";
+    /// Serve mode: admitted requests whose cloaking leg failed.
+    pub const SERVE_FAILED: &str = "serve.request.failed";
+    /// Serve mode: admitted requests dropped because their deadline passed
+    /// while they waited in the queue.
+    pub const SERVE_EXPIRED: &str = "serve.request.expired";
 }
 
 /// Whether the global recorder is live. Relaxed is enough: recording is

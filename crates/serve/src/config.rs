@@ -1,0 +1,225 @@
+//! Serving-session configuration with typed validation.
+
+use std::time::Duration;
+
+/// Which cloaked query the workload issues.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryMix {
+    /// Every request is a range query with this radius.
+    Range {
+        /// Query radius in unit-square coordinates.
+        radius: f64,
+    },
+    /// Every request is a k-nearest-neighbor query.
+    Knn {
+        /// Neighbors requested.
+        k: usize,
+    },
+    /// Per-request coin flip between the two (seeded query stream).
+    Mixed {
+        /// Range-query radius.
+        radius: f64,
+        /// kNN query size.
+        k: usize,
+        /// Fraction of requests that are range queries, in `[0, 1]`.
+        range_frac: f64,
+    },
+}
+
+/// Configuration of one serving session.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Total requests the arrival process generates (the session ends after
+    /// the last one drains — a bounded run, so sessions always terminate).
+    pub requests: usize,
+    /// Offered load in requests per second (Poisson arrivals).
+    pub rate: f64,
+    /// Worker threads pulling requests off the queue.
+    pub workers: usize,
+    /// Total registry shards (0 = auto, ≈ 4 per worker).
+    pub shards: usize,
+    /// Bounded queue capacity; an arrival finding it full is shed.
+    pub queue_capacity: usize,
+    /// Per-request deadline measured from admission: a request still queued
+    /// past its deadline is dropped as expired instead of served late.
+    /// `None` disables deadline handling.
+    pub deadline: Option<Duration>,
+    /// Seed for the arrival/host/query streams (decoupled internally).
+    pub seed: u64,
+    /// The query workload.
+    pub query: QueryMix,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            requests: 500,
+            rate: 500.0,
+            workers: 1,
+            shards: 0,
+            queue_capacity: 1024,
+            deadline: None,
+            seed: 1,
+            query: QueryMix::Knn { k: 5 },
+        }
+    }
+}
+
+/// A rejected [`ServeConfig`] with the offending field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeConfigError {
+    /// `requests` was zero.
+    NoRequests,
+    /// `rate` was not a positive finite number.
+    BadRate(f64),
+    /// `workers` was zero.
+    NoWorkers,
+    /// `queue_capacity` was zero.
+    NoQueue,
+    /// A range radius was negative or not finite.
+    BadRadius(f64),
+    /// A kNN size was zero.
+    BadK,
+    /// A mixed range fraction fell outside `[0, 1]`.
+    BadRangeFrac(f64),
+}
+
+impl std::fmt::Display for ServeConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeConfigError::NoRequests => write!(f, "requests must be positive"),
+            ServeConfigError::BadRate(r) => write!(f, "rate {r} must be positive and finite"),
+            ServeConfigError::NoWorkers => write!(f, "workers must be positive"),
+            ServeConfigError::NoQueue => write!(f, "queue capacity must be positive"),
+            ServeConfigError::BadRadius(r) => {
+                write!(f, "query radius {r} must be non-negative and finite")
+            }
+            ServeConfigError::BadK => write!(f, "query k must be positive"),
+            ServeConfigError::BadRangeFrac(p) => {
+                write!(f, "range fraction {p} must lie in [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeConfigError {}
+
+impl ServeConfig {
+    /// Validates every field, returning the first offender.
+    pub fn validate(&self) -> Result<(), ServeConfigError> {
+        if self.requests == 0 {
+            return Err(ServeConfigError::NoRequests);
+        }
+        if !(self.rate.is_finite() && self.rate > 0.0) {
+            return Err(ServeConfigError::BadRate(self.rate));
+        }
+        if self.workers == 0 {
+            return Err(ServeConfigError::NoWorkers);
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeConfigError::NoQueue);
+        }
+        let check_radius = |r: f64| {
+            (r.is_finite() && r >= 0.0)
+                .then_some(())
+                .ok_or(ServeConfigError::BadRadius(r))
+        };
+        let check_k = |k: usize| (k > 0).then_some(()).ok_or(ServeConfigError::BadK);
+        match self.query {
+            QueryMix::Range { radius } => check_radius(radius),
+            QueryMix::Knn { k } => check_k(k),
+            QueryMix::Mixed {
+                radius,
+                k,
+                range_frac,
+            } => {
+                check_radius(radius)?;
+                check_k(k)?;
+                (0.0..=1.0)
+                    .contains(&range_frac)
+                    .then_some(())
+                    .ok_or(ServeConfigError::BadRangeFrac(range_frac))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert_eq!(ServeConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn each_bad_field_is_typed() {
+        let ok = ServeConfig::default();
+        let cases: Vec<(ServeConfig, ServeConfigError)> = vec![
+            (
+                ServeConfig {
+                    requests: 0,
+                    ..ok.clone()
+                },
+                ServeConfigError::NoRequests,
+            ),
+            (
+                ServeConfig {
+                    rate: 0.0,
+                    ..ok.clone()
+                },
+                ServeConfigError::BadRate(0.0),
+            ),
+            (
+                ServeConfig {
+                    rate: f64::INFINITY,
+                    ..ok.clone()
+                },
+                ServeConfigError::BadRate(f64::INFINITY),
+            ),
+            (
+                ServeConfig {
+                    workers: 0,
+                    ..ok.clone()
+                },
+                ServeConfigError::NoWorkers,
+            ),
+            (
+                ServeConfig {
+                    queue_capacity: 0,
+                    ..ok.clone()
+                },
+                ServeConfigError::NoQueue,
+            ),
+            (
+                ServeConfig {
+                    query: QueryMix::Range { radius: -0.1 },
+                    ..ok.clone()
+                },
+                ServeConfigError::BadRadius(-0.1),
+            ),
+            (
+                ServeConfig {
+                    query: QueryMix::Knn { k: 0 },
+                    ..ok.clone()
+                },
+                ServeConfigError::BadK,
+            ),
+            (
+                ServeConfig {
+                    query: QueryMix::Mixed {
+                        radius: 0.01,
+                        k: 5,
+                        range_frac: 1.5,
+                    },
+                    ..ok.clone()
+                },
+                ServeConfigError::BadRangeFrac(1.5),
+            ),
+        ];
+        for (cfg, expect) in cases {
+            assert_eq!(cfg.validate(), Err(expect));
+        }
+    }
+}

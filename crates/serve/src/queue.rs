@@ -1,0 +1,160 @@
+//! A bounded multi-producer multi-consumer request queue with shed-on-full
+//! admission — the backpressure point of the serving loop.
+//!
+//! Open-loop serving must never let a slow worker stall the arrival
+//! process, so [`RequestQueue::push`] is non-blocking: a full queue *sheds*
+//! the arrival and the producer moves on to the next scheduled one.
+//! Workers block on [`RequestQueue::pop`] until an item or shutdown
+//! ([`RequestQueue::close`]) arrives; a closed queue still drains — close
+//! wakes every worker, but items already admitted are served before the
+//! workers exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Admission outcome of one push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Push {
+    /// The item was queued.
+    Admitted,
+    /// The queue was full (or already closed): the item was dropped.
+    Shed,
+}
+
+/// Outcome of one blocking pop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pop<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The queue is closed and fully drained; the worker should exit.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    /// High-water mark of the queue depth (backpressure telemetry).
+    max_depth: usize,
+}
+
+/// The bounded MPMC queue.
+pub struct RequestQueue<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+}
+
+impl<T> RequestQueue<T> {
+    /// Creates a queue admitting at most `capacity` items at once.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        RequestQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.min(4096)),
+                closed: false,
+                max_depth: 0,
+            }),
+            capacity,
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Admits `item` unless the queue is full or closed (then it is shed).
+    /// Never blocks.
+    pub fn push(&self, item: T) -> Push {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Push::Shed;
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        inner.max_depth = inner.max_depth.max(depth);
+        drop(inner);
+        self.not_empty.notify_one();
+        Push::Admitted
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is open and
+    /// empty. Returns [`Pop::Closed`] once the queue is closed *and* fully
+    /// drained.
+    pub fn pop(&self) -> Pop<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Pop::Item(item);
+            }
+            if inner.closed {
+                return Pop::Closed;
+            }
+            inner = self.not_empty.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: further pushes shed, and every blocked worker
+    /// wakes to drain the remainder and exit.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// High-water mark of the queue depth over the queue's lifetime.
+    pub fn max_depth(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn sheds_when_full_and_when_closed() {
+        let q = RequestQueue::new(2);
+        assert_eq!(q.push(1), Push::Admitted);
+        assert_eq!(q.push(2), Push::Admitted);
+        assert_eq!(q.push(3), Push::Shed);
+        assert_eq!(q.max_depth(), 2);
+        q.close();
+        assert_eq!(q.push(4), Push::Shed);
+    }
+
+    #[test]
+    fn closed_queue_drains_before_reporting_closed() {
+        let q = RequestQueue::new(4);
+        q.push(10);
+        q.push(20);
+        q.close();
+        assert_eq!(q.pop(), Pop::Item(10));
+        assert_eq!(q.pop(), Pop::Item(20));
+        assert_eq!(q.pop(), Pop::Closed);
+        assert_eq!(q.pop(), Pop::Closed);
+    }
+
+    #[test]
+    fn concurrent_consumers_see_every_item_once() {
+        let q = RequestQueue::new(64);
+        let seen = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    while let Pop::Item(_) = q.pop() {
+                        seen.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            for i in 0..200 {
+                while q.push(i) == Push::Shed {
+                    std::thread::yield_now();
+                }
+            }
+            q.close();
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 200);
+    }
+}

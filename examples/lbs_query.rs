@@ -16,7 +16,7 @@ fn main() {
     let params = Params::scaled(20_000);
     let system = System::build(&params);
     // The evaluation's setup: the POI dataset *is* the user population.
-    let mut server = LbsServer::new(PoiStore::from_points(&system.points, params.cr as u32));
+    let server = LbsServer::new(PoiStore::from_points(&system.points, params.cr as u32));
     let mut engine = CloakingEngine::new(
         &system,
         ClusteringAlgo::TConnDistributed,

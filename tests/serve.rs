@@ -1,0 +1,162 @@
+//! Integration tests of the serving subsystem: deterministic replay,
+//! zero-shed under covered capacity, multi-worker accounting, and the
+//! single-worker session's equivalence to a hand-driven serial pipeline.
+
+use nela::{auto_shard_axis, BoundingAlgo, CloakingEngine, ClusteringAlgo, Params, System};
+use nela_lbs::{refine_knn, refine_range, CloakedQuery, LbsServer, PoiStore};
+use nela_serve::report::answer_hash;
+use nela_serve::{run_with_system, QueryKind, QueryMix, ServeConfig};
+
+fn small_system(n: usize) -> System {
+    System::build(&Params {
+        threads: 1,
+        ..Params::scaled(n)
+    })
+}
+
+/// A config whose queue capacity covers every request, so shedding is
+/// impossible and the run is a pure function of the seed.
+fn covered_config(seed: u64) -> ServeConfig {
+    ServeConfig {
+        requests: 80,
+        rate: 20_000.0,
+        workers: 1,
+        queue_capacity: 128,
+        seed,
+        query: QueryMix::Mixed {
+            radius: 0.05,
+            k: 4,
+            range_frac: 0.5,
+        },
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn same_seed_replays_identically() {
+    let system = small_system(1_500);
+    let cfg = covered_config(11);
+    let a = run_with_system(&system, &cfg).unwrap();
+    let b = run_with_system(&system, &cfg).unwrap();
+    assert_eq!(a.shed, 0, "capacity covers all requests");
+    assert_eq!(
+        (a.served, a.shed, a.failed, a.expired),
+        (b.served, b.shed, b.failed, b.expired)
+    );
+    assert_eq!(
+        a.answers_digest, b.answers_digest,
+        "per-request answer sets must replay bit-identically"
+    );
+    assert_eq!(a.mean_transfer_units, b.mean_transfer_units);
+}
+
+#[test]
+fn different_seed_changes_the_workload() {
+    let system = small_system(1_500);
+    let a = run_with_system(&system, &covered_config(11)).unwrap();
+    let b = run_with_system(&system, &covered_config(12)).unwrap();
+    // Different hosts and queries: the digests agreeing would mean the
+    // digest is insensitive to the workload.
+    assert_ne!(a.answers_digest, b.answers_digest);
+}
+
+#[test]
+fn single_worker_session_matches_hand_driven_serial_pipeline() {
+    let system = small_system(1_500);
+    let cfg = covered_config(7);
+    let report = run_with_system(&system, &cfg).unwrap();
+
+    // Drive the identical pipeline by hand: same schedule, same shard
+    // layout, serial loop. The engine's 1-worker sharded path is pinned
+    // equal to the serial path, so the digests must agree.
+    let session = CloakingEngine::new(
+        &system,
+        ClusteringAlgo::TConnDistributed,
+        BoundingAlgo::Secure,
+    )
+    .into_session(auto_shard_axis(cfg.workers));
+    let server = LbsServer::new(PoiStore::from_points(
+        &system.points,
+        system.params.cr as u32,
+    ));
+    let mut served = 0usize;
+    let mut failed = 0usize;
+    let mut digest = 0u64;
+    for arrival in nela_serve::schedule(&cfg, system.points.len()) {
+        let result = match session.request(arrival.host) {
+            Ok(result) => result,
+            Err(_) => {
+                failed += 1;
+                continue;
+            }
+        };
+        let position = system.points[arrival.host as usize];
+        let answer = match arrival.query {
+            QueryKind::Range(radius) => {
+                let resp = server.handle(&result.region, &CloakedQuery::Range { radius });
+                refine_range(server.store(), &resp.candidates, position, radius)
+            }
+            QueryKind::Knn(k) => {
+                let resp = server.handle(&result.region, &CloakedQuery::Knn { k });
+                refine_knn(server.store(), &resp.candidates, position, k)
+            }
+        };
+        served += 1;
+        digest ^= answer_hash(arrival.id, &answer);
+    }
+    session.finish();
+
+    assert_eq!(report.served, served);
+    assert_eq!(report.failed, failed);
+    assert_eq!(
+        report.answers_digest, digest,
+        "the serving loop must compute exactly the serial pipeline's answers"
+    );
+}
+
+#[test]
+fn multi_worker_run_accounts_for_every_arrival() {
+    let system = small_system(2_000);
+    let cfg = ServeConfig {
+        workers: 4,
+        requests: 120,
+        queue_capacity: 256,
+        ..covered_config(3)
+    };
+    let report = run_with_system(&system, &cfg).unwrap();
+    assert_eq!(report.workers, 4);
+    assert_eq!(report.admitted + report.shed, report.requests);
+    assert_eq!(
+        report.served + report.failed + report.expired,
+        report.admitted
+    );
+    assert_eq!(report.shed, 0, "capacity covers all requests");
+    assert!(report.served > 0, "a healthy pool serves requests");
+    assert!(report.shards >= 4, "auto sharding scales with workers");
+    assert_eq!(report.e2e.count, report.served);
+    assert!(report.e2e.p50_ns <= report.e2e.p95_ns);
+    assert!(report.e2e.p95_ns <= report.e2e.p99_ns);
+    assert!(report.e2e.p99_ns <= report.e2e.max_ns);
+}
+
+#[test]
+fn tiny_queue_under_overload_sheds_but_never_loses_accounting() {
+    let system = small_system(1_500);
+    let cfg = ServeConfig {
+        requests: 150,
+        rate: 1_000_000.0, // far beyond service capacity
+        workers: 1,
+        queue_capacity: 4,
+        seed: 5,
+        query: QueryMix::Knn { k: 4 },
+        ..ServeConfig::default()
+    };
+    let report = run_with_system(&system, &cfg).unwrap();
+    assert!(report.shed > 0, "a 4-deep queue under overload must shed");
+    assert_eq!(report.admitted + report.shed, report.requests);
+    assert_eq!(
+        report.served + report.failed + report.expired,
+        report.admitted
+    );
+    assert!(report.max_queue_depth <= 4);
+}
