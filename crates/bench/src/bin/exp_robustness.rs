@@ -7,17 +7,107 @@
 //!   with growing loss rates: success rate, retransmission overhead.
 //! - **Topology families** — clustering quality on the abstract topologies
 //!   of the small-world literature the paper cites (§IV).
+//! - **Adversary & heterogeneity matrix** — the full scenario matrix of
+//!   `nela::scenario`: {uniform, personalized} k × {honest, colluders,
+//!   liars, crash} × {uniform, rush-hour} geography, every cell ending in
+//!   a machine-checked [`nela::PrivacyVerdict`]. The matrix is written to
+//!   `BENCH_robustness.json` at the repository root.
+//!
+//! `--smoke` runs a reduced matrix and exits non-zero unless every cell
+//! accounts for all its requests and every honest (control) cell passes
+//! its verdict — the CI guard for the adversary-model contracts.
 
 use nela::cluster::distributed::{distributed_k_clustering, distributed_k_clustering_with};
 use nela::netsim::network::{Network, NetworkConfig};
 use nela::netsim::proto::SimFetch;
 use nela::wpg::{topology, LogDistanceRss, WpgBuilder};
-use nela::{Params, System};
+use nela::{scenario_matrix, Adversary, CellOutcome, MatrixConfig, Params, System};
 use nela_bench::{fmt, print_table, ExpConfig};
 use nela_geo::{Rect, UserId};
 use serde::Serialize;
 
+/// Prints the matrix as a table and returns whether the control cells and
+/// request accounting hold (the smoke criteria).
+fn report_matrix(cells: &[CellOutcome]) -> bool {
+    let mut ok = true;
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            let v = &c.verdict;
+            vec![
+                c.spec.name.clone(),
+                format!("{}/{}", v.served, v.requests),
+                v.degraded.to_string(),
+                if v.k_anonymity_held { "y" } else { "N" }.to_string(),
+                if v.leak_floor_held { "y" } else { "N" }.to_string(),
+                if v.truthful_coverage { "y" } else { "N" }.to_string(),
+                if v.collusion_bounded_by_transcript {
+                    "y"
+                } else {
+                    "N"
+                }
+                .to_string(),
+                if v.recovery_sound { "y" } else { "N" }.to_string(),
+                fmt(v.worst_leak_width),
+                if c.passed { "PASS" } else { "FAIL" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Robustness D — adversary & heterogeneity scenario matrix",
+        &[
+            "cell",
+            "served",
+            "degr",
+            "k-anon",
+            "floor",
+            "cover",
+            "collu",
+            "recov",
+            "worst leak",
+            "verdict",
+        ],
+        &rows,
+    );
+    for c in cells {
+        let v = &c.verdict;
+        if v.served + v.degraded != v.requests {
+            eprintln!("[matrix] FAIL: {} left requests unaccounted", c.spec.name);
+            ok = false;
+        }
+        if c.spec.adversary == Adversary::Honest && !c.passed {
+            eprintln!("[matrix] FAIL: control cell {} failed: {v:?}", c.spec.name);
+            ok = false;
+        }
+    }
+    ok
+}
+
+#[derive(Serialize)]
+struct MatrixReport {
+    config: MatrixConfig,
+    cells: Vec<CellOutcome>,
+}
+
+fn smoke() -> i32 {
+    let cfg = MatrixConfig::smoke();
+    let cells = scenario_matrix(&cfg);
+    if cells.len() != 16 {
+        eprintln!("[smoke] FAIL: expected 16 cells, got {}", cells.len());
+        return 1;
+    }
+    if !report_matrix(&cells) {
+        return 1;
+    }
+    let passed = cells.iter().filter(|c| c.passed).count();
+    eprintln!("[smoke] OK: 16 cells ran, {passed} passed, controls clean");
+    0
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        std::process::exit(smoke());
+    }
     let cfg = ExpConfig::from_env();
     let params = Params {
         k: 10,
@@ -30,6 +120,7 @@ fn main() {
         shadowing_db: f64,
         avg_degree: f64,
         served: usize,
+        empty_clusters: usize,
         mean_cost: f64,
         mean_area: f64,
     }
@@ -45,6 +136,8 @@ fn main() {
             .build_with_index(&base.points, &base.grid);
         let none = |_: UserId| false;
         let mut served = 0;
+        let mut with_area = 0usize;
+        let mut empty_clusters = 0usize;
         let mut cost = 0u64;
         let mut area = 0.0;
         for h in base.host_sequence(200, 5) {
@@ -57,15 +150,25 @@ fn main() {
                     .iter()
                     .map(|&m| base.points[m as usize])
                     .collect();
-                area += Rect::bounding(&pts).expect("non-empty").area();
+                // A memberless cluster cannot happen from a successful run,
+                // but a sweep must not die on one degenerate row: skip it
+                // and report the count instead of unwrapping.
+                match Rect::bounding(&pts) {
+                    Some(r) => {
+                        area += r.area();
+                        with_area += 1;
+                    }
+                    None => empty_clusters += 1,
+                }
             }
         }
         noise_rows.push(NoiseRow {
             shadowing_db: shadowing,
             avg_degree: wpg.avg_degree(),
             served,
+            empty_clusters,
             mean_cost: cost as f64 / served.max(1) as f64,
-            mean_area: area / served.max(1) as f64,
+            mean_area: area / with_area.max(1) as f64,
         });
     }
     print_table(
@@ -217,4 +320,23 @@ fn main() {
             .collect::<Vec<_>>(),
     );
     cfg.write_json("robustness_topology", &topo_rows);
+
+    // ---- Part D: adversary & heterogeneity scenario matrix.
+    let matrix_cfg = MatrixConfig {
+        n_users: cfg.users.min(10_000),
+        ..MatrixConfig::bench()
+    };
+    let cells = scenario_matrix(&matrix_cfg);
+    report_matrix(&cells);
+    let report = MatrixReport {
+        config: matrix_cfg,
+        cells,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize matrix report");
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_robustness.json");
+    std::fs::write(&root, &json).expect("write BENCH_robustness.json");
+    eprintln!("[results] wrote {}", root.display());
+    cfg.write_json("robustness_matrix", &report);
 }

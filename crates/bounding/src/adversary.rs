@@ -1,0 +1,193 @@
+//! Adversarial verification transports for the bounding protocol.
+//!
+//! The paper evaluates secure bounding under semi-honest peers; these
+//! transports model the stronger adversaries of the scenario matrix:
+//! peers that **crash** mid-run (stop answering from a given round) and
+//! peers that **lie** (answer verifications dishonestly). Both are driven
+//! by the same [`VerifyTransport`] interface the honest
+//! [`LocalValues`](crate::LocalValues) implements, so every bounding entry
+//! point — plain, resilient, or the engine's — can be exercised against
+//! them without special-casing.
+//!
+//! The transports infer the current round from the broadcast hypothesis
+//! bound: within one run bounds strictly increase, so a bound at or below
+//! the last one observed means the protocol restarted (the resilient
+//! re-run over survivors).
+
+use crate::protocol::VerifyTransport;
+
+/// Tracks the 1-based round of the run in progress from the strictly
+/// increasing hypothesis bounds, resetting on restart.
+#[derive(Debug, Clone, Copy)]
+struct RoundTracker {
+    round: usize,
+    last_bound: f64,
+}
+
+impl RoundTracker {
+    fn new() -> Self {
+        RoundTracker {
+            round: 0,
+            last_bound: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Observes a broadcast bound and returns the current 1-based round.
+    fn observe(&mut self, bound: f64) -> usize {
+        if bound > self.last_bound {
+            self.round += 1;
+        } else if bound < self.last_bound {
+            // A smaller hypothesis can only mean a fresh run (restart over
+            // survivors): bounds within one run are strictly increasing.
+            self.round = 1;
+        }
+        self.last_bound = bound;
+        self.round
+    }
+}
+
+/// Transport in which a chosen set of peers answers honestly until a given
+/// round and then crashes (returns `None`, the protocol's "unreachable").
+pub struct CrashingValues<'a> {
+    values: &'a [f64],
+    crashers: &'a [usize],
+    crash_round: usize,
+    tracker: RoundTracker,
+}
+
+impl<'a> CrashingValues<'a> {
+    /// Peers listed in `crashers` (indices into `values`) answer honestly
+    /// for rounds `< crash_round` and are unreachable from `crash_round`
+    /// on. `crash_round` is 1-based; `1` means unreachable from the start.
+    pub fn new(values: &'a [f64], crashers: &'a [usize], crash_round: usize) -> Self {
+        assert!(crash_round >= 1, "rounds are 1-based");
+        CrashingValues {
+            values,
+            crashers,
+            crash_round,
+            tracker: RoundTracker::new(),
+        }
+    }
+}
+
+impl VerifyTransport for CrashingValues<'_> {
+    fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    fn verify(&mut self, index: usize, bound: f64) -> Option<bool> {
+        let round = self.tracker.observe(bound);
+        if round >= self.crash_round && self.crashers.contains(&index) {
+            return None;
+        }
+        Some(self.values[index] <= bound)
+    }
+}
+
+/// How a lying peer misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LieMode {
+    /// Answers "yes" to every verification, agreeing before its true value
+    /// is covered — the agreed box may not contain the liar. Only the liar
+    /// itself loses coverage; truthful members stay covered.
+    AgreeEarly,
+    /// Answers "no" forever, so the run cannot terminate and must trip the
+    /// round cap as a typed [`BoundingError::RoundLimitExceeded`]
+    /// (a denial-of-service liar).
+    ///
+    /// [`BoundingError::RoundLimitExceeded`]: crate::BoundingError::RoundLimitExceeded
+    DenyForever,
+}
+
+/// Transport in which a chosen set of peers lies per [`LieMode`] while the
+/// rest answer honestly.
+pub struct LyingValues<'a> {
+    values: &'a [f64],
+    liars: &'a [usize],
+    mode: LieMode,
+}
+
+impl<'a> LyingValues<'a> {
+    /// Peers listed in `liars` (indices into `values`) answer per `mode`.
+    pub fn new(values: &'a [f64], liars: &'a [usize], mode: LieMode) -> Self {
+        LyingValues {
+            values,
+            liars,
+            mode,
+        }
+    }
+}
+
+impl VerifyTransport for LyingValues<'_> {
+    fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    fn verify(&mut self, index: usize, bound: f64) -> Option<bool> {
+        if self.liars.contains(&index) {
+            return Some(self.mode == LieMode::AgreeEarly);
+        }
+        Some(self.values[index] <= bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{progressive_upper_bound_with, BoundingError, IncrementPolicy};
+
+    struct Step(f64);
+    impl IncrementPolicy for Step {
+        fn increment(&mut self, _n: usize, _round: usize, _excess: f64) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn crasher_before_crash_round_is_honest() {
+        let values = [0.05, 0.95];
+        // Crash at round 50: both values are covered by round 10, so the
+        // run finishes before the crash ever fires.
+        let mut t = CrashingValues::new(&values, &[1], 50);
+        let run = progressive_upper_bound_with(&mut t, 0.0, 0.0, &mut Step(0.1)).unwrap();
+        assert!(run.bound >= 0.95);
+        assert_eq!(run.records.len(), 2);
+    }
+
+    #[test]
+    fn crash_surfaces_as_typed_unreachable() {
+        let values = [0.05, 0.95];
+        let mut t = CrashingValues::new(&values, &[1], 2);
+        let err = progressive_upper_bound_with(&mut t, 0.0, 0.0, &mut Step(0.1)).unwrap_err();
+        assert_eq!(err, BoundingError::Unreachable { index: 1 });
+    }
+
+    #[test]
+    fn agree_early_liar_escapes_the_bound() {
+        let values = [0.1, 0.9];
+        let mut t = LyingValues::new(&values, &[1], LieMode::AgreeEarly);
+        let run = progressive_upper_bound_with(&mut t, 0.0, 0.0, &mut Step(0.2)).unwrap();
+        // The liar "agreed" in round 1, so the bound stops at 0.2 and does
+        // not cover its true value — the liar only hurt itself.
+        assert!(run.bound < 0.9);
+        assert!(run.bound >= 0.1, "truthful member still covered");
+    }
+
+    #[test]
+    fn deny_forever_liar_trips_the_round_cap() {
+        let values = [0.1, 0.2];
+        let mut t = LyingValues::new(&values, &[0], LieMode::DenyForever);
+        let err = progressive_upper_bound_with(&mut t, 0.0, 0.0, &mut Step(0.5)).unwrap_err();
+        assert!(matches!(err, BoundingError::RoundLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn round_tracker_resets_on_restart() {
+        let mut tracker = RoundTracker::new();
+        assert_eq!(tracker.observe(0.1), 1);
+        assert_eq!(tracker.observe(0.2), 2);
+        assert_eq!(tracker.observe(0.2), 2, "same round, second peer");
+        assert_eq!(tracker.observe(0.1), 1, "smaller bound means restart");
+        assert_eq!(tracker.observe(0.2), 2);
+    }
+}

@@ -27,8 +27,12 @@
 //! - [`bbox`] — the 2-D cloaked rectangle assembled from four directional
 //!   1-D bounds,
 //! - [`privacy`] — the privacy-loss accounting sketched in the paper's
-//!   future work: the interval of ξ each user's transcript exposes.
+//!   future work: the interval of ξ each user's transcript exposes, and
+//!   what a coalition of colluding peers can pool out of it,
+//! - [`adversary`] — crashing and lying verification transports for the
+//!   scenario matrix's stronger-than-semi-honest adversaries.
 
+pub mod adversary;
 pub mod baselines;
 pub mod bbox;
 pub mod cost;
@@ -38,13 +42,17 @@ pub mod privacy;
 pub mod protocol;
 pub mod unary;
 
+pub use adversary::{CrashingValues, LieMode, LyingValues};
 pub use baselines::{optimal_bound, ExponentialPolicy, LinearPolicy};
 pub use bbox::{secure_bounding_box, BboxOutcome};
 pub use cost::{AreaCost, CostParams, LengthCost, RequestCost};
 pub use distribution::{ExcessDistribution, Exponential, Uniform};
 pub use nbound::{exact_dp_increment, n_bounding_increment, SecurePolicy};
+pub use privacy::{
+    collusion_exposed_interval, collusion_leak_report, leak_report, CollusionLeakReport, LeakReport,
+};
 pub use protocol::{
-    progressive_upper_bound, progressive_upper_bound_with, BoundingError, BoundingRun,
-    IncrementPolicy, LocalValues, VerifyTransport,
+    progressive_upper_bound, progressive_upper_bound_resilient, progressive_upper_bound_with,
+    BoundingError, BoundingRun, IncrementPolicy, LocalValues, ResilientOutcome, VerifyTransport,
 };
 pub use unary::{unary_optimal, UnaryOptimum};

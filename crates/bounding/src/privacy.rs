@@ -56,6 +56,134 @@ pub fn leak_report(run: &BoundingRun, threshold: f64) -> LeakReport {
     }
 }
 
+/// Privacy loss of a bounding run as seen by a **coalition** of colluding
+/// peers pooling what each overheard while participating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollusionLeakReport {
+    /// Coalition size (colluder indices actually present in the run).
+    pub coalition_size: usize,
+    /// Non-colluding users the coalition holds an interval for.
+    pub victims: usize,
+    /// Rounds of the run the coalition observed: the latest round any
+    /// colluder was still participating (and thus receiving hypothesis
+    /// broadcasts and overhearing answers).
+    pub pooled_rounds: usize,
+    /// Narrowest finite interval the coalition pins a victim into (worst
+    /// privacy). `INFINITY` when no victim interval is finite.
+    pub worst_width: f64,
+    /// Mean finite victim-interval width; `INFINITY` when none is finite.
+    pub mean_width: f64,
+    /// Victims whose coalition interval is narrower than the threshold.
+    pub exposed_below_threshold: usize,
+}
+
+/// Computes what a coalition of colluding peers learns about every other
+/// participant of `run` by pooling their transcripts.
+///
+/// The model: a colluder that agreed at round `a` participated in rounds
+/// `1..=a`, so it observed the hypothesis bounds `X₁..X_a` and every
+/// yes/no answered in those rounds (single broadcast domain, as in the
+/// paper's P2P setting). The coalition's knowledge horizon is therefore
+/// `r_pool = max aᵢ` over colluders. A victim that agreed at round
+/// `a_v ≤ r_pool` is pinned into its exact transcript interval
+/// `(X_{a_v − 1}, X_{a_v}]`; one still disagreeing when the last colluder
+/// left is only known to lie in `(X_{r_pool}, B]` where `B` is the final
+/// bound. Growing the coalition can only raise `r_pool`, so every victim
+/// interval shrinks or stays — monotonicity the proptest suite pins.
+///
+/// `colluders` are indices into the run's input values; indices absent
+/// from the transcript are ignored. The host is implicitly all-knowing
+/// (it ran the protocol), so it should not be listed — the report measures
+/// what *peers* extract beyond the protocol's design leak.
+pub fn collusion_leak_report(
+    run: &BoundingRun,
+    colluders: &[usize],
+    threshold: f64,
+) -> CollusionLeakReport {
+    assert!(threshold >= 0.0, "threshold must be non-negative");
+    let is_colluder = |i: usize| colluders.contains(&i);
+    let coalition_size = run.records.iter().filter(|r| is_colluder(r.index)).count();
+    let r_pool = run
+        .records
+        .iter()
+        .filter(|r| is_colluder(r.index))
+        .map(|r| r.round)
+        .max()
+        .unwrap_or(0);
+    let mut victims = 0usize;
+    let mut worst = f64::INFINITY;
+    let mut sum = 0.0;
+    let mut finite = 0usize;
+    let mut exposed = 0usize;
+    for r in &run.records {
+        if is_colluder(r.index) {
+            continue;
+        }
+        victims += 1;
+        let (lower, upper) = if r.round <= r_pool {
+            // The coalition overheard this user's agreement: exact interval.
+            (r.lower, r.upper)
+        } else if r_pool > 0 {
+            // Still disagreeing at the coalition's horizon: above the last
+            // pooled bound, at most the final agreed bound.
+            (run.bounds[r_pool - 1], run.bound)
+        } else {
+            // Empty (or absent) coalition learns nothing.
+            (f64::NEG_INFINITY, f64::INFINITY)
+        };
+        let width = upper - lower;
+        if width.is_finite() {
+            worst = worst.min(width);
+            sum += width;
+            finite += 1;
+            if width < threshold {
+                exposed += 1;
+            }
+        }
+    }
+    CollusionLeakReport {
+        coalition_size,
+        victims,
+        pooled_rounds: r_pool,
+        worst_width: worst,
+        mean_width: if finite > 0 {
+            sum / finite as f64
+        } else {
+            f64::INFINITY
+        },
+        exposed_below_threshold: exposed,
+    }
+}
+
+/// The interval the coalition pins `victim` into, or `None` when the
+/// victim is not in the transcript (or is itself listed as a colluder).
+/// The per-victim primitive behind [`collusion_leak_report`]; exposed so
+/// property tests can assert monotonicity victim-by-victim.
+pub fn collusion_exposed_interval(
+    run: &BoundingRun,
+    colluders: &[usize],
+    victim: usize,
+) -> Option<(f64, f64)> {
+    if colluders.contains(&victim) {
+        return None;
+    }
+    let record = run.records.iter().find(|r| r.index == victim)?;
+    let r_pool = run
+        .records
+        .iter()
+        .filter(|r| colluders.contains(&r.index))
+        .map(|r| r.round)
+        .max()
+        .unwrap_or(0);
+    Some(if record.round <= r_pool {
+        (record.lower, record.upper)
+    } else if r_pool > 0 {
+        (run.bounds[r_pool - 1], run.bound)
+    } else {
+        (f64::NEG_INFINITY, f64::INFINITY)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +233,72 @@ mod tests {
         assert_eq!(all_exposed.exposed_below_threshold, v.len());
         let none_exposed = leak_report(&run, 0.0);
         assert_eq!(none_exposed.exposed_below_threshold, 0);
+    }
+
+    #[test]
+    fn empty_coalition_learns_nothing() {
+        let v = values();
+        let run = progressive_upper_bound(&v, 0.0, 0.0, &mut LinearPolicy::new(0.05)).unwrap();
+        let report = collusion_leak_report(&run, &[], 1.0);
+        assert_eq!(report.coalition_size, 0);
+        assert_eq!(report.pooled_rounds, 0);
+        assert_eq!(report.victims, v.len());
+        assert!(report.worst_width.is_infinite());
+        assert_eq!(report.exposed_below_threshold, 0);
+    }
+
+    #[test]
+    fn full_coalition_matches_transcript_view() {
+        let v = values();
+        let run = progressive_upper_bound(&v, 0.0, 0.0, &mut LinearPolicy::new(0.05)).unwrap();
+        // The last agreer colluding means r_pool == rounds: every victim's
+        // coalition interval is its exact transcript interval.
+        let last = run.records.iter().max_by_key(|r| r.round).unwrap().index;
+        let report = collusion_leak_report(&run, &[last], 0.0);
+        let full = leak_report(&run, 0.0);
+        assert_eq!(report.pooled_rounds, run.rounds);
+        assert_eq!(report.victims, v.len() - 1);
+        assert!(report.worst_width >= full.min_width - 1e-12);
+    }
+
+    #[test]
+    fn coalition_interval_contains_true_value() {
+        let v = values();
+        let run = progressive_upper_bound(&v, 0.0, 0.0, &mut LinearPolicy::new(0.07)).unwrap();
+        for c in 0..v.len() {
+            for (victim, &value) in v.iter().enumerate() {
+                if victim == c {
+                    continue;
+                }
+                let (lo, hi) = collusion_exposed_interval(&run, &[c], victim).unwrap();
+                assert!(value > lo - 1e-12 && value <= hi, "({lo}, {hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn growing_coalition_never_widens_a_victim_interval() {
+        let v = values();
+        let run = progressive_upper_bound(&v, 0.0, 0.0, &mut LinearPolicy::new(0.04)).unwrap();
+        let victim = 5; // the largest value agrees last
+        let mut last_width = f64::INFINITY;
+        for size in 0..v.len() - 1 {
+            let coalition: Vec<usize> = (0..size).collect();
+            let (lo, hi) = collusion_exposed_interval(&run, &coalition, victim).unwrap();
+            let width = hi - lo;
+            assert!(width <= last_width + 1e-12, "{width} > {last_width}");
+            last_width = width;
+        }
+    }
+
+    #[test]
+    fn colluders_are_not_victims() {
+        let v = values();
+        let run = progressive_upper_bound(&v, 0.0, 0.0, &mut LinearPolicy::new(0.05)).unwrap();
+        assert!(collusion_exposed_interval(&run, &[2], 2).is_none());
+        let report = collusion_leak_report(&run, &[1, 2], 10.0);
+        assert_eq!(report.coalition_size, 2);
+        assert_eq!(report.victims, v.len() - 2);
     }
 
     #[test]

@@ -52,6 +52,11 @@ pub struct BoundingRun {
     /// Per-user agreement transcript (one record per input value), in input
     /// order.
     pub records: Vec<AgreementRecord>,
+    /// The hypothesis bound broadcast each round: `bounds[r - 1]` is the
+    /// `X` of round `r` (1-based). A peer that participated through round
+    /// `r` has observed exactly the prefix `bounds[..r]` — this is the raw
+    /// material of the collusion model in [`crate::privacy`].
+    pub bounds: Vec<f64>,
 }
 
 impl BoundingRun {
@@ -192,6 +197,7 @@ pub fn progressive_upper_bound_with(
     let mut rounds = 0usize;
     let mut messages = 0u64;
     let mut records: Vec<AgreementRecord> = Vec::with_capacity(transport.len());
+    let mut bounds: Vec<f64> = Vec::new();
 
     while !disagreeing.is_empty() {
         rounds += 1;
@@ -207,6 +213,7 @@ pub fn progressive_upper_bound_with(
         }
         let prev = x;
         x += inc;
+        bounds.push(x);
         messages += disagreeing.len() as u64;
         let mut still = Vec::with_capacity(disagreeing.len());
         for &i in &disagreeing {
@@ -229,7 +236,119 @@ pub fn progressive_upper_bound_with(
         rounds,
         messages,
         records,
+        bounds,
     })
+}
+
+/// Result of a crash-resilient bounding run: the final successful run plus
+/// the peers dropped along the way.
+#[derive(Debug, Clone)]
+pub struct ResilientOutcome {
+    /// The successful run over the surviving participants. Record indices
+    /// refer to the **original** input indexing, so transcripts stay
+    /// attributable after drops.
+    pub run: BoundingRun,
+    /// Original indices of participants dropped as unreachable, in drop
+    /// order.
+    pub dropped: Vec<usize>,
+    /// Number of restarts performed (equals `dropped.len()`).
+    pub restarts: usize,
+    /// Verification messages across *all* attempts, including the aborted
+    /// ones (`run.messages` only counts the final attempt).
+    pub total_messages: u64,
+}
+
+/// Counts every verification question sent through the underlying
+/// transport, across restarts.
+struct CountingTransport<'a> {
+    inner: &'a mut dyn VerifyTransport,
+    asked: u64,
+}
+
+impl VerifyTransport for CountingTransport<'_> {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn verify(&mut self, index: usize, bound: f64) -> Option<bool> {
+        self.asked += 1;
+        self.inner.verify(index, bound)
+    }
+}
+
+/// Presents the surviving subset of a transport under dense indices
+/// `0..map.len()`, translating back to original indices on every question.
+struct SurvivorView<'a, 'b> {
+    inner: &'a mut CountingTransport<'b>,
+    map: &'a [usize],
+}
+
+impl VerifyTransport for SurvivorView<'_, '_> {
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn verify(&mut self, index: usize, bound: f64) -> Option<bool> {
+        self.inner.verify(self.map[index], bound)
+    }
+}
+
+/// Crash-resilient progressive bounding: whenever a participant becomes
+/// unreachable mid-run, it is dropped and the protocol **restarts over the
+/// survivors** (with a fresh policy from `policy_factory`) instead of
+/// aborting the whole request. The returned bound covers every survivor;
+/// the dropped peers are reported so the caller can decide whether the
+/// shrunken cluster still meets its anonymity requirement.
+///
+/// # Errors
+/// [`BoundingError::EmptyCluster`] when the input is empty or every
+/// participant crashed; policy errors ([`BoundingError::InvalidIncrement`],
+/// [`BoundingError::RoundLimitExceeded`]) propagate unchanged. Never
+/// returns [`BoundingError::Unreachable`] and never panics.
+pub fn progressive_upper_bound_resilient(
+    transport: &mut dyn VerifyTransport,
+    x0: f64,
+    domain_min: f64,
+    policy_factory: &mut dyn FnMut() -> Box<dyn IncrementPolicy>,
+) -> Result<ResilientOutcome, BoundingError> {
+    let mut alive: Vec<usize> = (0..transport.len()).collect();
+    let mut dropped: Vec<usize> = Vec::new();
+    let mut counting = CountingTransport {
+        inner: transport,
+        asked: 0,
+    };
+    loop {
+        if alive.is_empty() {
+            return Err(BoundingError::EmptyCluster);
+        }
+        let mut view = SurvivorView {
+            inner: &mut counting,
+            map: &alive,
+        };
+        let mut policy = policy_factory();
+        match progressive_upper_bound_with(&mut view, x0, domain_min, policy.as_mut()) {
+            Ok(mut run) => {
+                for r in &mut run.records {
+                    r.index = alive[r.index];
+                }
+                // Final-attempt message count reflects the survivor run;
+                // re-sorting keeps the in-input-order record contract.
+                run.records.sort_by_key(|r| r.index);
+                let restarts = dropped.len();
+                return Ok(ResilientOutcome {
+                    run,
+                    dropped,
+                    restarts,
+                    total_messages: counting.asked,
+                });
+            }
+            Err(BoundingError::Unreachable { index }) => {
+                let original = alive.remove(index);
+                dropped.push(original);
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -341,5 +460,125 @@ mod tests {
         let run = progressive_upper_bound(&values, 0.0, 0.0, &mut Step(1.0)).unwrap();
         assert_eq!(run.rounds, 1);
         assert_eq!(run.messages, 3);
+    }
+
+    #[test]
+    fn bounds_trace_one_hypothesis_per_round() {
+        let values = [0.05, 0.15, 0.25];
+        let run = progressive_upper_bound(&values, 0.0, 0.0, &mut Step(0.1)).unwrap();
+        assert_eq!(run.bounds.len(), run.rounds);
+        assert!(run.bounds.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*run.bounds.last().unwrap(), run.bound);
+        // Every record's upper is the broadcast bound of its round.
+        for r in &run.records {
+            assert_eq!(r.upper, run.bounds[r.round - 1]);
+        }
+    }
+
+    #[test]
+    fn resilient_run_without_crashes_matches_plain_run() {
+        let values = [0.31, 0.12, 0.48, 0.05];
+        let plain = progressive_upper_bound(&values, 0.0, 0.0, &mut Step(0.1)).unwrap();
+        let mut transport = LocalValues::new(&values);
+        let out = progressive_upper_bound_resilient(&mut transport, 0.0, 0.0, &mut || {
+            Box::new(Step(0.1))
+        })
+        .unwrap();
+        assert!(out.dropped.is_empty());
+        assert_eq!(out.restarts, 0);
+        assert_eq!(out.run.bound, plain.bound);
+        assert_eq!(out.run.records, plain.records);
+        assert_eq!(out.total_messages, plain.messages);
+    }
+
+    #[test]
+    fn resilient_drops_crasher_and_rebounds_survivors() {
+        use crate::adversary::CrashingValues;
+        let values = [0.05, 0.95, 0.15];
+        // Index 1 (the largest value) crashes at round 2: the re-run covers
+        // the two survivors only.
+        let mut transport = CrashingValues::new(&values, &[1], 2);
+        let out = progressive_upper_bound_resilient(&mut transport, 0.0, 0.0, &mut || {
+            Box::new(Step(0.1))
+        })
+        .unwrap();
+        assert_eq!(out.dropped, vec![1]);
+        assert_eq!(out.restarts, 1);
+        assert_eq!(out.run.records.len(), 2);
+        assert!(out.run.bound >= 0.15 && out.run.bound < 0.95);
+        assert!(
+            out.total_messages > out.run.messages,
+            "aborted attempt messages are accounted"
+        );
+        // Records carry original indices.
+        let idx: Vec<usize> = out.run.records.iter().map(|r| r.index).collect();
+        assert_eq!(idx, vec![0, 2]);
+    }
+
+    #[test]
+    fn resilient_all_crashed_is_typed_empty_cluster() {
+        use crate::adversary::CrashingValues;
+        let values = [0.3, 0.6];
+        let mut transport = CrashingValues::new(&values, &[0, 1], 1);
+        let err = progressive_upper_bound_resilient(&mut transport, 0.0, 0.0, &mut || {
+            Box::new(Step(0.1))
+        })
+        .unwrap_err();
+        assert_eq!(err, BoundingError::EmptyCluster);
+    }
+
+    /// Satellite: a peer going `Unreachable` at *every* round index `r` of
+    /// a run either yields a successful re-run over the survivors or a
+    /// typed `BoundingError` — never a panic, never a silently-wrong box.
+    #[test]
+    fn crash_at_every_round_recovers_or_errors_typed() {
+        use crate::adversary::CrashingValues;
+        let values = [0.07, 0.33, 0.18, 0.02, 0.51, 0.44];
+        let honest = progressive_upper_bound(&values, 0.0, 0.0, &mut Step(0.05)).unwrap();
+        // One past the honest round count: the crash never fires there and
+        // the run must complete with nobody dropped.
+        for r in 1..=honest.rounds + 1 {
+            for crasher in 0..values.len() {
+                let crashers = [crasher];
+                let mut transport = CrashingValues::new(&values, &crashers, r);
+                let out = progressive_upper_bound_resilient(&mut transport, 0.0, 0.0, &mut || {
+                    Box::new(Step(0.05))
+                })
+                .unwrap_or_else(|e| panic!("crash@{r} of {crasher}: unexpected {e}"));
+                if out.dropped.is_empty() {
+                    // Crasher agreed before round r: full honest outcome.
+                    assert_eq!(out.run.bound, honest.bound, "crash@{r} of {crasher}");
+                    assert_eq!(out.run.records.len(), values.len());
+                } else {
+                    assert_eq!(out.dropped, vec![crasher], "crash@{r}");
+                    assert_eq!(out.run.records.len(), values.len() - 1);
+                    // The survivor bound covers every survivor value.
+                    for (i, &v) in values.iter().enumerate() {
+                        if i != crasher {
+                            assert!(out.run.bound >= v, "crash@{r}: {v} uncovered");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The non-resilient entry point stays typed (no panic) for the same
+    /// exhaustive crash sweep.
+    #[test]
+    fn plain_run_crash_at_every_round_is_typed_unreachable() {
+        use crate::adversary::CrashingValues;
+        let values = [0.07, 0.33, 0.18, 0.02, 0.51];
+        let honest = progressive_upper_bound(&values, 0.0, 0.0, &mut Step(0.05)).unwrap();
+        for r in 1..=honest.rounds {
+            for crasher in 0..values.len() {
+                let crashers = [crasher];
+                let mut transport = CrashingValues::new(&values, &crashers, r);
+                match progressive_upper_bound_with(&mut transport, 0.0, 0.0, &mut Step(0.05)) {
+                    Ok(run) => assert_eq!(run.bound, honest.bound),
+                    Err(e) => assert_eq!(e, BoundingError::Unreachable { index: crasher }),
+                }
+            }
+        }
     }
 }

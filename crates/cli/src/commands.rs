@@ -584,3 +584,85 @@ pub fn stats(raw: Vec<String>) -> Result<(), ArgError> {
     print!("{}", snapshot.render());
     Ok(())
 }
+
+/// `nela robustness` — the adversary & heterogeneity scenario matrix with
+/// machine-checked privacy verdicts (see `nela::scenario`).
+pub fn robustness(raw: Vec<String>) -> Result<(), ArgError> {
+    let args = Args::parse(
+        raw,
+        &[
+            "users",
+            "k",
+            "requests",
+            "seed",
+            "colluders",
+            "liars",
+            "crash-peers",
+            "crash-round",
+            "leak-floor",
+            "json",
+        ],
+    )?;
+    let base = nela::MatrixConfig::bench();
+    let cfg = nela::MatrixConfig {
+        n_users: args.num_or("users", base.n_users)?,
+        k: args.num_or("k", base.k)?,
+        requests: args.num_or("requests", base.requests)?,
+        colluders: args.num_or("colluders", base.colluders)?,
+        liars: args.num_or("liars", base.liars)?,
+        crash_peers: args.num_or("crash-peers", base.crash_peers)?,
+        crash_round: args.num_or("crash-round", base.crash_round)?,
+        leak_floor: args.num_or("leak-floor", base.leak_floor)?,
+        seed: args.num_or("seed", base.seed)?,
+    };
+    let cells = nela::scenario_matrix(&cfg);
+    if args.flag("json") {
+        let report = serde_json::json!({ "config": cfg, "cells": cells });
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
+        return Ok(());
+    }
+    println!(
+        "scenario matrix: {} users, k = {}, {} requests/cell",
+        cfg.n_users, cfg.k, cfg.requests
+    );
+    let mut passed = 0usize;
+    for c in &cells {
+        let v = &c.verdict;
+        println!(
+            "  {:<42} served {:>3}/{:<3} degraded {:>3}  k-anon {}  leak {}  cover {}  collusion {}  recovery {}  {}",
+            c.spec.name,
+            v.served,
+            v.requests,
+            v.degraded,
+            mark(v.k_anonymity_held),
+            mark(v.leak_floor_held),
+            mark(v.truthful_coverage),
+            mark(v.collusion_bounded_by_transcript),
+            mark(v.recovery_sound),
+            if c.passed { "PASS" } else { "FAIL" },
+        );
+        passed += usize::from(c.passed);
+    }
+    println!(
+        "{passed}/{} cells met their adversary's expectation",
+        cells.len()
+    );
+    if passed < cells.len() {
+        return Err(ArgError(format!(
+            "{} cell(s) failed their privacy verdict",
+            cells.len() - passed
+        )));
+    }
+    Ok(())
+}
+
+fn mark(ok: bool) -> &'static str {
+    if ok {
+        "ok"
+    } else {
+        "VIOLATED"
+    }
+}

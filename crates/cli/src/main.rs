@@ -9,6 +9,7 @@
 //! nela attack    [--users N] [--requests S]             adversary evaluation
 //! nela mobility  [--users N] [--ticks T] [--rate R]     continuous cloaking under motion
 //! nela serve     [--users N] [--rate R] [--threads T]   open-loop serving session
+//! nela robustness [--users N] [--k K] [--requests S]    adversary scenario matrix
 //! nela stats     --file PATH                             render a --metrics snapshot
 //! ```
 //!
@@ -34,6 +35,7 @@ fn main() {
         "attack" => commands::attack(rest),
         "mobility" => commands::mobility(rest),
         "serve" => commands::serve(rest),
+        "robustness" => commands::robustness(rest),
         "stats" => commands::stats(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -69,6 +71,12 @@ COMMANDS:
              (--rate R req/s, --requests N, --query range|knn|mix,
              --radius F, --knn K, --queue C, --deadline-ms D;
              --threads sets the worker pool)
+  robustness run the adversary & heterogeneity scenario matrix: {uniform,
+             personalized} k x {honest, colluders, liars, crash} x
+             {uniform, rush-hour} geography, each cell ending in a
+             machine-checked privacy verdict (--colluders C, --liars L,
+             --crash-peers P, --crash-round R, --leak-floor F; exits
+             non-zero if any cell fails its expectation)
   stats      render a metrics snapshot written by --metrics
              (--file PATH, --json to echo the raw snapshot)
   help       show this help

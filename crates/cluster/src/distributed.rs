@@ -36,7 +36,7 @@
 
 use crate::centralized::centralized_k_clustering_edges;
 use crate::fetch::{AdjCache, LocalFetch, PeerFetch};
-use crate::{Cluster, ClusterError};
+use crate::{Cluster, ClusterError, KPolicy};
 use nela_geo::UserId;
 use nela_wpg::{Weight, Wpg};
 use std::cmp::Reverse;
@@ -48,7 +48,8 @@ pub struct DistributedOutcome {
     /// The host's k-anonymity cluster (a piece of the super-cluster).
     pub host_cluster: Cluster,
     /// Every cluster produced by partitioning the super-cluster, including
-    /// the host's. All are valid (size ≥ k).
+    /// the host's. All are valid (size ≥ the partition requirement — `k`
+    /// under a uniform policy, the super-cluster's max `k_i` otherwise).
     pub all_clusters: Vec<Cluster>,
     /// The super-cluster: the host's spanned cluster after border
     /// absorption (sorted).
@@ -58,6 +59,10 @@ pub struct DistributedOutcome {
     /// Number of peers whose adjacency list the host had to fetch — the
     /// per-request communication cost of §VI.
     pub involved_users: usize,
+    /// The anonymity requirement the host's cluster had to meet: `k` under
+    /// a uniform policy, the max `k_i` over `host_cluster`'s members under
+    /// a personalized one.
+    pub required_k: usize,
 }
 
 /// Runs Algorithm 2 for `host` on an in-memory WPG. See
@@ -70,6 +75,18 @@ pub fn distributed_k_clustering(
 ) -> Result<DistributedOutcome, ClusterError> {
     let mut fetch = LocalFetch::new(g);
     distributed_k_clustering_with(&mut fetch, host, k, removed)
+}
+
+/// Runs Algorithm 2 for `host` on an in-memory WPG under a per-user
+/// anonymity policy. See [`distributed_k_clustering_with_policy`].
+pub fn distributed_k_clustering_policy(
+    g: &Wpg,
+    host: UserId,
+    kp: KPolicy<'_>,
+    removed: &dyn Fn(UserId) -> bool,
+) -> Result<DistributedOutcome, ClusterError> {
+    let mut fetch = LocalFetch::new(g);
+    distributed_k_clustering_with_policy(&mut fetch, host, kp, removed)
 }
 
 /// Runs Algorithm 2 for `host`, fetching peer adjacency through `fetch`.
@@ -88,70 +105,87 @@ pub fn distributed_k_clustering_with(
     removed: &dyn Fn(UserId) -> bool,
 ) -> Result<DistributedOutcome, ClusterError> {
     assert!(k >= 1, "anonymity level must be at least 1");
+    distributed_k_clustering_with_policy(fetch, host, KPolicy::Uniform(k), removed)
+}
+
+/// Transport-generic Algorithm 2 under a per-user anonymity policy.
+///
+/// Under [`KPolicy::Uniform`] this is **bit-identical** to the original
+/// single-`k` algorithm: the requirement below is constant, so every heap
+/// pop, border check and partition decision is unchanged. Under
+/// [`KPolicy::PerUser`] the requirement is a moving target — the max `k_i`
+/// of the members gathered so far — so absorbing a high-`k_i` user can
+/// demand further spanning; the outer loop below re-spans until the
+/// cluster satisfies every member it holds.
+///
+/// # Errors
+/// As [`distributed_k_clustering_with`]; `ComponentTooSmall` fires when
+/// the host's component cannot reach the (possibly raised) requirement.
+pub fn distributed_k_clustering_with_policy(
+    fetch: &mut dyn PeerFetch,
+    host: UserId,
+    kp: KPolicy<'_>,
+    removed: &dyn Fn(UserId) -> bool,
+) -> Result<DistributedOutcome, ClusterError> {
+    assert!(kp.of(host) >= 1, "anonymity level must be at least 1");
     assert!(!removed(host), "host must not be already clustered");
     let mut adj = AdjCache::new(fetch, host);
     let mut in_c: HashSet<UserId> = HashSet::from([host]);
     let mut t: Weight = 0;
-
-    // ---- Step 1: Prim-style span to size k.
-    let mut heap: BinaryHeap<Reverse<(Weight, UserId)>> = BinaryHeap::new();
-    for &(v, w) in adj.get(host)? {
-        if !removed(v) {
-            heap.push(Reverse((w, v)));
-        }
-    }
-    while in_c.len() < k {
-        let Some(Reverse((w, v))) = heap.pop() else {
-            return Err(ClusterError::ComponentTooSmall {
-                reachable: in_c.len(),
-            });
-        };
-        if in_c.contains(&v) {
-            continue;
-        }
-        in_c.insert(v);
-        t = t.max(w);
-        for &(y, wy) in adj.get(v)? {
-            if !removed(y) && !in_c.contains(&y) {
-                heap.push(Reverse((wy, y)));
-            }
-        }
-    }
-
-    // ---- Step 2: border validation loop.
-    let mut queue: VecDeque<UserId> = VecDeque::new();
     let mut enqueued: HashSet<UserId> = HashSet::new();
-    collect_border(&mut adj, &in_c, removed, &mut queue, &mut enqueued)?;
 
-    while let Some(v) = queue.pop_front() {
-        if in_c.contains(&v) {
-            continue; // absorbed since it was enqueued
-        }
-        if border_has_valid_cluster(&mut adj, v, t, k, removed, &in_c)? {
-            continue; // passes now, passes forever (t only increases)
-        }
-        // Absorb v; t rises to the lightest edge joining v to C. A border
-        // vertex was enqueued because some member listed it, so its own list
-        // must name a member back — unless the transport lied.
-        let join_w = adj
-            .get(v)?
-            .iter()
-            .filter(|(y, _)| in_c.contains(y))
-            .map(|&(_, w)| w)
-            .min()
-            .ok_or(ClusterError::Inconsistent { user: v })?;
-        in_c.insert(v);
-        t = t.max(join_w);
-        close_under_t(&mut adj, &mut in_c, t, removed)?;
+    loop {
+        // ---- Step 1: Prim-style span to the current requirement (exactly
+        // k in the uniform case; the max k_i of the members so far in the
+        // personalized one).
+        span_to_requirement(&mut adj, &mut in_c, &mut t, kp, removed)?;
+
+        // ---- Step 2: border validation loop. A vertex that passed once is
+        // not rechecked within one pass (t only increases).
+        let mut queue: VecDeque<UserId> = VecDeque::new();
         collect_border(&mut adj, &in_c, removed, &mut queue, &mut enqueued)?;
+
+        while let Some(v) = queue.pop_front() {
+            if in_c.contains(&v) {
+                continue; // absorbed since it was enqueued
+            }
+            if border_has_valid_cluster(&mut adj, v, t, kp, removed, &in_c)? {
+                continue; // passes now, passes forever (t only increases)
+            }
+            // Absorb v; t rises to the lightest edge joining v to C. A border
+            // vertex was enqueued because some member listed it, so its own list
+            // must name a member back — unless the transport lied.
+            let join_w = adj
+                .get(v)?
+                .iter()
+                .filter(|(y, _)| in_c.contains(y))
+                .map(|&(_, w)| w)
+                .min()
+                .ok_or(ClusterError::Inconsistent { user: v })?;
+            in_c.insert(v);
+            t = t.max(join_w);
+            close_under_t(&mut adj, &mut in_c, t, removed)?;
+            collect_border(&mut adj, &in_c, removed, &mut queue, &mut enqueued)?;
+        }
+
+        // Uniform policy: step 1 reached k and absorption only grows the
+        // cluster, so this always holds and the loop runs exactly once.
+        // Personalized: an absorbed member may have raised the requirement
+        // past the current size — re-span with the enlarged border state.
+        if in_c.len() >= kp.required(in_c.iter().copied()) {
+            break;
+        }
     }
 
     // ---- Step 3: centralized partition of the super-cluster, over the
-    // adjacency already gathered (every member's list is cached).
+    // adjacency already gathered (every member's list is cached). The
+    // partition must satisfy the strictest member, so it cuts at the
+    // super-cluster's own requirement.
     let mut super_cluster: Vec<UserId> = in_c.iter().copied().collect();
     super_cluster.sort_unstable();
+    let k_part = kp.required(super_cluster.iter().copied());
     let edges = adj.internal_edges(&super_cluster);
-    let partition = centralized_k_clustering_edges(&super_cluster, &edges, k);
+    let partition = centralized_k_clustering_edges(&super_cluster, &edges, k_part);
     debug_assert!(
         partition.underfilled.is_empty(),
         "super-cluster is connected and ≥ k, its partition cannot underfill"
@@ -163,6 +197,7 @@ pub fn distributed_k_clustering_with(
         .cluster_of(host)
         .ok_or(ClusterError::Inconsistent { user: host })?;
     let host_cluster = partition.clusters[host_idx].clone();
+    let required_k = kp.required(host_cluster.members.iter().copied());
 
     Ok(DistributedOutcome {
         host_cluster,
@@ -170,7 +205,55 @@ pub fn distributed_k_clustering_with(
         super_cluster,
         connectivity: t,
         involved_users: adj.contacted(),
+        required_k,
     })
+}
+
+/// Grows `in_c` Prim-style through edges in increasing weight order until
+/// its size meets the policy requirement of its own members (Algorithm 2
+/// lines 1–6). The heap is seeded from every current member's external
+/// edges; on the first call `in_c` is just the host, reproducing the
+/// original span exactly.
+fn span_to_requirement(
+    adj: &mut AdjCache<'_>,
+    in_c: &mut HashSet<UserId>,
+    t: &mut Weight,
+    kp: KPolicy<'_>,
+    removed: &dyn Fn(UserId) -> bool,
+) -> Result<(), ClusterError> {
+    let mut need = kp.required(in_c.iter().copied());
+    if in_c.len() >= need {
+        return Ok(());
+    }
+    let mut members: Vec<UserId> = in_c.iter().copied().collect();
+    members.sort_unstable();
+    let mut heap: BinaryHeap<Reverse<(Weight, UserId)>> = BinaryHeap::new();
+    for c in members {
+        for &(v, w) in adj.get(c)? {
+            if !removed(v) && !in_c.contains(&v) {
+                heap.push(Reverse((w, v)));
+            }
+        }
+    }
+    while in_c.len() < need {
+        let Some(Reverse((w, v))) = heap.pop() else {
+            return Err(ClusterError::ComponentTooSmall {
+                reachable: in_c.len(),
+            });
+        };
+        if in_c.contains(&v) {
+            continue;
+        }
+        in_c.insert(v);
+        need = need.max(kp.of(v));
+        *t = (*t).max(w);
+        for &(y, wy) in adj.get(v)? {
+            if !removed(y) && !in_c.contains(&y) {
+                heap.push(Reverse((wy, y)));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Adds every not-yet-enqueued border vertex of C to the check queue. The
@@ -217,35 +300,55 @@ fn close_under_t(
     Ok(())
 }
 
-/// Does border vertex `v` own a t-connectivity cluster of size ≥ k in the
-/// remaining WPG (previous removals plus the current super-cluster)? The
-/// bounded BFS fetches adjacency of every vertex it must expand, so the
-/// check only contacts ~k peers in the common passing case.
+/// Does border vertex `v` own a t-connectivity cluster satisfying the
+/// policy in the remaining WPG (previous removals plus the current
+/// super-cluster)? Under a uniform policy the BFS stops as soon as k
+/// vertices are seen (the common passing case contacts only ~k peers);
+/// under a personalized one the target is the max `k_i` of the *whole*
+/// t-component — a partial count could miss a strict member beyond the
+/// horizon — so the component is walked in full.
 fn border_has_valid_cluster(
     adj: &mut AdjCache<'_>,
     v: UserId,
     t: Weight,
-    k: usize,
+    kp: KPolicy<'_>,
     removed: &dyn Fn(UserId) -> bool,
     in_c: &HashSet<UserId>,
 ) -> Result<bool, ClusterError> {
-    if k <= 1 {
-        return Ok(true);
-    }
     let mut visited: HashSet<UserId> = HashSet::from([v]);
     let mut queue: VecDeque<UserId> = VecDeque::from([v]);
-    while let Some(x) = queue.pop_front() {
-        let nbrs: Vec<(UserId, Weight)> = adj.get(x)?.to_vec();
-        for (y, w) in nbrs {
-            if w <= t && !removed(y) && !in_c.contains(&y) && visited.insert(y) {
-                if visited.len() >= k {
-                    return Ok(true);
-                }
-                queue.push_back(y);
+    match kp {
+        KPolicy::Uniform(k) => {
+            if k <= 1 {
+                return Ok(true);
             }
+            while let Some(x) = queue.pop_front() {
+                let nbrs: Vec<(UserId, Weight)> = adj.get(x)?.to_vec();
+                for (y, w) in nbrs {
+                    if w <= t && !removed(y) && !in_c.contains(&y) && visited.insert(y) {
+                        if visited.len() >= k {
+                            return Ok(true);
+                        }
+                        queue.push_back(y);
+                    }
+                }
+            }
+            Ok(false)
+        }
+        KPolicy::PerUser(_) => {
+            let mut need = kp.of(v);
+            while let Some(x) = queue.pop_front() {
+                let nbrs: Vec<(UserId, Weight)> = adj.get(x)?.to_vec();
+                for (y, w) in nbrs {
+                    if w <= t && !removed(y) && !in_c.contains(&y) && visited.insert(y) {
+                        need = need.max(kp.of(y));
+                        queue.push_back(y);
+                    }
+                }
+            }
+            Ok(visited.len() >= need.max(1))
         }
     }
-    Ok(false)
 }
 
 #[cfg(test)]
@@ -410,6 +513,86 @@ mod tests {
         let g = Wpg::from_edges(2, &[Edge::new(0, 1, 1)]);
         let out = distributed_k_clustering(&g, 0, 1, &no_removed).unwrap();
         assert!(out.host_cluster.contains(0));
+    }
+
+    #[test]
+    fn personalized_all_equal_is_bit_identical_to_uniform() {
+        // KPolicy::PerUser with every k_i == k must reproduce the uniform
+        // outcome exactly — same clusters, same t, same message count —
+        // even though the border check walks a different code path.
+        let g = topology::small_world(80, 6, 0.25, 9, 42);
+        let ks = vec![5usize; 80];
+        for host in [0u32, 7, 23, 61, 79] {
+            let uni = distributed_k_clustering(&g, host, 5, &no_removed).unwrap();
+            let per = distributed_k_clustering_policy(&g, host, KPolicy::PerUser(&ks), &no_removed)
+                .unwrap();
+            assert_eq!(per.host_cluster, uni.host_cluster, "host {host}");
+            assert_eq!(per.all_clusters, uni.all_clusters);
+            assert_eq!(per.super_cluster, uni.super_cluster);
+            assert_eq!(per.connectivity, uni.connectivity);
+            assert_eq!(per.involved_users, uni.involved_users);
+            assert_eq!(per.required_k, uni.required_k);
+            assert_eq!(uni.required_k, 5);
+        }
+    }
+
+    #[test]
+    fn strict_member_raises_the_cluster_requirement() {
+        // Everyone asks for k=2 except one strict user asking for 6: any
+        // cluster that captures the strict user must reach 6 members.
+        let g = topology::ring_lattice(30, 4, 5, 3);
+        let mut ks = vec![2usize; 30];
+        ks[11] = 6;
+        let kp = KPolicy::PerUser(&ks);
+        let out = distributed_k_clustering_policy(&g, 11, kp, &no_removed).unwrap();
+        assert!(out.host_cluster.contains(11));
+        assert!(out.required_k >= 6);
+        assert!(
+            out.host_cluster.len() >= 6,
+            "strict member underserved: {:?}",
+            out.host_cluster
+        );
+        for c in &out.all_clusters {
+            assert!(c.is_valid_for(kp), "piece violates its members: {c:?}");
+        }
+    }
+
+    #[test]
+    fn absorbing_a_strict_user_triggers_respan() {
+        // Host 0 asks for 2 and spans {0, 1} at t=1. Isolated strict user
+        // 2 (k_i = 5) fails its border check and is absorbed; the other
+        // border vertex passes, so the queue drains with only 3 members —
+        // below the absorbed user's requirement. The outer loop must then
+        // re-span from the enlarged cluster until all 5 vertices are in.
+        let g = Wpg::from_edges(
+            5,
+            &[
+                Edge::new(0, 1, 1), // host's 2-cluster at t=1
+                Edge::new(0, 2, 3), // strict user 2, no other neighbors
+                Edge::new(1, 3, 4), // border vertex 3...
+                Edge::new(3, 4, 2), // ...passes: {3, 4} is a 2-cluster
+            ],
+        );
+        let mut ks = vec![2usize; 5];
+        ks[2] = 5;
+        let kp = KPolicy::PerUser(&ks);
+        let out = distributed_k_clustering_policy(&g, 0, kp, &no_removed).unwrap();
+        assert!(out.super_cluster.contains(&2), "strict user absorbed");
+        assert_eq!(out.super_cluster.len(), 5, "{:?}", out.super_cluster);
+        assert_eq!(out.required_k, 5);
+        for c in &out.all_clusters {
+            assert!(c.is_valid_for(kp));
+        }
+    }
+
+    #[test]
+    fn personalized_component_too_small_is_typed() {
+        // The strict user demands more anonymity than its component holds.
+        let g = Wpg::from_edges(3, &[Edge::new(0, 1, 1), Edge::new(1, 2, 2)]);
+        let ks = vec![5usize, 1, 1];
+        let err =
+            distributed_k_clustering_policy(&g, 0, KPolicy::PerUser(&ks), &no_removed).unwrap_err();
+        assert_eq!(err, ClusterError::ComponentTooSmall { reachable: 3 });
     }
 
     #[test]

@@ -33,7 +33,8 @@ pub mod registry;
 
 pub use centralized::{centralized_k_clustering, reference_k_clustering, GlobalClustering};
 pub use distributed::{
-    distributed_k_clustering, distributed_k_clustering_with, DistributedOutcome,
+    distributed_k_clustering, distributed_k_clustering_policy, distributed_k_clustering_with,
+    distributed_k_clustering_with_policy, DistributedOutcome,
 };
 pub use fetch::{LocalFetch, PeerFetch};
 pub use knn::{knn_cluster, knn_cluster_with, KnnOutcome, TieBreak};
@@ -70,9 +71,66 @@ impl Cluster {
         self.members.len() >= k
     }
 
+    /// The anonymity requirement this cluster must meet under `kp`: the
+    /// strictest (maximum) `k_i` of its members.
+    pub fn required_k(&self, kp: KPolicy<'_>) -> usize {
+        kp.required(self.members.iter().copied())
+    }
+
+    /// True when the cluster meets the per-member requirement of `kp` —
+    /// size at least the max `k_i` over its members. Reduces to
+    /// [`Cluster::is_valid`] under [`KPolicy::Uniform`].
+    pub fn is_valid_for(&self, kp: KPolicy<'_>) -> bool {
+        self.members.len() >= self.required_k(kp)
+    }
+
     /// True when `u` is a member (members are sorted, so binary search).
     pub fn contains(&self, u: UserId) -> bool {
         self.members.binary_search(&u).is_ok()
+    }
+}
+
+/// Per-user anonymity requirement. The paper assumes one global `k`
+/// ([`KPolicy::Uniform`]); personalized privacy (à la MeshCloak) lets each
+/// user carry its own `k_i` ([`KPolicy::PerUser`]). A cluster satisfies the
+/// policy when its size reaches the **max** `k_i` of its members — every
+/// member gets at least the anonymity it asked for.
+#[derive(Debug, Clone, Copy)]
+pub enum KPolicy<'a> {
+    /// Every user requires the same k (the paper's setting).
+    Uniform(usize),
+    /// `per_user[u]` is user `u`'s personal requirement `k_i` (each ≥ 1).
+    /// The slice must cover every user id the algorithm can touch.
+    PerUser(&'a [usize]),
+}
+
+impl KPolicy<'_> {
+    /// User `u`'s own requirement.
+    pub fn of(&self, u: UserId) -> usize {
+        match self {
+            KPolicy::Uniform(k) => *k,
+            KPolicy::PerUser(ks) => ks[u as usize],
+        }
+    }
+
+    /// The requirement a cluster with exactly `members` must meet: the max
+    /// `k_i` over them (the uniform k regardless of membership for
+    /// [`KPolicy::Uniform`]; at least 1 always).
+    pub fn required<I: IntoIterator<Item = UserId>>(&self, members: I) -> usize {
+        match self {
+            KPolicy::Uniform(k) => (*k).max(1),
+            KPolicy::PerUser(_) => members
+                .into_iter()
+                .map(|u| self.of(u))
+                .max()
+                .unwrap_or(1)
+                .max(1),
+        }
+    }
+
+    /// True for the uniform (single global k) policy.
+    pub fn is_uniform(&self) -> bool {
+        matches!(self, KPolicy::Uniform(_))
     }
 }
 

@@ -46,12 +46,27 @@ pub enum SpatialDistribution {
     /// POI dataset. `background` is the fraction of points drawn uniformly
     /// (rural noise), the rest fall into Zipf-weighted corridor clusters.
     CaliforniaLike { background: f64 },
+    /// Rush-hour skew: `hot_frac` of the population is packed into a few
+    /// tight "downtown" hotspots (Zipf-weighted, σ ≈ 0.01) while the rest
+    /// spreads uniformly as a sparse suburban background. The extreme-skew
+    /// geography of the scenario matrix — dense cores where clusters are
+    /// cheap next to a periphery where the disconnected problem dominates.
+    RushHour { hotspots: usize, hot_frac: f64 },
 }
 
 impl SpatialDistribution {
     /// The default stand-in for the paper's dataset.
     pub fn california() -> Self {
         SpatialDistribution::CaliforniaLike { background: 0.10 }
+    }
+
+    /// The default rush-hour skew of the scenario matrix: 4 downtown
+    /// hotspots holding 80% of the population.
+    pub fn rush_hour() -> Self {
+        SpatialDistribution::RushHour {
+            hotspots: 4,
+            hot_frac: 0.80,
+        }
     }
 }
 
@@ -100,6 +115,9 @@ impl DatasetSpec {
             }
             SpatialDistribution::CaliforniaLike { background } => {
                 california_like(self.n, *background, self.seed)
+            }
+            SpatialDistribution::RushHour { hotspots, hot_frac } => {
+                rush_hour(self.n, *hotspots, *hot_frac, self.seed)
             }
         }
     }
@@ -232,6 +250,52 @@ fn california_like(n: usize, background: f64, seed: u64) -> Vec<Point> {
         .collect()
 }
 
+fn rush_hour(n: usize, hotspots: usize, hot_frac: f64, seed: u64) -> Vec<Point> {
+    assert!(hotspots > 0, "need at least one hotspot");
+    assert!(
+        (0.0..=1.0).contains(&hot_frac),
+        "hot fraction must be in [0,1]"
+    );
+    let mut layout_rng = ChaCha8Rng::seed_from_u64(seed ^ LAYOUT_STREAM);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ SAMPLE_STREAM);
+    // Hotspot centers kept away from the domain edge so the dense cores stay
+    // (mostly) inside the unit square instead of piling up on the boundary.
+    let centers: Vec<Point> = (0..hotspots)
+        .map(|_| {
+            Point::new(
+                0.1 + 0.8 * layout_rng.gen::<f64>(),
+                0.1 + 0.8 * layout_rng.gen::<f64>(),
+            )
+        })
+        .collect();
+    // Zipf-weighted hotspot popularity: downtown #1 dominates.
+    let weights: Vec<f64> = (0..hotspots).map(|i| 1.0 / (i + 1) as f64).collect();
+    let total_w: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(hotspots);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total_w;
+        cdf.push(acc);
+    }
+    const SIGMA: f64 = 0.01;
+    (0..n)
+        .map(|_| {
+            if rng.gen::<f64>() < hot_frac {
+                let u: f64 = rng.gen();
+                let hi = cdf.partition_point(|&c| c < u).min(hotspots - 1);
+                let c = centers[hi];
+                Point::new(
+                    c.x + SIGMA * normal(&mut rng),
+                    c.y + SIGMA * normal(&mut rng),
+                )
+                .clamp_unit()
+            } else {
+                Point::new(rng.gen::<f64>(), rng.gen::<f64>())
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +326,7 @@ mod tests {
                 sigma: 0.3,
             },
             SpatialDistribution::california(),
+            SpatialDistribution::rush_hour(),
         ] {
             let pts = DatasetSpec {
                 n: 2000,
@@ -304,6 +369,32 @@ mod tests {
         assert!(
             nn_mean(&cal) < nn_mean(&uni) * 0.8,
             "california-like mixture should be markedly denser locally"
+        );
+    }
+
+    #[test]
+    fn rush_hour_is_extremely_skewed() {
+        // With 80% of mass in 4 tight hotspots, a small neighborhood around
+        // the densest point must hold far more than its uniform share.
+        let pts = DatasetSpec {
+            n: 4000,
+            seed: 9,
+            distribution: SpatialDistribution::rush_hour(),
+        }
+        .generate();
+        let idx = crate::grid::GridIndex::build(&pts, 0.05);
+        let mut buf = Vec::new();
+        let max_local = (0..pts.len() as u32)
+            .map(|i| {
+                idx.neighbors_within(i, 0.05, &mut buf);
+                buf.len()
+            })
+            .max()
+            .unwrap();
+        // Uniform expectation within r=0.05 of a point: n * πr² ≈ 31.
+        assert!(
+            max_local > 300,
+            "rush-hour core should be crowded, saw max {max_local} neighbors"
         );
     }
 

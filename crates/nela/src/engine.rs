@@ -23,10 +23,10 @@ use nela_bounding::distribution::Uniform;
 use nela_bounding::nbound::SecurePolicy;
 use nela_bounding::protocol::{BoundingError, IncrementPolicy};
 use nela_cluster::centralized::centralized_k_clustering;
-use nela_cluster::distributed::distributed_k_clustering;
+use nela_cluster::distributed::distributed_k_clustering_policy;
 use nela_cluster::knn::{knn_cluster, TieBreak};
 use nela_cluster::registry::{ClaimOutcome, ClusterId, ClusterRegistry, ShardedRegistry};
-use nela_cluster::ClusterError;
+use nela_cluster::{ClusterError, KPolicy};
 use nela_geo::{Point, Rect, UserId};
 use parking_lot::Mutex;
 use std::time::{Duration, Instant};
@@ -163,6 +163,11 @@ pub struct CloakingResult {
     pub bounding_messages: u64,
     /// Phase-2 rounds across the four directional runs.
     pub bounding_rounds: usize,
+    /// The anonymity requirement this request had to meet: `Params::k`
+    /// under the uniform policy, the max personalized `k_i` over the
+    /// host's cluster members otherwise (what `verify::audit_result`
+    /// checks the region against).
+    pub required_k: usize,
     /// True when both phases were skipped entirely.
     pub reused: bool,
     /// CPU time spent computing bounding increments and running the
@@ -184,6 +189,9 @@ pub struct CloakingEngine<'a> {
     /// kNN mode only: users consumed by earlier groups (the kNN baseline
     /// has no shared registry — each request forms a fresh group).
     knn_taken: Vec<bool>,
+    /// Personalized per-user anonymity levels (`k_of[u]` is user u's
+    /// `k_i`); `None` serves everyone at the uniform `Params::k`.
+    k_of: Option<Vec<usize>>,
 }
 
 impl<'a> CloakingEngine<'a> {
@@ -197,6 +205,7 @@ impl<'a> CloakingEngine<'a> {
             centralized_built: false,
             carried_messages: 0,
             knn_taken: vec![false; system.points.len()],
+            k_of: None,
         }
     }
 
@@ -228,7 +237,48 @@ impl<'a> CloakingEngine<'a> {
             centralized_built: false,
             carried_messages: 0,
             knn_taken: vec![false; system.points.len()],
+            k_of: None,
         }
+    }
+
+    /// Installs personalized per-user anonymity levels: `k_of[u]` is user
+    /// `u`'s own `k_i`, and every produced cluster must reach the max
+    /// `k_i` of its members. With all levels equal to `Params::k` the
+    /// engine is bit-identical to the uniform path (the differential
+    /// tests pin this). Only meaningful for the distributed algorithm —
+    /// the centralized, hilbASR, and kNN baselines have no notion of a
+    /// per-member requirement.
+    ///
+    /// # Panics
+    /// Panics unless the engine runs [`ClusteringAlgo::TConnDistributed`],
+    /// if `k_of` does not cover the population, or if any level is 0.
+    pub fn with_personalized_k(mut self, k_of: Vec<usize>) -> Self {
+        assert_eq!(
+            self.clustering,
+            ClusteringAlgo::TConnDistributed,
+            "personalized k requires the distributed clustering algorithm"
+        );
+        assert_eq!(
+            k_of.len(),
+            self.system.points.len(),
+            "one k_i per user required"
+        );
+        assert!(k_of.iter().all(|&k| k >= 1), "every k_i must be at least 1");
+        self.k_of = Some(k_of);
+        self
+    }
+
+    /// The effective anonymity policy of this engine.
+    fn kp(&self) -> KPolicy<'_> {
+        match &self.k_of {
+            Some(ks) => KPolicy::PerUser(ks),
+            None => KPolicy::Uniform(self.system.params.k),
+        }
+    }
+
+    /// The requirement a cluster with these members had to meet.
+    fn required_k_of(&self, members: &[UserId]) -> usize {
+        self.kp().required(members.iter().copied())
     }
 
     /// Read access to the shared registry (audits, tests).
@@ -275,12 +325,8 @@ impl<'a> CloakingEngine<'a> {
             ClusteringAlgo::TConnDistributed => {
                 let removed = |u: UserId| self.registry.is_clustered(u);
                 let cluster_span = nela_obs::span(nela_obs::stage::CLUSTERING);
-                let outcome = distributed_k_clustering(
-                    &self.system.wpg,
-                    host,
-                    self.system.params.k,
-                    &removed,
-                );
+                let outcome =
+                    distributed_k_clustering_policy(&self.system.wpg, host, self.kp(), &removed);
                 drop(cluster_span);
                 let out = outcome?;
                 // Check coverage before registering anything: a partition
@@ -490,7 +536,7 @@ impl<'a> CloakingEngine<'a> {
             let removed = |u: UserId| u != host && sharded.is_clustered(u);
             let cluster_span = nela_obs::span(nela_obs::stage::CLUSTERING);
             let outcome =
-                distributed_k_clustering(&self.system.wpg, host, self.system.params.k, &removed);
+                distributed_k_clustering_policy(&self.system.wpg, host, self.kp(), &removed);
             drop(cluster_span);
             let out = outcome?;
             if !out.all_clusters.iter().any(|c| c.contains(host)) {
@@ -537,6 +583,7 @@ impl<'a> CloakingEngine<'a> {
         clustering_messages: u64,
     ) -> Result<CloakingResult, RequestError> {
         let cluster_size = members.len();
+        let required_k = self.required_k_of(members);
         if let Some(region) = region {
             return Ok(CloakingResult {
                 host,
@@ -545,6 +592,7 @@ impl<'a> CloakingEngine<'a> {
                 clustering_messages,
                 bounding_messages: 0,
                 bounding_rounds: 0,
+                required_k,
                 reused: clustering_messages == 0,
                 bounding_cpu: Duration::ZERO,
             });
@@ -566,6 +614,7 @@ impl<'a> CloakingEngine<'a> {
             clustering_messages,
             bounding_messages: bbox.messages,
             bounding_rounds: bbox.rounds,
+            required_k,
             reused: false,
             bounding_cpu,
         })
@@ -606,7 +655,7 @@ impl<'a> CloakingEngine<'a> {
             let removed = |u: UserId| snapshot[u as usize];
             let cluster_span = nela_obs::span(nela_obs::stage::CLUSTERING);
             let outcome =
-                distributed_k_clustering(&self.system.wpg, host, self.system.params.k, &removed);
+                distributed_k_clustering_policy(&self.system.wpg, host, self.kp(), &removed);
             drop(cluster_span);
             let out = outcome?;
             // A partition that misses the host is a typed failure, not a
@@ -672,6 +721,7 @@ impl<'a> CloakingEngine<'a> {
         clustering_messages: u64,
     ) -> Result<CloakingResult, RequestError> {
         let cluster_size = members.len();
+        let required_k = self.required_k_of(members);
         if let Some(region) = region {
             return Ok(CloakingResult {
                 host,
@@ -680,6 +730,7 @@ impl<'a> CloakingEngine<'a> {
                 clustering_messages,
                 bounding_messages: 0,
                 bounding_rounds: 0,
+                required_k,
                 reused: clustering_messages == 0,
                 bounding_cpu: Duration::ZERO,
             });
@@ -701,6 +752,7 @@ impl<'a> CloakingEngine<'a> {
             clustering_messages,
             bounding_messages: bbox.messages,
             bounding_rounds: bbox.rounds,
+            required_k,
             reused: false,
             bounding_cpu,
         })
@@ -734,6 +786,7 @@ impl<'a> CloakingEngine<'a> {
             clustering_messages: out.involved_users as u64,
             bounding_messages: bbox.messages,
             bounding_rounds: bbox.rounds,
+            required_k: self.system.params.k,
             reused: false,
             bounding_cpu,
         })
@@ -780,6 +833,7 @@ impl<'a> CloakingEngine<'a> {
     ) -> Result<CloakingResult, RequestError> {
         let rc = self.registry.get(id);
         let cluster_size = rc.cluster.len();
+        let required_k = self.required_k_of(&rc.cluster.members);
         if let Some(region) = rc.region {
             return Ok(CloakingResult {
                 host,
@@ -788,6 +842,7 @@ impl<'a> CloakingEngine<'a> {
                 clustering_messages,
                 bounding_messages: 0,
                 bounding_rounds: 0,
+                required_k,
                 reused: clustering_messages == 0,
                 bounding_cpu: Duration::ZERO,
             });
@@ -811,6 +866,7 @@ impl<'a> CloakingEngine<'a> {
             clustering_messages,
             bounding_messages: bbox.messages,
             bounding_rounds: bbox.rounds,
+            required_k,
             reused: false,
             bounding_cpu,
         })
@@ -980,6 +1036,7 @@ fn optimal_runs(members: &[Point], rect: Rect) -> [nela_bounding::protocol::Boun
         rounds: 1,
         messages: members.len() as u64 / 4, // OPT's single message covers all four directions
         records: Vec::new(),
+        bounds: vec![bound],
     };
     [
         one(rect.max_x),
@@ -992,6 +1049,7 @@ fn optimal_runs(members: &[Point], rect: Rect) -> [nela_bounding::protocol::Boun
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nela_cluster::distributed::distributed_k_clustering;
 
     fn small_system() -> System {
         System::build(&Params {

@@ -42,6 +42,7 @@ pub mod attack;
 pub mod engine;
 pub mod metrics;
 pub mod params;
+pub mod scenario;
 pub mod system;
 pub mod verify;
 
@@ -52,6 +53,10 @@ pub use engine::{
 };
 pub use metrics::{service_request_cost, WorkloadStats};
 pub use params::Params;
+pub use scenario::{
+    personalized_k_levels, run_scenario_on, scenario_matrix, scenario_system, Adversary,
+    CellOutcome, GeoAxis, KAxis, MatrixConfig, PrivacyVerdict, ScenarioSpec,
+};
 pub use system::System;
 pub use verify::{audit_result, AuditReport};
 

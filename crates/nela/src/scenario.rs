@@ -1,0 +1,741 @@
+//! Adversary & heterogeneity scenario matrix with machine-checked privacy
+//! verdicts.
+//!
+//! The paper's evaluation assumes a uniform anonymity level `k` and
+//! semi-honest peers. This module stress-tests the pipeline outside those
+//! assumptions along three axes:
+//!
+//! - **k heterogeneity** — every user shares `Params::k`, or each carries a
+//!   personalized `k_i` ([`personalized_k_levels`]) and clusters must honor
+//!   the strictest member.
+//! - **adversary** — honest peers, a coalition of `c` semi-honest colluders
+//!   pooling bounding transcripts, `l` actively lying peers (agree-early),
+//!   or peers that crash mid-bounding at a chosen round.
+//! - **geography** — a uniform population, or the extreme rush-hour skew of
+//!   [`SpatialDistribution::rush_hour`].
+//!
+//! Each cell of the matrix runs a full two-phase workload (distributed
+//! clustering with cluster-isolation bookkeeping, then four directional
+//! secure-bounding runs per cluster) and folds every request into a
+//! [`PrivacyVerdict`]: k-anonymity audited against ground truth, transcript
+//! leak widths against a floor, coalition knowledge against the
+//! per-transcript bound, and crash recovery against the typed-degrade
+//! contract. [`CellOutcome::passed`] applies the expectation appropriate to
+//! the cell's adversary — a lying peer is *allowed* to shrink the box out
+//! from under itself, but truthful members must stay covered; a crash must
+//! end in a served-and-audited region over the survivors or a typed
+//! degrade, never a panic or a silently wrong box.
+
+use crate::params::Params;
+use crate::system::System;
+use nela_bounding::nbound::SecurePolicy;
+use nela_bounding::{
+    collusion_leak_report, leak_report, progressive_upper_bound_resilient,
+    progressive_upper_bound_with, AreaCost, BoundingError, BoundingRun, CrashingValues,
+    IncrementPolicy, LieMode, LocalValues, LyingValues, Uniform,
+};
+use nela_cluster::distributed::distributed_k_clustering_policy;
+use nela_cluster::KPolicy;
+use nela_geo::{Point, Rect, SpatialDistribution, UserId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+/// Anonymity-requirement axis of the matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum KAxis {
+    /// Every user requires the global `Params::k` (the paper's setting).
+    Uniform,
+    /// Each user carries its own `k_i` from [`personalized_k_levels`].
+    Personalized,
+}
+
+/// Geography axis of the matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum GeoAxis {
+    /// Independent uniform positions.
+    Uniform,
+    /// Extreme skew: dense downtown hotspots over a sparse background.
+    RushHour,
+}
+
+/// Adversary axis of the matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Adversary {
+    /// Semi-honest peers, no collusion — the paper's threat model.
+    Honest,
+    /// `c` semi-honest peers per cluster pool their bounding transcripts
+    /// after the fact (they still answer honestly).
+    Colluders { c: usize },
+    /// `l` peers per cluster answer "yes" to every verification, agreeing
+    /// before their true value is covered.
+    Liars { l: usize },
+    /// `peers` peers per cluster stop answering from bounding round
+    /// `round` on; the protocol must recover over the survivors or degrade
+    /// with a typed error.
+    Crash { peers: usize, round: usize },
+}
+
+/// One cell of the matrix: the axes plus workload knobs.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioSpec {
+    /// Human-readable cell label (stable across runs).
+    pub name: String,
+    /// Anonymity-requirement axis.
+    pub k_axis: KAxis,
+    /// Geography axis.
+    pub geo: GeoAxis,
+    /// Adversary axis.
+    pub adversary: Adversary,
+    /// Number of host requests to drive through the cell.
+    pub requests: usize,
+    /// Minimum tolerated transcript interval width: any party pinning any
+    /// user into an interval of width ≤ this floor fails the cell. `0.0`
+    /// asserts "no exact coordinate disclosure, ever".
+    pub leak_floor: f64,
+    /// Seed for host selection, personalized levels, and role assignment.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// Builds a spec with a derived stable name.
+    pub fn new(
+        k_axis: KAxis,
+        geo: GeoAxis,
+        adversary: Adversary,
+        requests: usize,
+        leak_floor: f64,
+        seed: u64,
+    ) -> ScenarioSpec {
+        let k_label = match k_axis {
+            KAxis::Uniform => "uniform-k".to_string(),
+            KAxis::Personalized => "personalized-k".to_string(),
+        };
+        let geo_label = match geo {
+            GeoAxis::Uniform => "uniform-geo",
+            GeoAxis::RushHour => "rush-hour",
+        };
+        let adv_label = match adversary {
+            Adversary::Honest => "honest".to_string(),
+            Adversary::Colluders { c } => format!("colluders-{c}"),
+            Adversary::Liars { l } => format!("liars-{l}"),
+            Adversary::Crash { peers, round } => format!("crash-{peers}@r{round}"),
+        };
+        ScenarioSpec {
+            name: format!("{geo_label}/{k_label}/{adv_label}"),
+            k_axis,
+            geo,
+            adversary,
+            requests,
+            leak_floor,
+            seed,
+        }
+    }
+}
+
+/// Machine-checked privacy assertions aggregated over every request of a
+/// cell. Booleans start `true` and latch `false` on the first violation.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct PrivacyVerdict {
+    /// Requests driven through the cell.
+    pub requests: usize,
+    /// Requests that ended with a cloaked region (includes reuses).
+    pub served: usize,
+    /// Served requests answered from a previously bounded cluster region.
+    pub reused: usize,
+    /// Requests that degraded with a typed error (component too small,
+    /// bounding failure, or crash recovery below the anonymity level).
+    pub degraded: usize,
+    /// Every served region contained at least the request's `required_k`
+    /// ground-truth users and lay inside the service domain.
+    pub k_anonymity_held: bool,
+    /// Bounding transcripts named only cluster members — nobody outside
+    /// the cluster ever answered (or was asked) a verification.
+    pub no_non_member_exposure: bool,
+    /// No per-user transcript interval was as narrow as the leak floor.
+    pub leak_floor_held: bool,
+    /// Every truthful, non-crashed member's true position lay inside the
+    /// served region (liars may talk themselves out of coverage; that is
+    /// their own loss, not a protocol failure).
+    pub truthful_coverage: bool,
+    /// No coalition pinned a victim tighter than the narrowest individual
+    /// transcript interval of the same run — collusion pools knowledge but
+    /// cannot mint new precision.
+    pub collusion_bounded_by_transcript: bool,
+    /// Crash recovery never surfaced a raw `Unreachable` and only served
+    /// when the survivors still met the anonymity requirement.
+    pub recovery_sound: bool,
+    /// Narrowest finite per-user transcript interval seen anywhere in the
+    /// cell (the cell's worst single-party leak; `INFINITY` if none).
+    pub worst_leak_width: f64,
+    /// Narrowest finite coalition interval over any victim (`INFINITY`
+    /// when the cell has no colluders or no finite coalition interval).
+    pub collusion_worst_width: f64,
+}
+
+impl PrivacyVerdict {
+    fn fresh(requests: usize) -> PrivacyVerdict {
+        PrivacyVerdict {
+            requests,
+            served: 0,
+            reused: 0,
+            degraded: 0,
+            k_anonymity_held: true,
+            no_non_member_exposure: true,
+            leak_floor_held: true,
+            truthful_coverage: true,
+            collusion_bounded_by_transcript: true,
+            recovery_sound: true,
+            worst_leak_width: f64::INFINITY,
+            collusion_worst_width: f64::INFINITY,
+        }
+    }
+}
+
+/// A finished cell: its spec, verdict, and the expectation-aware pass/fail.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellOutcome {
+    /// The cell that ran.
+    pub spec: ScenarioSpec,
+    /// Aggregated machine-checked assertions.
+    pub verdict: PrivacyVerdict,
+    /// Whether the verdict meets the expectation for the cell's adversary.
+    pub passed: bool,
+}
+
+/// The pass criteria appropriate to each adversary. Every cell must serve
+/// at least one request, never leak to a non-member, and keep typed-degrade
+/// discipline; what else is *expected to survive* depends on who attacks:
+/// liars are allowed to break their own k-anonymity (the box shrinks around
+/// the truthful members), crashes are allowed to degrade requests, but
+/// colluders must never beat the transcript bound and honest cells must be
+/// clean on every axis.
+fn expectation_met(adversary: Adversary, v: &PrivacyVerdict) -> bool {
+    let base = v.served > 0 && v.no_non_member_exposure;
+    match adversary {
+        Adversary::Honest => base && v.k_anonymity_held && v.leak_floor_held && v.truthful_coverage,
+        Adversary::Colluders { .. } => {
+            base && v.k_anonymity_held && v.leak_floor_held && v.collusion_bounded_by_transcript
+        }
+        Adversary::Liars { .. } => base && v.truthful_coverage && v.leak_floor_held,
+        Adversary::Crash { .. } => base && v.k_anonymity_held && v.recovery_sound,
+    }
+}
+
+/// Personalized anonymity levels: a seeded three-tier mix around `base_k`
+/// (roughly 60% at `base_k`, 25% at `⌈1.5·base_k⌉`, 15% at `2·base_k`),
+/// modeling a population where most users accept the default and a privacy-
+/// conscious minority demands more.
+pub fn personalized_k_levels(n: usize, base_k: usize, seed: u64) -> Vec<usize> {
+    let base_k = base_k.max(1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x4b4c_4556); // "KLEV"
+    (0..n)
+        .map(|_| {
+            let r: f64 = rng.gen();
+            if r < 0.60 {
+                base_k
+            } else if r < 0.85 {
+                (base_k * 3).div_ceil(2)
+            } else {
+                base_k * 2
+            }
+        })
+        .collect()
+}
+
+/// Builds the system for one geography cell (same density scaling as
+/// [`Params::scaled`], distribution swapped per the axis).
+pub fn scenario_system(geo: GeoAxis, n_users: usize, k: usize, seed: u64) -> System {
+    let mut p = Params::scaled(n_users);
+    p.k = k;
+    p.seed = seed;
+    p.distribution = match geo {
+        GeoAxis::Uniform => SpatialDistribution::Uniform,
+        GeoAxis::RushHour => SpatialDistribution::rush_hour(),
+    };
+    // `Params::scaled` sizes δ for the clustered California-like density; a
+    // uniform population of the same size would be nearly edgeless under
+    // it. Size δ so the expected number of in-range peers reaches the 2k
+    // personalized tier with headroom (rush-hour cores are far denser —
+    // there the interesting failure mode is the sparse periphery).
+    let target_peers = (2 * k).max(8) as f64;
+    p.delta = (target_peers / (n_users as f64 * std::f64::consts::PI)).sqrt();
+    System::build(&p)
+}
+
+/// A cluster produced during a cell run, with its lazily-bounded region
+/// (phase 2 runs on the first request from one of its members).
+struct StoredCluster {
+    members: Vec<UserId>,
+    required_k: usize,
+    region: Option<Rect>,
+}
+
+/// Runs one cell against a pre-built system (build it once per geography
+/// with [`scenario_system`] and share it across the cells of that column).
+pub fn run_scenario_on(system: &System, spec: &ScenarioSpec) -> CellOutcome {
+    let n = system.points.len();
+    let levels = match spec.k_axis {
+        KAxis::Uniform => None,
+        KAxis::Personalized => Some(personalized_k_levels(n, system.params.k, spec.seed)),
+    };
+    let kp = match &levels {
+        None => KPolicy::Uniform(system.params.k),
+        Some(ls) => KPolicy::PerUser(ls),
+    };
+    let hosts = system.host_sequence(spec.requests.min(n), spec.seed ^ 0x5343_454e); // "SCEN"
+
+    let mut v = PrivacyVerdict::fresh(hosts.len());
+    let mut assigned = vec![false; n];
+    let mut cluster_of: Vec<Option<usize>> = vec![None; n];
+    let mut clusters: Vec<StoredCluster> = Vec::new();
+
+    for &host in &hosts {
+        // Phase 1: cluster the host, or find the cluster a previous request
+        // already placed it in (reciprocity: one region per cluster).
+        let cid = match cluster_of[host as usize] {
+            Some(cid) => cid,
+            None => {
+                let outcome = {
+                    let removed = |u: UserId| assigned[u as usize];
+                    distributed_k_clustering_policy(&system.wpg, host, kp, &removed)
+                };
+                match outcome {
+                    Ok(out) => {
+                        let mut host_cid = usize::MAX;
+                        for c in out.all_clusters {
+                            let cid = clusters.len();
+                            for &m in &c.members {
+                                assigned[m as usize] = true;
+                                cluster_of[m as usize] = Some(cid);
+                            }
+                            if c.contains(host) {
+                                host_cid = cid;
+                            }
+                            let required_k = c.required_k(kp);
+                            clusters.push(StoredCluster {
+                                members: c.members,
+                                required_k,
+                                region: None,
+                            });
+                        }
+                        debug_assert_ne!(host_cid, usize::MAX, "host not in its own partition");
+                        host_cid
+                    }
+                    Err(_) => {
+                        // Typed degrade (component too small in the
+                        // remaining WPG) — counted, never fatal.
+                        v.degraded += 1;
+                        continue;
+                    }
+                }
+            }
+        };
+        let required_k = clusters[cid].required_k;
+        if let Some(region) = clusters[cid].region {
+            v.served += 1;
+            v.reused += 1;
+            audit_region(&mut v, system, &region, required_k);
+            continue;
+        }
+        // Phase 2: four directional secure-bounding runs under the cell's
+        // adversary, assembled into the cloaked rectangle.
+        let members = clusters[cid].members.clone();
+        match bound_cluster(system, spec, host, &members, required_k, &mut v) {
+            Some(region) => {
+                clusters[cid].region = Some(region);
+                v.served += 1;
+                audit_region(&mut v, system, &region, required_k);
+            }
+            None => v.degraded += 1,
+        }
+    }
+
+    let passed = expectation_met(spec.adversary, &v);
+    CellOutcome {
+        spec: spec.clone(),
+        verdict: v,
+        passed,
+    }
+}
+
+/// Audits one served region against ground truth.
+fn audit_region(v: &mut PrivacyVerdict, system: &System, region: &Rect, required_k: usize) {
+    let users_in = system.grid.count_in_rect(region);
+    v.k_anonymity_held &= users_in >= required_k && Rect::UNIT.contains_rect(region);
+}
+
+/// Runs phase 2 for one cluster under the cell's adversary. Returns the
+/// cloaked region, or `None` when the request must degrade (a typed
+/// bounding failure, or crash recovery left fewer survivors than the
+/// anonymity requirement).
+fn bound_cluster(
+    system: &System,
+    spec: &ScenarioSpec,
+    host: UserId,
+    members: &[UserId],
+    required_k: usize,
+    v: &mut PrivacyVerdict,
+) -> Option<Rect> {
+    let p = &system.params;
+    let pts: Vec<Point> = members.iter().map(|&m| system.points[m as usize]).collect();
+    let cluster_size = members.len();
+    let host_idx = members
+        .binary_search(&host)
+        .expect("host is a member of its own cluster");
+    let host_pt = system.points[host as usize];
+
+    // Same increment policy as the engine's BoundingAlgo::Secure.
+    let span = p.uniform_span(cluster_size);
+    let cr_1d = p.cr * p.n_users as f64;
+    let mut policy_factory = || {
+        Box::new(SecurePolicy::new(
+            Uniform::new(span),
+            AreaCost { cr: cr_1d },
+            p.cb,
+        )) as Box<dyn IncrementPolicy>
+    };
+
+    // Adversary roles: the lowest-indexed non-host members take them
+    // (deterministic, so reruns replay bit-identically).
+    let role_count = match spec.adversary {
+        Adversary::Honest => 0,
+        Adversary::Colluders { c } => c,
+        Adversary::Liars { l } => l,
+        Adversary::Crash { peers, .. } => peers,
+    };
+    let adversary_idx: Vec<usize> = (0..cluster_size)
+        .filter(|&i| i != host_idx)
+        .take(role_count)
+        .collect();
+
+    let xs: Vec<f64> = pts.iter().map(|pt| pt.x).collect();
+    let ys: Vec<f64> = pts.iter().map(|pt| pt.y).collect();
+    let neg_xs: Vec<f64> = xs.iter().map(|x| -x).collect();
+    let neg_ys: Vec<f64> = ys.iter().map(|y| -y).collect();
+    let domain = Rect::UNIT;
+    let dirs: [(&[f64], f64, f64); 4] = [
+        (&xs, host_pt.x, domain.min_x),
+        (&neg_xs, -host_pt.x, -domain.max_x),
+        (&ys, host_pt.y, domain.min_y),
+        (&neg_ys, -host_pt.y, -domain.max_y),
+    ];
+
+    let mut dropped = vec![false; cluster_size];
+    let mut runs: Vec<BoundingRun> = Vec::with_capacity(4);
+    for (values, x0, domain_min) in dirs {
+        let run = match spec.adversary {
+            Adversary::Honest | Adversary::Colluders { .. } => {
+                let mut t = LocalValues::new(values);
+                progressive_upper_bound_with(&mut t, x0, domain_min, &mut *policy_factory())
+            }
+            Adversary::Liars { .. } => {
+                let mut t = LyingValues::new(values, &adversary_idx, LieMode::AgreeEarly);
+                progressive_upper_bound_with(&mut t, x0, domain_min, &mut *policy_factory())
+            }
+            Adversary::Crash { .. } => {
+                let round = match spec.adversary {
+                    Adversary::Crash { round, .. } => round,
+                    _ => unreachable!(),
+                };
+                let mut t = CrashingValues::new(values, &adversary_idx, round);
+                match progressive_upper_bound_resilient(&mut t, x0, domain_min, &mut policy_factory)
+                {
+                    Ok(out) => {
+                        for &i in &out.dropped {
+                            dropped[i] = true;
+                        }
+                        Ok(out.run)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+        };
+        match run {
+            Ok(run) => runs.push(run),
+            Err(BoundingError::Unreachable { .. }) => {
+                // The resilient path must absorb crashes; a raw Unreachable
+                // escaping it is a recovery bug the verdict pins.
+                if matches!(spec.adversary, Adversary::Crash { .. }) {
+                    v.recovery_sound = false;
+                }
+                return None;
+            }
+            Err(_) => return None,
+        }
+    }
+
+    // No non-member exposure: every transcript record names a member, and
+    // (crash drops aside) exactly the members.
+    for run in &runs {
+        v.no_non_member_exposure &= run.records.iter().all(|r| r.index < cluster_size);
+        let expected = match spec.adversary {
+            Adversary::Crash { .. } => run.records.len() <= cluster_size,
+            _ => run.records.len() == cluster_size,
+        };
+        v.no_non_member_exposure &= expected;
+    }
+
+    // Leak accounting: no transcript interval at or below the floor, and
+    // (for collusion cells) the coalition never beats the transcript bound.
+    for run in &runs {
+        let lr = leak_report(run, spec.leak_floor);
+        if lr.min_width.is_finite() {
+            v.worst_leak_width = v.worst_leak_width.min(lr.min_width);
+        }
+        v.leak_floor_held &= lr.min_width > spec.leak_floor;
+        if matches!(spec.adversary, Adversary::Colluders { .. }) && !adversary_idx.is_empty() {
+            let cr = collusion_leak_report(run, &adversary_idx, spec.leak_floor);
+            if cr.worst_width.is_finite() {
+                v.collusion_worst_width = v.collusion_worst_width.min(cr.worst_width);
+            }
+            v.collusion_bounded_by_transcript &= cr.worst_width >= lr.min_width - 1e-12;
+        }
+    }
+
+    // Crash recovery below the anonymity requirement must degrade, not
+    // serve a region that only covers too few survivors.
+    if matches!(spec.adversary, Adversary::Crash { .. }) {
+        let survivors = cluster_size - dropped.iter().filter(|&&d| d).count();
+        if survivors < required_k {
+            return None;
+        }
+    }
+
+    let rect = Rect::new(
+        (-runs[1].bound).clamp(domain.min_x, domain.max_x),
+        (-runs[3].bound).clamp(domain.min_y, domain.max_y),
+        runs[0].bound.clamp(domain.min_x, domain.max_x),
+        runs[2].bound.clamp(domain.min_y, domain.max_y),
+    );
+
+    // Truthful, non-crashed members must be covered by the region they
+    // agreed to share; liars and crashers forfeit their own coverage.
+    let liars: &[usize] = match spec.adversary {
+        Adversary::Liars { .. } => &adversary_idx,
+        _ => &[],
+    };
+    for (i, pt) in pts.iter().enumerate() {
+        if liars.contains(&i) || dropped[i] {
+            continue;
+        }
+        v.truthful_coverage &= rect.contains(pt);
+    }
+
+    Some(rect)
+}
+
+/// Workload knobs shared by every cell of one matrix run.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct MatrixConfig {
+    /// Population size per system.
+    pub n_users: usize,
+    /// Base anonymity level (uniform k; personalized tiers scale off it).
+    pub k: usize,
+    /// Host requests per cell.
+    pub requests: usize,
+    /// Coalition size for the collusion cells.
+    pub colluders: usize,
+    /// Lying peers per cluster for the liar cells.
+    pub liars: usize,
+    /// Crashing peers per cluster for the crash cells.
+    pub crash_peers: usize,
+    /// 1-based bounding round the crashers stop answering at.
+    pub crash_round: usize,
+    /// Leak floor for every cell (see [`ScenarioSpec::leak_floor`]).
+    pub leak_floor: f64,
+    /// Seed for systems, hosts, levels, and roles.
+    pub seed: u64,
+}
+
+impl MatrixConfig {
+    /// The benchmark configuration (`exp_robustness` Part D).
+    pub fn bench() -> MatrixConfig {
+        MatrixConfig {
+            n_users: 6_000,
+            k: 8,
+            requests: 100,
+            colluders: 3,
+            liars: 1,
+            crash_peers: 2,
+            crash_round: 2,
+            leak_floor: 0.0,
+            seed: 42,
+        }
+    }
+
+    /// A fast configuration for smoke tests and CI.
+    pub fn smoke() -> MatrixConfig {
+        MatrixConfig {
+            n_users: 1_500,
+            k: 5,
+            requests: 30,
+            colluders: 2,
+            liars: 1,
+            crash_peers: 1,
+            crash_round: 2,
+            leak_floor: 0.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Runs the full 2×2×4 matrix: {uniform, rush-hour} geography ×
+/// {uniform, personalized} k × {honest, colluders, liars, crash}. Systems
+/// are built once per geography and shared across their column's cells.
+pub fn scenario_matrix(cfg: &MatrixConfig) -> Vec<CellOutcome> {
+    let adversaries = [
+        Adversary::Honest,
+        Adversary::Colluders { c: cfg.colluders },
+        Adversary::Liars { l: cfg.liars },
+        Adversary::Crash {
+            peers: cfg.crash_peers,
+            round: cfg.crash_round,
+        },
+    ];
+    let mut cells = Vec::with_capacity(16);
+    for geo in [GeoAxis::Uniform, GeoAxis::RushHour] {
+        let system = scenario_system(geo, cfg.n_users, cfg.k, cfg.seed);
+        for k_axis in [KAxis::Uniform, KAxis::Personalized] {
+            for adversary in adversaries {
+                let spec = ScenarioSpec::new(
+                    k_axis,
+                    geo,
+                    adversary,
+                    cfg.requests,
+                    cfg.leak_floor,
+                    cfg.seed,
+                );
+                cells.push(run_scenario_on(&system, &spec));
+            }
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_system(geo: GeoAxis) -> System {
+        scenario_system(geo, 1_200, 4, 7)
+    }
+
+    fn spec(adversary: Adversary) -> ScenarioSpec {
+        ScenarioSpec::new(KAxis::Uniform, GeoAxis::Uniform, adversary, 20, 0.0, 7)
+    }
+
+    #[test]
+    fn honest_uniform_cell_passes() {
+        let system = small_system(GeoAxis::Uniform);
+        let cell = run_scenario_on(&system, &spec(Adversary::Honest));
+        assert!(cell.passed, "honest cell failed: {:?}", cell.verdict);
+        assert!(cell.verdict.served > 0);
+        assert!(cell.verdict.worst_leak_width > 0.0);
+    }
+
+    #[test]
+    fn every_request_is_accounted_for() {
+        let system = small_system(GeoAxis::Uniform);
+        for adversary in [
+            Adversary::Honest,
+            Adversary::Colluders { c: 2 },
+            Adversary::Liars { l: 1 },
+            Adversary::Crash { peers: 1, round: 2 },
+        ] {
+            let cell = run_scenario_on(&system, &spec(adversary));
+            let v = cell.verdict;
+            assert_eq!(
+                v.served + v.degraded,
+                v.requests,
+                "unaccounted requests under {adversary:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn colluders_never_beat_the_transcript_bound() {
+        let system = small_system(GeoAxis::Uniform);
+        let cell = run_scenario_on(&system, &spec(Adversary::Colluders { c: 2 }));
+        assert!(cell.passed, "collusion cell failed: {:?}", cell.verdict);
+        assert!(cell.verdict.collusion_bounded_by_transcript);
+        // A coalition pools strictly less than the host knows, so its worst
+        // interval is at least as wide as the cell's worst transcript leak.
+        assert!(cell.verdict.collusion_worst_width >= cell.verdict.worst_leak_width - 1e-12);
+    }
+
+    #[test]
+    fn liar_cell_keeps_truthful_members_covered() {
+        let system = small_system(GeoAxis::Uniform);
+        let cell = run_scenario_on(&system, &spec(Adversary::Liars { l: 1 }));
+        assert!(cell.passed, "liar cell failed: {:?}", cell.verdict);
+        assert!(cell.verdict.truthful_coverage);
+    }
+
+    #[test]
+    fn crash_cell_recovers_or_degrades_typed() {
+        let system = small_system(GeoAxis::Uniform);
+        let cell = run_scenario_on(&system, &spec(Adversary::Crash { peers: 1, round: 1 }));
+        assert!(cell.passed, "crash cell failed: {:?}", cell.verdict);
+        assert!(cell.verdict.recovery_sound);
+        assert!(cell.verdict.k_anonymity_held);
+    }
+
+    #[test]
+    fn personalized_levels_are_deterministic_and_tiered() {
+        let a = personalized_k_levels(5_000, 4, 9);
+        let b = personalized_k_levels(5_000, 4, 9);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&k| k == 4 || k == 6 || k == 8));
+        assert!(a.contains(&4) && a.contains(&6) && a.contains(&8));
+        let c = personalized_k_levels(5_000, 4, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn personalized_cells_audit_against_the_strict_member() {
+        let system = small_system(GeoAxis::Uniform);
+        let spec = ScenarioSpec::new(
+            KAxis::Personalized,
+            GeoAxis::Uniform,
+            Adversary::Honest,
+            20,
+            0.0,
+            7,
+        );
+        let cell = run_scenario_on(&system, &spec);
+        assert!(cell.passed, "personalized cell failed: {:?}", cell.verdict);
+    }
+
+    #[test]
+    fn matrix_covers_all_sixteen_cells() {
+        let cfg = MatrixConfig {
+            n_users: 600,
+            k: 3,
+            requests: 8,
+            colluders: 1,
+            liars: 1,
+            crash_peers: 1,
+            crash_round: 1,
+            leak_floor: 0.0,
+            seed: 11,
+        };
+        let cells = scenario_matrix(&cfg);
+        assert_eq!(cells.len(), 16);
+        let mut names: Vec<&str> = cells.iter().map(|c| c.spec.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 16, "cell names must be distinct");
+        // Honest cells are the control group: they must pass everywhere.
+        for cell in cells
+            .iter()
+            .filter(|c| c.spec.adversary == Adversary::Honest)
+        {
+            assert!(
+                cell.passed,
+                "honest cell {} failed: {:?}",
+                cell.spec.name, cell.verdict
+            );
+        }
+    }
+}

@@ -15,7 +15,9 @@ use serde::Serialize;
 pub struct AuditReport {
     /// Users of the whole population inside the region (≥ `cluster_size`).
     pub users_in_region: usize,
-    /// Region covers at least k users.
+    /// Region covers at least the request's anonymity requirement
+    /// (`Params::k` uniform, or the max personalized `k_i` of the host's
+    /// cluster members).
     pub k_satisfied: bool,
     /// The host's true position is inside the region (the request can be
     /// served at all).
@@ -31,12 +33,14 @@ impl AuditReport {
     }
 }
 
-/// Audits a cloaking result against the system's ground truth.
+/// Audits a cloaking result against the system's ground truth. The
+/// k-anonymity check uses the result's own `required_k`, so personalized
+/// requests are audited against the strictest member they served.
 pub fn audit_result(system: &System, result: &CloakingResult) -> AuditReport {
     let users_in_region = system.grid.count_in_rect(&result.region);
     AuditReport {
         users_in_region,
-        k_satisfied: users_in_region >= system.params.k,
+        k_satisfied: users_in_region >= result.required_k,
         host_inside: result.region.contains(&system.points[result.host as usize]),
         within_domain: nela_geo::Rect::UNIT.contains_rect(&result.region),
     }
@@ -86,6 +90,7 @@ mod tests {
             clustering_messages: 0,
             bounding_messages: 0,
             bounding_rounds: 0,
+            required_k: system.params.k,
             reused: false,
             bounding_cpu: std::time::Duration::ZERO,
         };

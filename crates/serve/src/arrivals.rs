@@ -116,6 +116,8 @@ mod tests {
             },
             100,
         );
+        // invariant: `schedule` returns exactly `requests` (5000 > 0)
+        // arrivals, so a last element always exists.
         let span = s.last().unwrap().at.as_secs_f64();
         let empirical = s.len() as f64 / span;
         assert!(

@@ -10,7 +10,7 @@
 //! workers exit.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Admission outcome of one push.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +45,19 @@ pub struct RequestQueue<T> {
 }
 
 impl<T> RequestQueue<T> {
+    /// Locks the queue state, recovering from lock poisoning. A worker
+    /// that panics while holding the lock (a bug in *its* code, not ours)
+    /// poisons the mutex; the serving loop must keep admitting and
+    /// draining rather than cascade that panic through every producer and
+    /// consumer.
+    // invariant: every critical section mutates `Inner` in straight-line
+    // statements with no panic point between related updates, so a
+    // poisoned lock still guards a consistent queue state and recovery is
+    // safe.
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Creates a queue admitting at most `capacity` items at once.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
@@ -62,7 +75,7 @@ impl<T> RequestQueue<T> {
     /// Admits `item` unless the queue is full or closed (then it is shed).
     /// Never blocks.
     pub fn push(&self, item: T) -> Push {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.lock();
         if inner.closed || inner.items.len() >= self.capacity {
             return Push::Shed;
         }
@@ -78,7 +91,7 @@ impl<T> RequestQueue<T> {
     /// empty. Returns [`Pop::Closed`] once the queue is closed *and* fully
     /// drained.
     pub fn pop(&self) -> Pop<T> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.lock();
         loop {
             if let Some(item) = inner.items.pop_front() {
                 return Pop::Item(item);
@@ -86,25 +99,31 @@ impl<T> RequestQueue<T> {
             if inner.closed {
                 return Pop::Closed;
             }
-            inner = self.not_empty.wait(inner).expect("queue poisoned");
+            // invariant: same consistency argument as `lock` — waiting
+            // re-acquires the same mutex, so poison recovery is safe here
+            // too.
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Closes the queue: further pushes shed, and every blocked worker
     /// wakes to drain the remainder and exit.
     pub fn close(&self) {
-        self.inner.lock().expect("queue poisoned").closed = true;
+        self.lock().closed = true;
         self.not_empty.notify_all();
     }
 
     /// Items currently queued.
     pub fn depth(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").items.len()
+        self.lock().items.len()
     }
 
     /// High-water mark of the queue depth over the queue's lifetime.
     pub fn max_depth(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").max_depth
+        self.lock().max_depth
     }
 }
 
@@ -133,6 +152,30 @@ mod tests {
         assert_eq!(q.pop(), Pop::Item(10));
         assert_eq!(q.pop(), Pop::Item(20));
         assert_eq!(q.pop(), Pop::Closed);
+        assert_eq!(q.pop(), Pop::Closed);
+    }
+
+    #[test]
+    fn queue_survives_a_poisoned_lock() {
+        // A consumer that panics while holding the lock poisons the mutex;
+        // the queue must keep serving the remaining producers and workers.
+        let q = std::sync::Arc::new(RequestQueue::new(4));
+        q.push(1);
+        let poisoner = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || {
+                let _guard = q.inner.lock().expect("first lock is clean");
+                panic!("worker dies while holding the queue lock");
+            })
+        };
+        assert!(poisoner.join().is_err(), "poisoner must have panicked");
+        assert!(q.inner.is_poisoned(), "lock must actually be poisoned");
+        assert_eq!(q.push(2), Push::Admitted, "push must survive poison");
+        assert_eq!(q.pop(), Pop::Item(1), "pop must survive poison");
+        assert_eq!(q.pop(), Pop::Item(2));
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.max_depth(), 2);
+        q.close();
         assert_eq!(q.pop(), Pop::Closed);
     }
 

@@ -241,6 +241,11 @@ pub fn run_with_system(
         }
         producer_end = start.elapsed();
         queue.close();
+        // invariant: the worker loop is panic-free by construction — every
+        // request outcome (including engine errors, deadline expiry, and
+        // queue poisoning) is folded into its WorkerLog, so a failed join
+        // can only mean a bug below this crate and has no recovery path
+        // that preserves the report's accounting.
         logs = handles
             .into_iter()
             .map(|h| h.join().expect("serve worker panicked"))
