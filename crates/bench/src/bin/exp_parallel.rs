@@ -317,10 +317,13 @@ fn main() {
     if std::env::args().any(|a| a == "--smoke") {
         std::process::exit(smoke());
     }
+    // NOTE: metrics are enabled only *after* the timed sweep below —
+    // enabling here used to make every span in the hot loops record real
+    // histogram samples during `measure()`, so the wall times written to
+    // BENCH_parallel.json depended on whether `--metrics` was passed. The
+    // sweep now always runs uninstrumented; `--metrics` replays an
+    // instrumented (untimed) pipeline afterwards to populate the snapshot.
     let record_metrics = std::env::args().any(|a| a == "--metrics");
-    if record_metrics {
-        nela_obs::enable();
-    }
     let cfg = ExpConfig::from_env();
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     let mut rows = Vec::new();
@@ -427,6 +430,12 @@ fn main() {
     cfg.write_json("exp_parallel", &report);
 
     if record_metrics {
+        nela_obs::enable();
+        // Instrumented replay of one mid-size pipeline so the snapshot
+        // carries the stage histograms the timed sweep no longer records.
+        eprintln!("[parallel] instrumented pipeline replay for stage histograms");
+        let (points, params) = population(10_000);
+        let _ = measure(&points, &params, cores, None);
         eprintln!("[parallel] lossy-network clustering stage for RPC counters");
         netsim_stage();
         let obs_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

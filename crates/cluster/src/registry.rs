@@ -365,20 +365,40 @@ impl ShardedRegistry {
 
     /// The cluster of `u` — id, members, and published region — if `u` is
     /// assigned. Locks at most the cluster's home shard.
+    ///
+    /// Allocates a fresh members Vec per call; steady-state request paths
+    /// use [`ShardedRegistry::lookup_into`] with a reused buffer instead.
     pub fn lookup(&self, u: UserId) -> Option<(ClusterId, Vec<UserId>, Option<Rect>)> {
+        let mut members = Vec::new();
+        self.lookup_into(u, &mut members)
+            .map(|(id, region)| (id, members, region))
+    }
+
+    /// Allocation-free variant of [`ShardedRegistry::lookup`]: fills
+    /// `members_out` (cleared first) with the cluster's members instead of
+    /// returning a fresh Vec, so a serving worker's scratch buffer absorbs
+    /// the copy. Once the buffer's capacity reaches the largest cluster
+    /// size it never reallocates — this is what makes the engine's
+    /// region-reuse fast path zero-allocation per request.
+    pub fn lookup_into(
+        &self,
+        u: UserId,
+        members_out: &mut Vec<UserId>,
+    ) -> Option<(ClusterId, Option<Rect>)> {
         let id = self.assignment[u as usize].load(Ordering::Acquire);
         if id == UNASSIGNED {
             return None;
         }
-        Some(self.view(id))
+        Some(self.view_into(id, members_out))
     }
 
-    fn view(&self, id: ClusterId) -> (ClusterId, Vec<UserId>, Option<Rect>) {
+    fn view_into(&self, id: ClusterId, members_out: &mut Vec<UserId>) -> (ClusterId, Option<Rect>) {
+        members_out.clear();
         if id < self.base_count {
             let rc = self.base.get(id);
-            let members = rc.cluster.members.clone();
+            members_out.extend_from_slice(&rc.cluster.members);
             let region = rc.region.or_else(|| {
-                let home = self.home_shard_of_members(&members);
+                let home = self.home_shard_of_members(members_out);
                 self.shards[home]
                     .lock()
                     .base_regions
@@ -386,12 +406,13 @@ impl ShardedRegistry {
                     .find(|(i, _)| *i == id)
                     .map(|&(_, r)| r)
             });
-            (id, members, region)
+            (id, region)
         } else {
             let (shard, local) = self.decode(id);
             let guard = self.shards[shard].lock();
             let (c, region) = &guard.clusters[local];
-            (id, c.members.clone(), *region)
+            members_out.extend_from_slice(&c.members);
+            (id, *region)
         }
     }
 

@@ -19,6 +19,7 @@
 //! cells rather than relying on float-to-int cast saturation.
 
 use crate::point::Point;
+use crate::soa::{dist_sq_block, PointsSoA, KERNEL_BLOCK};
 use crate::UserId;
 
 /// Cells per axis for a given minimum cell side: at least one cell; at most
@@ -57,6 +58,11 @@ pub struct GridIndex {
     bucket_offsets: Vec<u32>,
     /// Point ids, grouped by cell.
     entries: Vec<UserId>,
+    /// Coordinates of `entries[i]` at position `i` — the cell-grouped SoA
+    /// mirror of `points`. Range scans read these two sequential streams
+    /// instead of gathering `points[entries[i]]`, which keeps the
+    /// squared-distance kernel branch-free and autovectorizable.
+    entry_coords: PointsSoA,
     /// The indexed points (owned copy so queries need no external lookup).
     points: Vec<Point>,
 }
@@ -160,11 +166,18 @@ impl GridIndex {
                 cursor[c as usize] += 1;
             }
         }
+        // Gather the cell-grouped coordinate streams once at build time so
+        // every later range scan is sequential.
+        let mut entry_coords = PointsSoA::with_capacity(n);
+        for &id in &entries {
+            entry_coords.push(points[id as usize]);
+        }
         GridIndex {
             cells,
             cell_side,
             bucket_offsets: offsets,
             entries,
+            entry_coords,
             points: points.to_vec(),
         }
     }
@@ -191,6 +204,12 @@ impl GridIndex {
     /// exactly `radius` are in range) of point `query_id`, excluding
     /// `query_id` itself. Results are appended to `out` (cleared first) as
     /// `(id, squared distance)` pairs in arbitrary order.
+    ///
+    /// The scan is split into two loops per coordinate block: a branch-free
+    /// squared-distance kernel over the cell-grouped SoA streams (which
+    /// autovectorizes), then a compare-and-select pass over the distances.
+    /// Both the per-lane arithmetic and the push order match the fused
+    /// scalar loop exactly, so results are bit-identical to it.
     pub fn neighbors_within(&self, query_id: UserId, radius: f64, out: &mut Vec<(UserId, f64)>) {
         out.clear();
         let q = self.points[query_id as usize];
@@ -199,19 +218,33 @@ impl GridIndex {
         let span = (radius / self.cell_side).ceil() as isize;
         let qcx = cell_coord(q.x, self.cell_side, self.cells) as isize;
         let qcy = cell_coord(q.y, self.cell_side, self.cells) as isize;
+        // Stack scratch for one block of squared distances — no heap.
+        let mut d = [0.0f64; KERNEL_BLOCK];
         for cy in (qcy - span).max(0)..=(qcy + span).min(self.cells as isize - 1) {
             for cx in (qcx - span).max(0)..=(qcx + span).min(self.cells as isize - 1) {
                 let c = cy as usize * self.cells + cx as usize;
                 let lo = self.bucket_offsets[c] as usize;
                 let hi = self.bucket_offsets[c + 1] as usize;
-                for &id in &self.entries[lo..hi] {
-                    if id == query_id {
-                        continue;
+                let ids = &self.entries[lo..hi];
+                let xs = &self.entry_coords.xs[lo..hi];
+                let ys = &self.entry_coords.ys[lo..hi];
+                let mut base = 0;
+                while base < ids.len() {
+                    let m = (ids.len() - base).min(KERNEL_BLOCK);
+                    dist_sq_block(
+                        q.x,
+                        q.y,
+                        &xs[base..base + m],
+                        &ys[base..base + m],
+                        &mut d[..m],
+                    );
+                    for (j, &d_sq) in d[..m].iter().enumerate() {
+                        let id = ids[base + j];
+                        if d_sq <= r_sq && id != query_id {
+                            out.push((id, d_sq));
+                        }
                     }
-                    let d_sq = q.dist_sq(&self.points[id as usize]);
-                    if d_sq <= r_sq {
-                        out.push((id, d_sq));
-                    }
+                    base += m;
                 }
             }
         }
@@ -239,9 +272,9 @@ impl GridIndex {
                 let c = cy as usize * self.cells + cx as usize;
                 let lo = self.bucket_offsets[c] as usize;
                 let hi = self.bucket_offsets[c + 1] as usize;
-                for &id in &self.entries[lo..hi] {
-                    if rect.contains(&self.points[id as usize]) {
-                        out.push(id);
+                for i in lo..hi {
+                    if rect.contains(&self.entry_coords.get(i)) {
+                        out.push(self.entries[i]);
                     }
                 }
             }
@@ -263,8 +296,8 @@ impl GridIndex {
                 let c = cy as usize * self.cells + cx as usize;
                 let lo = self.bucket_offsets[c] as usize;
                 let hi = self.bucket_offsets[c + 1] as usize;
-                for &id in &self.entries[lo..hi] {
-                    if rect.contains(&self.points[id as usize]) {
+                for i in lo..hi {
+                    if rect.contains(&self.entry_coords.get(i)) {
                         n += 1;
                     }
                 }
@@ -431,6 +464,7 @@ mod tests {
             let par = GridIndex::build_threads(&pts, 0.03, threads);
             assert_eq!(par.bucket_offsets, serial.bucket_offsets, "t={threads}");
             assert_eq!(par.entries, serial.entries, "t={threads}");
+            assert_eq!(par.entry_coords, serial.entry_coords, "t={threads}");
             assert_eq!(par.points, serial.points, "t={threads}");
         }
     }

@@ -22,12 +22,14 @@ pub mod dynamic;
 pub mod grid;
 pub mod point;
 pub mod rect;
+pub mod soa;
 
 pub use dataset::{DatasetSpec, SpatialDistribution};
 pub use dynamic::DynamicGrid;
 pub use grid::GridIndex;
 pub use point::Point;
 pub use rect::Rect;
+pub use soa::PointsSoA;
 
 /// Identifier of a user (vertex) in the system. Users are dense indices into
 /// the population vector, so a bare `u32` keeps adjacency structures compact.

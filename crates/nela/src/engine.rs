@@ -192,6 +192,30 @@ pub struct CloakingEngine<'a> {
     /// Personalized per-user anonymity levels (`k_of[u]` is user u's
     /// `k_i`); `None` serves everyone at the uniform `Params::k`.
     k_of: Option<Vec<usize>>,
+    /// Reused buffer for member coordinates on the serial bounding path —
+    /// once warm, a cold (non-reuse) request gathers points without
+    /// touching the heap.
+    bound_scratch: Vec<Point>,
+}
+
+/// Per-worker scratch reused across requests on the sharded serving path:
+/// the reuse fast path fills `members` in place instead of cloning the
+/// member list, and the bounding path gathers `member_points` into a reused
+/// buffer — so a warmed worker serves region-reuse requests with zero heap
+/// allocations (the alloc-guard test pins this).
+#[derive(Default)]
+struct RequestScratch {
+    members: Vec<UserId>,
+    member_points: Vec<Point>,
+}
+
+thread_local! {
+    /// One scratch per serving thread. [`EngineSession::request`] takes
+    /// `&self` from arbitrary caller threads, so the scratch cannot live in
+    /// the session (or engine) without a lock — thread-local storage gives
+    /// each worker its own warm buffers for free.
+    static REQUEST_SCRATCH: std::cell::RefCell<RequestScratch> =
+        std::cell::RefCell::new(RequestScratch::default());
 }
 
 impl<'a> CloakingEngine<'a> {
@@ -206,6 +230,7 @@ impl<'a> CloakingEngine<'a> {
             carried_messages: 0,
             knn_taken: vec![false; system.points.len()],
             k_of: None,
+            bound_scratch: Vec::new(),
         }
     }
 
@@ -238,6 +263,7 @@ impl<'a> CloakingEngine<'a> {
             carried_messages: 0,
             knn_taken: vec![false; system.points.len()],
             k_of: None,
+            bound_scratch: Vec::new(),
         }
     }
 
@@ -518,11 +544,30 @@ impl<'a> CloakingEngine<'a> {
         sharded: &ShardedRegistry,
         host: UserId,
     ) -> Result<CloakingResult, RequestError> {
+        REQUEST_SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            self.serve_sharded_with(sharded, host, &mut scratch)
+        })
+    }
+
+    /// [`CloakingEngine::serve_sharded`] with the worker's scratch threaded
+    /// in explicitly, so the steady-state paths never allocate.
+    fn serve_sharded_with(
+        &self,
+        sharded: &ShardedRegistry,
+        host: UserId,
+        scratch: &mut RequestScratch,
+    ) -> Result<CloakingResult, RequestError> {
+        let RequestScratch {
+            members,
+            member_points,
+        } = scratch;
         for _attempt in 1..=MAX_CONCURRENT_ATTEMPTS {
             // Reuse path: the host is already in a cluster (possibly
-            // claimed by a rival since the last attempt).
-            if let Some((id, members, region)) = sharded.lookup(host) {
-                return self.finish_sharded(sharded, host, id, &members, region, 0);
+            // claimed by a rival since the last attempt). `lookup_into`
+            // fills the reused scratch instead of cloning the member list.
+            if let Some((id, region)) = sharded.lookup_into(host, members) {
+                return self.finish_sharded(sharded, host, id, members, region, 0, member_points);
             }
             // Membership probes read the assignment atomics directly — one
             // plain load each, against the locked path's O(n) snapshot copy
@@ -554,6 +599,7 @@ impl<'a> CloakingEngine<'a> {
                         &members,
                         None,
                         out.involved_users as u64,
+                        member_points,
                     );
                 }
                 ClaimOutcome::Conflict => {
@@ -573,6 +619,7 @@ impl<'a> CloakingEngine<'a> {
     /// the stored region or bounds with no locks held, then publishes the
     /// region (first writer wins — bounding is deterministic per cluster,
     /// so rivals compute the identical rectangle).
+    #[allow(clippy::too_many_arguments)]
     fn finish_sharded(
         &self,
         sharded: &ShardedRegistry,
@@ -581,6 +628,7 @@ impl<'a> CloakingEngine<'a> {
         members: &[UserId],
         region: Option<Rect>,
         clustering_messages: u64,
+        points_scratch: &mut Vec<Point>,
     ) -> Result<CloakingResult, RequestError> {
         let cluster_size = members.len();
         let required_k = self.required_k_of(members);
@@ -597,13 +645,11 @@ impl<'a> CloakingEngine<'a> {
                 bounding_cpu: Duration::ZERO,
             });
         }
-        let member_points: Vec<Point> = members
-            .iter()
-            .map(|&m| self.system.points[m as usize])
-            .collect();
+        points_scratch.clear();
+        points_scratch.extend(members.iter().map(|&m| self.system.points[m as usize]));
         let host_point = self.system.points[host as usize];
         let started = Instant::now();
-        let bbox = self.bound(&member_points, host_point, cluster_size)?;
+        let bbox = self.bound(points_scratch, host_point, cluster_size)?;
         let bounding_cpu = started.elapsed();
         nela_obs::observe_duration(nela_obs::stage::BOUNDING, bounding_cpu);
         sharded.set_region(id, bbox.rect);
@@ -847,16 +893,23 @@ impl<'a> CloakingEngine<'a> {
                 bounding_cpu: Duration::ZERO,
             });
         }
-        let members: Vec<Point> = rc
-            .cluster
-            .members
-            .iter()
-            .map(|&m| self.system.points[m as usize])
-            .collect();
+        // Take the engine's scratch so `self.bound(&members, ..)` can borrow
+        // `&self` while the buffer is out; `mem::take` keeps its capacity,
+        // so the gather is allocation-free once warm.
+        let mut members = std::mem::take(&mut self.bound_scratch);
+        members.clear();
+        members.extend(
+            rc.cluster
+                .members
+                .iter()
+                .map(|&m| self.system.points[m as usize]),
+        );
         let host_point = self.system.points[host as usize];
         let started = Instant::now();
-        let bbox = self.bound(&members, host_point, cluster_size)?;
+        let bbox = self.bound(&members, host_point, cluster_size);
         let bounding_cpu = started.elapsed();
+        self.bound_scratch = members;
+        let bbox = bbox?;
         nela_obs::observe_duration(nela_obs::stage::BOUNDING, bounding_cpu);
         self.registry.set_region(id, bbox.rect);
         Ok(CloakingResult {

@@ -83,6 +83,10 @@ impl MetricsSnapshot {
 
     /// Serializes to pretty JSON.
     pub fn to_json(&self) -> String {
+        // Invariant, not a fallible operation: the snapshot is a tree of
+        // strings and integers (no maps with non-string keys, no NaN floats,
+        // no recursion), which `serde_json` can always encode — a `Result`
+        // here would force every caller to invent an unreachable error path.
         serde_json::to_string_pretty(self).expect("snapshot is always serializable")
     }
 

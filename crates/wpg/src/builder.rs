@@ -12,6 +12,38 @@ use crate::graph::{Edge, Wpg};
 use crate::rss::RssModel;
 use nela_geo::{GridIndex, Point, UserId};
 
+/// Flat CSR-style per-user rank lists: user `u`'s retained peers are
+/// `peers[offsets[u]..offsets[u+1]]`, strongest first, and a peer's 1-based
+/// RSS rank is its position in that slice plus one. Storing ranks implicitly
+/// replaces the previous `Vec<Vec<(UserId, u32)>>` (one heap allocation per
+/// user and 8 bytes per entry of redundant rank) with two flat arrays the
+/// edge pass scans sequentially.
+#[derive(Debug, Clone)]
+pub(crate) struct RankLists {
+    offsets: Vec<u32>,
+    peers: Vec<UserId>,
+}
+
+impl RankLists {
+    /// `u`'s retained peers, strongest first.
+    #[inline]
+    pub(crate) fn peers_of(&self, u: UserId) -> &[UserId] {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        &self.peers[lo..hi]
+    }
+
+    /// 1-based rank of `x` in `u`'s list, or `None` when not retained.
+    /// Linear scan over at most M entries — the lists are tiny.
+    #[inline]
+    pub(crate) fn rank_of(&self, u: UserId, x: UserId) -> Option<u32> {
+        self.peers_of(u)
+            .iter()
+            .position(|&p| p == x)
+            .map(|i| i as u32 + 1)
+    }
+}
+
 /// Builder of weighted proximity graphs. See module docs for semantics.
 #[derive(Debug, Clone)]
 pub struct WpgBuilder<R: RssModel> {
@@ -74,56 +106,76 @@ impl<R: RssModel> WpgBuilder<R> {
         assert_eq!(points.len(), index.len(), "index does not match points");
         let _build_span = nela_obs::span(nela_obs::stage::WPG_BUILD);
         let n = points.len();
-        // Per-user top-M peer list with 1-based RSS ranks, chunked over
-        // users; scratch buffers are reused within each chunk.
+        // Per-user top-M peer lists, chunked over users. Each chunk appends
+        // into one flat arena (`peers` + per-user lengths) instead of
+        // allocating a Vec per user; the δ-query and score scratch buffers
+        // are likewise reused across every user of the chunk, so a chunk's
+        // allocation count is O(1) after the buffers reach steady size.
         let rank_span = nela_obs::span(nela_obs::stage::WPG_RANK);
-        let rank_chunks: Vec<Vec<Vec<(UserId, u32)>>> = nela_par::map_chunks(threads, n, |range| {
+        let chunk_lists: Vec<(Vec<UserId>, Vec<u32>)> = nela_par::map_chunks(threads, n, |range| {
             let mut buf: Vec<(UserId, f64)> = Vec::new();
             let mut scored: Vec<(f64, UserId)> = Vec::new();
-            range
-                .map(|u| {
-                    let u = u as UserId;
-                    index.neighbors_within(u, self.delta, &mut buf);
-                    scored.clear();
-                    scored.extend(buf.iter().map(|&(v, _)| {
-                        (
-                            self.rss.rss(u, points[u as usize], v, points[v as usize]),
+            let mut peers: Vec<UserId> = Vec::new();
+            let mut lens: Vec<u32> = Vec::with_capacity(range.len());
+            for u in range {
+                let u = u as UserId;
+                index.neighbors_within(u, self.delta, &mut buf);
+                scored.clear();
+                scored.extend(buf.iter().map(|&(v, d_sq)| {
+                    // The grid already computed the squared distance;
+                    // distance-driven models skip recomputing it.
+                    (
+                        self.rss.rss_from_dist_sq(
+                            u,
+                            points[u as usize],
                             v,
-                        )
-                    }));
-                    // Strongest first; tie-break on id so the build is
-                    // deterministic.
-                    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-                    scored.truncate(self.max_peers);
-                    scored
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &(_, v))| (v, i as u32 + 1))
-                        .collect()
-                })
-                .collect()
+                            points[v as usize],
+                            d_sq,
+                        ),
+                        v,
+                    )
+                }));
+                // Strongest first; tie-break on id so the build is
+                // deterministic.
+                scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+                scored.truncate(self.max_peers);
+                peers.extend(scored.iter().map(|&(_, v)| v));
+                lens.push(scored.len() as u32);
+            }
+            (peers, lens)
         });
-        let mut rank_of: Vec<Vec<(UserId, u32)>> = Vec::with_capacity(n);
-        for chunk in rank_chunks {
-            rank_of.extend(chunk);
+        // Stitch the chunk arenas into one CSR in chunk (= user) order.
+        let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        let total: usize = chunk_lists.iter().map(|(p, _)| p.len()).sum();
+        let mut peers: Vec<UserId> = Vec::with_capacity(total);
+        let mut acc = 0u32;
+        for (chunk_peers, lens) in chunk_lists {
+            for len in lens {
+                acc += len;
+                offsets.push(acc);
+            }
+            peers.extend(chunk_peers);
         }
+        let rank_of = RankLists { offsets, peers };
         drop(rank_span);
         // Mutual edges with min-rank weights: each chunk emits the edges
         // whose lower endpoint falls in its range; concatenating in chunk
-        // order reproduces the serial emission order exactly.
+        // order reproduces the serial emission order exactly. Ranks are the
+        // (position + 1) of a peer in the flat list, so iterating a slice in
+        // order recovers exactly the ranks the old (id, rank) pairs stored.
         let edge_span = nela_obs::span(nela_obs::stage::WPG_EDGES);
         let rank_of_ref = &rank_of;
         let edge_chunks: Vec<Vec<Edge>> = nela_par::map_chunks(threads, n, move |range| {
             let mut edges = Vec::new();
             for u in range {
                 let u = u as UserId;
-                for &(v, rank_v_at_u) in &rank_of_ref[u as usize] {
+                for (i, &v) in rank_of_ref.peers_of(u).iter().enumerate() {
                     if v <= u {
                         continue; // handle each unordered pair once, from the lower id
                     }
-                    if let Some(&(_, rank_u_at_v)) =
-                        rank_of_ref[v as usize].iter().find(|&&(x, _)| x == u)
-                    {
+                    let rank_v_at_u = i as u32 + 1;
+                    if let Some(rank_u_at_v) = rank_of_ref.rank_of(v, u) {
                         edges.push(Edge::new(u, v, rank_v_at_u.min(rank_u_at_v)));
                     }
                 }

@@ -209,22 +209,33 @@ where
 
 /// Groups non-removed vertices by union-find root into the canonical class
 /// order (members sorted, classes ordered by smallest member).
+///
+/// Vertices are visited in ascending id order and roots are mapped to class
+/// slots through a dense `u32` table (no hashing), so members arrive in each
+/// class already sorted and classes appear in order of smallest member — the
+/// canonical form falls out of the scan with no sort passes.
 fn group_by_root(
     g: &Wpg,
     ds: &mut DisjointSets,
     removed: &(dyn Fn(UserId) -> bool + '_),
 ) -> Vec<Vec<UserId>> {
-    let mut by_root: std::collections::HashMap<u32, Vec<UserId>> = std::collections::HashMap::new();
+    const NO_SLOT: u32 = u32::MAX;
+    let mut slot_of_root = vec![NO_SLOT; g.n()];
+    let mut comps: Vec<Vec<UserId>> = Vec::new();
     for u in 0..g.n() as UserId {
-        if !removed(u) {
-            by_root.entry(ds.find(u)).or_default().push(u);
+        if removed(u) {
+            continue;
         }
+        let root = ds.find(u) as usize;
+        let slot = if slot_of_root[root] == NO_SLOT {
+            slot_of_root[root] = comps.len() as u32;
+            comps.push(Vec::new());
+            comps.len() - 1
+        } else {
+            slot_of_root[root] as usize
+        };
+        comps[slot].push(u);
     }
-    let mut comps: Vec<Vec<UserId>> = by_root.into_values().collect();
-    for c in &mut comps {
-        c.sort_unstable();
-    }
-    comps.sort_by_key(|c| c[0]);
     comps
 }
 

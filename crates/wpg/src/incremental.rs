@@ -119,11 +119,18 @@ impl<R: RssModel> IncrementalWpg<R> {
         let points = self.grid.points();
         let pu = points[u as usize];
         self.scored.clear();
-        self.scored.extend(
-            self.buf
-                .iter()
-                .map(|&(v, _)| (self.builder.rss.rss(u, pu, v, points[v as usize]), v)),
-        );
+        // The grid query yields each peer's squared distance from `u`'s
+        // current position with the same operand order as `rss` would use,
+        // so the d_sq fast path stays bit-identical to the full-build
+        // pipeline.
+        self.scored.extend(self.buf.iter().map(|&(v, d_sq)| {
+            (
+                self.builder
+                    .rss
+                    .rss_from_dist_sq(u, pu, v, points[v as usize], d_sq),
+                v,
+            )
+        }));
         self.scored
             .sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         self.scored.truncate(self.builder.max_peers);

@@ -22,6 +22,28 @@ pub trait RssModel: Sync {
     /// The ids are provided so noisy models can derive deterministic per-pair
     /// fading; pure-distance models ignore them.
     fn rss(&self, receiver_id: UserId, receiver: Point, sender_id: UserId, sender: Point) -> f64;
+
+    /// [`RssModel::rss`] with the squared receiver→sender distance already
+    /// in hand. The grid's δ-range scan computes `receiver.dist_sq(&sender)`
+    /// as a byproduct, so the WPG rank pass calls this to spare
+    /// distance-driven models the recomputation.
+    ///
+    /// Overrides **must** return a value bit-identical to `rss` for
+    /// `dist_sq == receiver.dist_sq(&sender)` — the serial/threaded
+    /// equivalence contract of the builders depends on it. The default
+    /// ignores the hint and delegates.
+    #[inline]
+    fn rss_from_dist_sq(
+        &self,
+        receiver_id: UserId,
+        receiver: Point,
+        sender_id: UserId,
+        sender: Point,
+        dist_sq: f64,
+    ) -> f64 {
+        let _ = dist_sq;
+        self.rss(receiver_id, receiver, sender_id, sender)
+    }
 }
 
 /// The paper's evaluation model: strength strictly decreasing in distance,
@@ -34,6 +56,20 @@ impl RssModel for InverseDistanceRss {
     #[inline]
     fn rss(&self, _rid: UserId, receiver: Point, _sid: UserId, sender: Point) -> f64 {
         -receiver.dist(&sender)
+    }
+
+    #[inline]
+    fn rss_from_dist_sq(
+        &self,
+        _rid: UserId,
+        _receiver: Point,
+        _sid: UserId,
+        _sender: Point,
+        dist_sq: f64,
+    ) -> f64 {
+        // `Point::dist` is defined as `dist_sq().sqrt()`, so this is the
+        // same IEEE operation sequence as `rss` — bit-identical.
+        -dist_sq.sqrt()
     }
 }
 
@@ -95,6 +131,21 @@ impl RssModel for LogDistanceRss {
         let path_loss = 10.0 * self.path_loss_exp * (d / self.reference_dist).log10();
         -path_loss + self.shadowing_db * self.pair_fade(rid, sid)
     }
+
+    fn rss_from_dist_sq(
+        &self,
+        rid: UserId,
+        _receiver: Point,
+        sid: UserId,
+        _sender: Point,
+        dist_sq: f64,
+    ) -> f64 {
+        // Same operation sequence as `rss` with `receiver.dist(&sender)`
+        // replaced by its definition `dist_sq.sqrt()` — bit-identical.
+        let d = dist_sq.sqrt().max(self.reference_dist);
+        let path_loss = 10.0 * self.path_loss_exp * (d / self.reference_dist).log10();
+        -path_loss + self.shadowing_db * self.pair_fade(rid, sid)
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +202,35 @@ mod tests {
         let b = Point::new(0.4, 0.9);
         assert_ne!(m1.rss(0, a, 1, b), m2.rss(0, a, 1, b));
         assert_ne!(m1.pair_fade(0, 1), m1.pair_fade(0, 2));
+    }
+
+    #[test]
+    fn dist_sq_fast_path_is_bit_identical() {
+        // The rank pass feeds the grid's precomputed squared distance into
+        // `rss_from_dist_sq`; both built-in models must reproduce `rss`
+        // exactly or the serial/threaded equivalence contract breaks.
+        let pairs = [
+            (Point::new(0.1, 0.2), Point::new(0.4, 0.9)),
+            (Point::new(0.5, 0.5), Point::new(0.5, 0.5)), // coincident
+            (Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+            (Point::new(0.25, 0.75), Point::new(0.2500001, 0.75)),
+        ];
+        let log = LogDistanceRss::default();
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            let d_sq = a.dist_sq(&b);
+            assert_eq!(
+                InverseDistanceRss.rss(0, a, 1, b).to_bits(),
+                InverseDistanceRss
+                    .rss_from_dist_sq(0, a, 1, b, d_sq)
+                    .to_bits(),
+                "inverse-distance pair {i}"
+            );
+            assert_eq!(
+                log.rss(0, a, 1, b).to_bits(),
+                log.rss_from_dist_sq(0, a, 1, b, d_sq).to_bits(),
+                "log-distance pair {i}"
+            );
+        }
     }
 
     #[test]
