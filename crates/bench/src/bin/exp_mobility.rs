@@ -1,25 +1,40 @@
 //! Continuous cloaking under mobility (beyond the paper's static snapshot).
 //!
-//! Runs the `nela-mobility` pipeline: the population moves under a seeded
-//! waypoint/Gauss–Markov/stationary mixture, the WPG is maintained
-//! incrementally, broken clusters are retired, and a Poisson stream of
-//! requests is served with the cluster registry carried across ticks.
-//! Reports per-tick and aggregate cluster-reuse rate, invalidation counts,
-//! anonymity validity, and the incremental-vs-rebuild speedup.
+//! **Part A — continuous pipeline.** Runs `nela-mobility`: the population
+//! moves under a seeded waypoint/Gauss–Markov/stationary mixture, the WPG is
+//! maintained incrementally over the region-sharded grid, broken clusters
+//! are retired by the epoch audit, and a Poisson stream of requests is
+//! served with the cluster registry carried across ticks. Reports per-tick
+//! and aggregate cluster-reuse rate, invalidation counts, anonymity
+//! validity, and the incremental-vs-rebuild speedup.
 //!
-//! Environment: `NELA_USERS` (population, default 20,000),
+//! **Part B — maintenance sweep.** Times one incremental tick (staged moves
+//! folded into the sharded grid + dirty-set rescore + in-place graph
+//! refill) against a from-scratch `WpgBuilder::build` across populations
+//! and move fractions, asserting graph equality outside the timed region
+//! every tick. Writes `BENCH_mobility.json` at the repository root.
+//!
+//! Environment: `NELA_USERS` (Part A population, default 20,000),
 //! `NELA_TICKS` (default 25), `NELA_RATE` (requests/tick, default 40),
-//! `NELA_STATIONARY` (stationary fraction, default 0.9 — roughly 10% of
-//! devices in motion during any tick), `NELA_RESULTS_DIR` (optional JSON
-//! dump).
+//! `NELA_STATIONARY` (stationary fraction, default 0.9), `NELA_THREADS`,
+//! `NELA_SWEEP_USERS` (comma-separated Part B populations, default
+//! `10000,100000`), `NELA_SWEEP_FRACTIONS` (comma-separated move fractions,
+//! default `0.05,0.25,0.5,1.0`), `NELA_SWEEP_TICKS` (timed ticks per cell,
+//! default 8), `NELA_RESULTS_DIR` (optional JSON dump).
 //!
-//! `--metrics` enables the `nela-obs` recorder (per-tick incremental and
-//! rebuild timings, engine stage histograms) and writes the snapshot to
-//! `BENCH_obs.json` at the repository root.
+//! Flags: `--metrics` enables the `nela-obs` recorder and writes
+//! `BENCH_obs.json`; `--smoke` runs a small CI-sized sweep (equality
+//! asserts intact, no files written) and exits.
 
 use nela::{BoundingAlgo, ClusteringAlgo, Params};
 use nela_bench::{fmt, print_table, ExpConfig};
+use nela_geo::{DatasetSpec, Point};
 use nela_mobility::{run_continuous, DriverConfig, MobilityConfig};
+use nela_wpg::{IncrementalWpg, InverseDistanceRss, Wpg, WpgBuilder};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::time::Instant;
 
 fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
     std::env::var(key)
@@ -28,12 +43,157 @@ fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "n/a".to_string(), fmt)
+}
+
+/// One cell of the Part B sweep.
+#[derive(Debug, Clone, Serialize)]
+struct SweepRow {
+    n: usize,
+    move_fraction: f64,
+    ticks: usize,
+    movers_per_tick: usize,
+    /// Mean users rescored per tick (dirty-region superset).
+    mean_dirty: f64,
+    /// Mean users whose rank list actually changed per tick.
+    mean_changed: f64,
+    mean_incremental_ns: u64,
+    mean_rebuild_ns: u64,
+    /// `mean_rebuild_ns / mean_incremental_ns`.
+    speedup: f64,
+    /// Edges in the final maintained graph (equal to the rebuilt graph's —
+    /// asserted every tick).
+    edges: usize,
+}
+
+/// Times `ticks` maintenance rounds at one (n, fraction) cell. Movers are
+/// seeded draws; targets drift up to ±2δ (clamped to the unit square), the
+/// bounded-speed regime the mobility models produce — far enough to cross
+/// grid cells and change neighborhoods, near enough that motion stays
+/// local. Every tick asserts the maintained graph equals a rebuild, outside
+/// the timed regions.
+fn sweep_cell(n: usize, fraction: f64, ticks: usize, seed: u64) -> SweepRow {
+    let params = Params::scaled(n);
+    let spec = DatasetSpec {
+        n,
+        seed: params.seed,
+        distribution: params.distribution.clone(),
+    };
+    let points = spec.generate();
+    let builder = WpgBuilder::new(params.delta, params.max_peers, InverseDistanceRss);
+    let mut inc = IncrementalWpg::new(builder.clone(), &points);
+    let mut reused: Wpg = inc.snapshot();
+    let movers = ((n as f64 * fraction) as usize).clamp(1, n);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5EED);
+    let drift = 2.0 * params.delta;
+    let mut moves: Vec<(u32, Point)> = Vec::with_capacity(movers);
+    let (mut inc_ns, mut reb_ns) = (0u64, 0u64);
+    let (mut dirty, mut changed) = (0usize, 0usize);
+    for _ in 0..ticks {
+        moves.clear();
+        for _ in 0..movers {
+            let id = rng.gen_range(0..n as u32);
+            let p = inc.points()[id as usize];
+            moves.push((
+                id,
+                Point::new(
+                    (p.x + rng.gen_range(-drift..drift)).clamp(0.0, 1.0),
+                    (p.y + rng.gen_range(-drift..drift)).clamp(0.0, 1.0),
+                ),
+            ));
+        }
+
+        let t0 = Instant::now();
+        let stats = inc.apply_moves(&moves);
+        inc.snapshot_into(&mut reused);
+        inc_ns += t0.elapsed().as_nanos() as u64;
+
+        let t1 = Instant::now();
+        let rebuilt = builder.build(inc.points());
+        reb_ns += t1.elapsed().as_nanos() as u64;
+
+        assert_eq!(
+            reused.m(),
+            rebuilt.m(),
+            "incremental diverged at n={n} f={fraction}"
+        );
+        assert!(
+            reused.edges().eq(rebuilt.edges()),
+            "edge mismatch at n={n} f={fraction}"
+        );
+        dirty += stats.dirty;
+        changed += stats.changed;
+    }
+    let t = ticks as u64;
+    SweepRow {
+        n,
+        move_fraction: fraction,
+        ticks,
+        movers_per_tick: movers,
+        mean_dirty: dirty as f64 / ticks as f64,
+        mean_changed: changed as f64 / ticks as f64,
+        mean_incremental_ns: inc_ns / t,
+        mean_rebuild_ns: reb_ns / t,
+        speedup: (reb_ns / t) as f64 / (inc_ns / t).max(1) as f64,
+        edges: reused.m(),
+    }
+}
+
+fn run_sweep(populations: &[usize], fractions: &[f64], ticks: usize) -> Vec<SweepRow> {
+    let mut rows = Vec::new();
+    for &n in populations {
+        for &f in fractions {
+            eprintln!("[sweep] n={n} fraction={f} ({ticks} ticks)");
+            rows.push(sweep_cell(n, f, ticks, 0x5EED_2009 ^ n as u64));
+        }
+    }
+    rows
+}
+
+fn print_sweep(rows: &[SweepRow]) {
+    print_table(
+        "Incremental maintenance vs from-scratch rebuild (per tick)",
+        &[
+            "users", "moved", "dirty", "changed", "inc ms", "full ms", "speedup",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{} @{:.0}%", r.n, r.move_fraction * 100.0),
+                    r.movers_per_tick.to_string(),
+                    fmt(r.mean_dirty),
+                    fmt(r.mean_changed),
+                    fmt(r.mean_incremental_ns as f64 / 1e6),
+                    fmt(r.mean_rebuild_ns as f64 / 1e6),
+                    format!("{}x", fmt(r.speedup)),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+fn smoke() -> i32 {
+    // CI-sized: tiny populations, both acceptance fractions, equality
+    // asserted inside sweep_cell every tick.
+    let rows = run_sweep(&[2_000], &[0.25, 0.5, 1.0], 3);
+    print_sweep(&rows);
+    println!("\nsmoke OK: {} cells, equality held every tick", rows.len());
+    0
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        std::process::exit(smoke());
+    }
     let record_metrics = std::env::args().any(|a| a == "--metrics");
     if record_metrics {
         nela_obs::enable();
     }
     let cfg = ExpConfig::from_env();
+
+    // ---- Part A: the continuous pipeline.
     let params = Params {
         k: 10,
         ..Params::scaled(cfg.users)
@@ -67,8 +227,9 @@ fn main() {
                 m.tick.to_string(),
                 m.moved.to_string(),
                 m.dirty.to_string(),
-                fmt(m.incremental_us as f64 / 1000.0),
-                fmt(m.rebuild_us as f64 / 1000.0),
+                m.changed.to_string(),
+                fmt(m.incremental_ns as f64 / 1e6),
+                fmt(m.rebuild_ns as f64 / 1e6),
                 m.invalidated.to_string(),
                 m.active_clusters.to_string(),
                 m.requests.to_string(),
@@ -81,8 +242,8 @@ fn main() {
     print_table(
         "Continuous cloaking under mobility (per tick)",
         &[
-            "tick", "moved", "dirty", "inc ms", "full ms", "invald", "active", "reqs", "reused",
-            "failed", "valid",
+            "tick", "moved", "dirty", "chngd", "inc ms", "full ms", "invald", "active", "reqs",
+            "reused", "failed", "valid",
         ],
         &rows,
     );
@@ -101,15 +262,45 @@ fn main() {
         &[vec![
             summary.requests.to_string(),
             summary.served.to_string(),
-            fmt(summary.reuse_rate),
-            fmt(summary.validity_rate),
+            fmt_opt(summary.reuse_rate),
+            fmt_opt(summary.validity_rate),
             summary.invalidated.to_string(),
             summary.released.to_string(),
-            format!("{}x", fmt(summary.mean_speedup)),
+            format!("{}x", fmt_opt(summary.mean_speedup)),
         ]],
     );
 
-    cfg.write_json("exp_mobility", &summary);
+    // ---- Part B: incremental-vs-rebuild maintenance sweep.
+    let populations: Vec<usize> = std::env::var("NELA_SWEEP_USERS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![10_000, 100_000]);
+    let fractions: Vec<f64> = std::env::var("NELA_SWEEP_FRACTIONS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .filter(|v: &Vec<f64>| !v.is_empty())
+        .unwrap_or_else(|| vec![0.05, 0.25, 0.5, 1.0]);
+    let sweep_ticks = env_or("NELA_SWEEP_TICKS", 8usize);
+    let sweep = run_sweep(&populations, &fractions, sweep_ticks);
+    print_sweep(&sweep);
+
+    #[derive(Serialize)]
+    struct Report {
+        continuous: nela_mobility::RunSummary,
+        sweep: Vec<SweepRow>,
+    }
+    let report = Report {
+        continuous: summary,
+        sweep,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_mobility.json");
+    std::fs::write(&root, &json).expect("write BENCH_mobility.json");
+    eprintln!("[results] wrote {}", root.display());
+    cfg.write_json("exp_mobility", &report);
 
     if record_metrics {
         let obs_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

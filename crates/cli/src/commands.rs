@@ -447,18 +447,23 @@ pub fn mobility(raw: Vec<String>) -> Result<(), ArgError> {
         "requests        : {} ({} served, {} failed, {} reused)",
         summary.requests, summary.served, summary.failed, summary.reused
     );
-    println!("reuse rate      : {:.3}", summary.reuse_rate);
+    // Rates are `None` (printed "n/a") when nothing was served or the
+    // rebuild was never timed — absent data, not a zero rate.
+    let rate3 = |v: Option<f64>| v.map_or_else(|| "n/a".to_string(), |r| format!("{r:.3}"));
+    println!("reuse rate      : {}", rate3(summary.reuse_rate));
     println!(
-        "validity        : {:.3} of served regions still cover k users",
-        summary.validity_rate
+        "validity        : {} of served regions still cover k users",
+        rate3(summary.validity_rate)
     );
     println!(
         "invalidations   : {} clusters retired, {} users released",
         summary.invalidated, summary.released
     );
     println!(
-        "wpg maintenance : {:.1}x faster than rebuild (mean per tick)",
-        summary.mean_speedup
+        "wpg maintenance : {} faster than rebuild (mean per tick)",
+        summary
+            .mean_speedup
+            .map_or_else(|| "n/a".to_string(), |s| format!("{s:.1}x"))
     );
     Ok(())
 }

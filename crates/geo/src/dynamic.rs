@@ -18,6 +18,35 @@ use crate::grid::GridIndex;
 use crate::point::Point;
 use crate::UserId;
 
+/// Error from mutable-grid operations handed an id outside the indexed
+/// population. The population is fixed at build time, so any id ≥ n is a
+/// caller bug or untrusted input — the fallible `try_*` APIs surface it as
+/// this typed error instead of an index panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridError {
+    /// `id` is not part of the indexed population of `population` points.
+    UnknownId { id: UserId, population: usize },
+}
+
+impl GridError {
+    #[inline]
+    pub(crate) fn unknown(id: UserId, population: usize) -> Self {
+        GridError::UnknownId { id, population }
+    }
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::UnknownId { id, population } => {
+                write!(f, "user id {id} outside indexed population of {population}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
 /// A mutable uniform-grid index over a set of points in the unit square.
 #[derive(Debug, Clone)]
 pub struct DynamicGrid {
@@ -85,23 +114,72 @@ impl DynamicGrid {
         &self.points
     }
 
+    /// Current position of `id`, or [`GridError::UnknownId`] when `id` is
+    /// not part of the indexed population.
+    #[inline]
+    pub fn try_position(&self, id: UserId) -> Result<Point, GridError> {
+        self.points
+            .get(id as usize)
+            .copied()
+            .ok_or_else(|| GridError::unknown(id, self.points.len()))
+    }
+
     /// Current position of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is outside the indexed population (the population is
+    /// fixed at build time). Use [`DynamicGrid::try_position`] for untrusted
+    /// ids.
     #[inline]
     pub fn position(&self, id: UserId) -> Point {
+        debug_assert!(
+            (id as usize) < self.points.len(),
+            "position: id {id} outside population of {}",
+            self.points.len()
+        );
         self.points[id as usize]
+    }
+
+    /// Moves point `id` to `new_pos`, updating its bucket if the cell
+    /// changed. Returns the previous position, or
+    /// [`GridError::UnknownId`] when `id` is not part of the indexed
+    /// population (the grid is left untouched).
+    ///
+    /// O(bucket length) when the cell changes, O(1) otherwise.
+    pub fn try_relocate(&mut self, id: UserId, new_pos: Point) -> Result<Point, GridError> {
+        if id as usize >= self.points.len() {
+            return Err(GridError::unknown(id, self.points.len()));
+        }
+        Ok(self.relocate_known(id, new_pos))
     }
 
     /// Moves point `id` to `new_pos`, updating its bucket if the cell
     /// changed. Returns the previous position.
     ///
     /// O(bucket length) when the cell changes, O(1) otherwise.
+    ///
+    /// # Panics
+    /// Panics if `id` is outside the indexed population. Use
+    /// [`DynamicGrid::try_relocate`] for untrusted ids.
     pub fn relocate(&mut self, id: UserId, new_pos: Point) -> Point {
+        debug_assert!(
+            (id as usize) < self.points.len(),
+            "relocate: id {id} outside population of {}",
+            self.points.len()
+        );
+        self.relocate_known(id, new_pos)
+    }
+
+    fn relocate_known(&mut self, id: UserId, new_pos: Point) -> Point {
         let old = self.points[id as usize];
         let old_cell = self.cell_of(&old);
         let new_cell = self.cell_of(&new_pos);
         self.points[id as usize] = new_pos;
         if old_cell != new_cell {
             let bucket = &mut self.buckets[old_cell];
+            // Invariant: every in-range id sits in exactly one bucket — the
+            // one covering its current position — maintained by build and
+            // every relocation, so this lookup cannot fail for a checked id.
             let at = bucket
                 .iter()
                 .position(|&e| e == id)
@@ -295,6 +373,33 @@ mod tests {
             delta,
         );
         assert!(far.neighbors_within_sorted(0, delta).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_ids_are_rejected_with_typed_error() {
+        let pts = sample_points(10, 3);
+        let mut g = DynamicGrid::build(&pts, 0.05);
+        // Rejection leaves the grid untouched and queryable.
+        assert_eq!(
+            g.try_relocate(10, Point::new(0.5, 0.5)),
+            Err(GridError::UnknownId {
+                id: 10,
+                population: 10
+            })
+        );
+        assert_eq!(
+            g.try_position(u32::MAX),
+            Err(GridError::UnknownId {
+                id: u32::MAX,
+                population: 10
+            })
+        );
+        assert_eq!(g.points(), &pts[..]);
+        // In-range ids keep working through the fallible API.
+        assert_eq!(g.try_relocate(4, Point::new(0.5, 0.5)), Ok(pts[4]));
+        assert_eq!(g.try_position(4), Ok(Point::new(0.5, 0.5)));
+        let msg = GridError::unknown(7, 3).to_string();
+        assert!(msg.contains('7') && msg.contains('3'), "{msg}");
     }
 
     #[test]

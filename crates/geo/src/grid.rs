@@ -182,6 +182,46 @@ impl GridIndex {
         }
     }
 
+    /// Assembles an index from pre-built CSR parts (used by
+    /// `ShardedDynamicGrid::to_grid_index` to freeze a maintained grid
+    /// without re-bucketing). Callers must uphold the build invariants:
+    /// `bucket_offsets` is a valid CSR over `cells²` cells, `entries` are
+    /// grouped by cell and ascend within each cell, and `entry_coords[i]`
+    /// mirrors `points[entries[i]]`.
+    pub(crate) fn assemble(
+        cells: usize,
+        cell_side: f64,
+        bucket_offsets: Vec<u32>,
+        entries: Vec<UserId>,
+        entry_coords: PointsSoA,
+        points: Vec<Point>,
+    ) -> Self {
+        debug_assert_eq!(bucket_offsets.len(), cells * cells + 1);
+        debug_assert_eq!(bucket_offsets.last().copied(), Some(entries.len() as u32));
+        debug_assert_eq!(entry_coords.len(), entries.len());
+        GridIndex {
+            cells,
+            cell_side,
+            bucket_offsets,
+            entries,
+            entry_coords,
+            points,
+        }
+    }
+
+    /// The raw CSR parts, for bit-identity assertions in in-crate tests.
+    #[cfg(test)]
+    pub(crate) fn raw_parts(&self) -> (usize, f64, &[u32], &[UserId], &PointsSoA, &[Point]) {
+        (
+            self.cells,
+            self.cell_side,
+            &self.bucket_offsets,
+            &self.entries,
+            &self.entry_coords,
+            &self.points,
+        )
+    }
+
     /// Number of indexed points.
     #[inline]
     pub fn len(&self) -> usize {

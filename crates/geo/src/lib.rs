@@ -22,13 +22,15 @@ pub mod dynamic;
 pub mod grid;
 pub mod point;
 pub mod rect;
+pub mod sharded;
 pub mod soa;
 
 pub use dataset::{DatasetSpec, SpatialDistribution};
-pub use dynamic::DynamicGrid;
+pub use dynamic::{DynamicGrid, GridError};
 pub use grid::GridIndex;
 pub use point::Point;
 pub use rect::Rect;
+pub use sharded::ShardedDynamicGrid;
 pub use soa::PointsSoA;
 
 /// Identifier of a user (vertex) in the system. Users are dense indices into

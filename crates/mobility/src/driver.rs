@@ -2,25 +2,28 @@
 //!
 //! Ties the pieces into the pipeline the paper's static evaluation lacks:
 //! every tick the population moves ([`crate::MobileWorld`]), the WPG is
-//! maintained incrementally, clusters whose proximity certificate broke are
-//! retired ([`crate::lifetime`]), and a Poisson stream of cloaking requests
-//! is served through the standard [`nela::CloakingEngine`] with the cluster
-//! registry carried across ticks. The run reports, per tick and in
-//! aggregate:
+//! maintained incrementally over the region-sharded grid, clusters touched
+//! by a changed rank list are re-audited ([`crate::lifetime`]), and a
+//! Poisson stream of cloaking requests is served through the standard
+//! [`nela::CloakingEngine`] with the cluster registry carried across ticks.
+//! The serving index is frozen from the maintained sharded grid
+//! (`MobileWorld::grid_index`, a pure shard-CSR concatenation) — no
+//! from-scratch `GridIndex` rebuild per tick. The run reports, per tick and
+//! in aggregate:
 //!
 //! - **cluster-reuse rate** — how often a request is answered from a still-
 //!   valid registered cluster (the paper's zero-cost ® path) despite motion,
-//! - **incremental-vs-rebuild speedup** — wall-clock of the dirty-set WPG
+//! - **incremental-vs-rebuild speedup** — wall-clock of the dirty-region WPG
 //!   update against a from-scratch `WpgBuilder::build`,
 //! - **anonymity validity** — whether served regions still cover ≥ k users
 //!   at the positions current when they were served.
 
-use crate::lifetime::invalidate_broken_clusters;
+use crate::lifetime::invalidate_clusters_of_users;
 use crate::model::MobilityConfig;
 use crate::world::MobileWorld;
 use nela::{BoundingAlgo, CloakingEngine, ClusteringAlgo, Params};
 use nela_cluster::registry::ClusterRegistry;
-use nela_geo::{GridIndex, UserId};
+use nela_geo::UserId;
 use nela_wpg::{InverseDistanceRss, WpgBuilder};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -41,9 +44,10 @@ pub struct DriverConfig {
     /// Also time a from-scratch WPG rebuild each tick for the speedup
     /// metric (doubles the per-tick cost; disable for long runs).
     pub measure_rebuild: bool,
-    /// Worker threads for the per-tick [`GridIndex`] rebuild. `1` (the
-    /// default) builds serially; higher counts build a bit-identical index
-    /// in parallel, so the run stays deterministic for any value.
+    /// Worker threads for the incremental maintenance (dirty-set rescore).
+    /// `1` (the default) rescores serially; higher counts produce a
+    /// bit-identical graph in parallel, so the run stays deterministic for
+    /// any value.
     pub threads: usize,
 }
 
@@ -63,14 +67,18 @@ impl Default for DriverConfig {
 #[derive(Debug, Clone, Serialize)]
 pub struct TickMetrics {
     pub tick: usize,
-    /// Users that moved.
+    /// Unique users that moved.
     pub moved: usize,
     /// Users re-scored by the incremental WPG update.
     pub dirty: usize,
-    /// Microseconds for the incremental update (moves + graph snapshot).
-    pub incremental_us: u64,
-    /// Microseconds for the from-scratch rebuild (0 when not measured).
-    pub rebuild_us: u64,
+    /// Users whose rank list actually changed.
+    pub changed: usize,
+    /// Nanoseconds for the incremental update (moves + graph snapshot).
+    /// Nanosecond resolution keeps sub-microsecond ticks (common at small n)
+    /// in the speedup statistics instead of flooring them to zero.
+    pub incremental_ns: u64,
+    /// Nanoseconds for the from-scratch rebuild (0 when not measured).
+    pub rebuild_ns: u64,
     /// Clusters retired by the lifetime audit this tick.
     pub invalidated: usize,
     /// Users released by the audit.
@@ -103,13 +111,22 @@ pub struct RunSummary {
     pub valid_served: usize,
     pub invalidated: usize,
     pub released: usize,
-    /// Fraction of served requests answered by cluster reuse.
-    pub reuse_rate: f64,
-    /// Fraction of served requests still covering ≥ k users when served.
-    pub validity_rate: f64,
-    /// Mean of per-tick rebuild_us / incremental_us (0 when not measured).
-    pub mean_speedup: f64,
+    /// Fraction of served requests answered by cluster reuse; `None` when
+    /// nothing was served (a run with no served requests has no rate, it
+    /// does not have a rate of zero).
+    pub reuse_rate: Option<f64>,
+    /// Fraction of served requests still covering ≥ k users when served;
+    /// `None` when nothing was served.
+    pub validity_rate: Option<f64>,
+    /// Mean of per-tick `rebuild_ns / incremental_ns` over every measured
+    /// tick; `None` when the rebuild was never measured.
+    pub mean_speedup: Option<f64>,
     pub per_tick: Vec<TickMetrics>,
+}
+
+/// `num / den` as a rate, or `None` when the denominator is empty.
+fn rate_of(num: usize, den: usize) -> Option<f64> {
+    (den > 0).then(|| num as f64 / den as f64)
 }
 
 /// Stream tag for Poisson arrival counts.
@@ -142,43 +159,48 @@ pub fn run_continuous(
     bounding: BoundingAlgo,
 ) -> RunSummary {
     let mut world = MobileWorld::new(params, mobility);
+    world.set_threads(config.threads);
     let mut registry = ClusterRegistry::new(params.n_users);
     let mut arrival_rng = ChaCha8Rng::seed_from_u64(config.seed ^ ARRIVAL_STREAM);
     let mut host_rng = ChaCha8Rng::seed_from_u64(config.seed ^ HOST_STREAM);
     let rebuild_builder = WpgBuilder::new(params.delta, params.max_peers, InverseDistanceRss);
     let mut per_tick = Vec::with_capacity(config.ticks);
+    // The served graph is refilled in place each tick (edge scratch and CSR
+    // buffers reach steady size after the first tick — no per-tick
+    // allocation churn) and recovered from the System after serving.
+    let mut wpg = world.wpg_snapshot();
 
     for tick in 0..config.ticks {
         // 1. Move the population; fold moves into grid + WPG incrementally.
         let t0 = Instant::now();
         let stats = world.tick();
-        let wpg = world.wpg_snapshot();
-        let incremental_us = t0.elapsed().as_micros() as u64;
-        nela_obs::observe(
-            nela_obs::stage::MOBILITY_INCREMENTAL,
-            incremental_us.saturating_mul(1_000),
-        );
+        world.wpg_snapshot_into(&mut wpg);
+        let incremental_ns = t0.elapsed().as_nanos() as u64;
+        nela_obs::observe(nela_obs::stage::MOBILITY_INCREMENTAL, incremental_ns);
 
         // 2. Reference rebuild for the speedup series.
-        let rebuild_us = if config.measure_rebuild {
+        let rebuild_ns = if config.measure_rebuild {
             let t1 = Instant::now();
             let rebuilt = rebuild_builder.build(world.points());
-            let us = t1.elapsed().as_micros() as u64;
+            let ns = t1.elapsed().as_nanos() as u64;
             debug_assert_eq!(rebuilt.m(), wpg.m(), "incremental update diverged");
-            nela_obs::observe(nela_obs::stage::MOBILITY_REBUILD, us.saturating_mul(1_000));
-            us
+            nela_obs::observe(nela_obs::stage::MOBILITY_REBUILD, ns);
+            ns
         } else {
             0
         };
 
-        // 3. Lifetime audit: retire clusters whose certificate broke.
-        let audit = invalidate_broken_clusters(&mut registry, &wpg);
+        // 3. Epoch-scoped lifetime audit: only clusters containing a user
+        // whose rank list changed this tick can have lost their certificate
+        // (edge weights are min-of-mutual-ranks), so only those are checked.
+        let audit = invalidate_clusters_of_users(&mut registry, &wpg, world.changed_users());
 
-        // 4. Serve this tick's Poisson batch through the standard engine.
+        // 4. Serve this tick's Poisson batch through the standard engine,
+        // against the maintained grid frozen in place (no rebuild).
         let system = nela::System::with_parts(
             params.clone(),
             world.points().to_vec(),
-            GridIndex::build_threads(world.points(), params.delta, config.threads),
+            world.grid_index(),
             wpg,
         );
         let mut engine = CloakingEngine::with_registry(&system, clustering, bounding, registry);
@@ -187,8 +209,9 @@ pub fn run_continuous(
             tick,
             moved: stats.moved,
             dirty: stats.dirty,
-            incremental_us,
-            rebuild_us,
+            changed: stats.changed,
+            incremental_ns,
+            rebuild_ns,
             invalidated: audit.invalidated,
             released: audit.released,
             active_clusters: 0,
@@ -216,14 +239,20 @@ pub fn run_continuous(
         registry = engine.into_registry();
         m.active_clusters = registry.active_cluster_count();
         per_tick.push(m);
+        let nela::System { wpg: recovered, .. } = system;
+        wpg = recovered;
     }
 
     let sum = |f: fn(&TickMetrics) -> usize| per_tick.iter().map(f).sum::<usize>();
     let served = sum(|m| m.served);
+    // Every measured tick counts (`rebuild_ns > 0` marks "was measured" —
+    // a real rebuild never rounds to 0 ns); sub-microsecond incremental
+    // ticks are kept, not filtered, so the mean is not biased toward
+    // rebuild-friendly ticks.
     let speedups: Vec<f64> = per_tick
         .iter()
-        .filter(|m| m.rebuild_us > 0 && m.incremental_us > 0)
-        .map(|m| m.rebuild_us as f64 / m.incremental_us as f64)
+        .filter(|m| m.rebuild_ns > 0)
+        .map(|m| m.rebuild_ns as f64 / m.incremental_ns.max(1) as f64)
         .collect();
     RunSummary {
         ticks: config.ticks,
@@ -236,13 +265,10 @@ pub fn run_continuous(
         valid_served: sum(|m| m.valid_served),
         invalidated: sum(|m| m.invalidated),
         released: sum(|m| m.released),
-        reuse_rate: sum(|m| m.reused) as f64 / served.max(1) as f64,
-        validity_rate: sum(|m| m.valid_served) as f64 / served.max(1) as f64,
-        mean_speedup: if speedups.is_empty() {
-            0.0
-        } else {
-            speedups.iter().sum::<f64>() / speedups.len() as f64
-        },
+        reuse_rate: rate_of(sum(|m| m.reused), served),
+        validity_rate: rate_of(sum(|m| m.valid_served), served),
+        mean_speedup: (!speedups.is_empty())
+            .then(|| speedups.iter().sum::<f64>() / speedups.len() as f64),
         per_tick,
     }
 }
@@ -250,6 +276,7 @@ pub fn run_continuous(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lifetime::invalidate_broken_clusters;
 
     fn small_run(seed: u64) -> RunSummary {
         small_run_threads(seed, 1)
@@ -286,16 +313,16 @@ mod tests {
         assert_eq!(a.invalidated, b.invalidated);
         for (x, y) in a.per_tick.iter().zip(&b.per_tick) {
             assert_eq!(
-                (x.moved, x.dirty, x.served, x.reused),
-                (y.moved, y.dirty, y.served, y.reused)
+                (x.moved, x.dirty, x.changed, x.served, x.reused),
+                (y.moved, y.dirty, y.changed, y.served, y.reused)
             );
         }
     }
 
     #[test]
-    fn threaded_grid_rebuild_keeps_run_identical() {
-        // The grid build is the only stage the `threads` knob touches, and
-        // it is bit-identical in parallel — so the whole run must be too.
+    fn threaded_maintenance_keeps_run_identical() {
+        // The `threads` knob only parallelizes the dirty-set rescore, which
+        // is bit-identical to serial — so the whole run must be too.
         let serial = small_run_threads(7, 1);
         for threads in [2usize, 4] {
             let par = small_run_threads(7, threads);
@@ -305,11 +332,69 @@ mod tests {
             assert_eq!(serial.valid_served, par.valid_served, "{threads} threads");
             for (x, y) in serial.per_tick.iter().zip(&par.per_tick) {
                 assert_eq!(
-                    (x.moved, x.dirty, x.served, x.reused, x.valid_served),
-                    (y.moved, y.dirty, y.served, y.reused, y.valid_served),
+                    (
+                        x.moved,
+                        x.dirty,
+                        x.changed,
+                        x.served,
+                        x.reused,
+                        x.valid_served
+                    ),
+                    (
+                        y.moved,
+                        y.dirty,
+                        y.changed,
+                        y.served,
+                        y.reused,
+                        y.valid_served
+                    ),
                     "tick diverged at {threads} threads"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn epoch_audit_matches_full_audit_across_run() {
+        // Replay the same world and registry evolution, auditing with the
+        // full sweep instead of the epoch-scoped one: the retirement
+        // decisions must be identical (the driver itself uses the epoch
+        // audit, so `invalidated`/`released` already come from it).
+        let params = Params {
+            k: 5,
+            ..Params::scaled(1_000)
+        };
+        let mobility = MobilityConfig::default();
+        let mut world = MobileWorld::new(&params, &mobility);
+        let mut reg_epoch = ClusterRegistry::new(params.n_users);
+        let mut reg_full = ClusterRegistry::new(params.n_users);
+        // Seed both registries with identical clusters from a one-tick run.
+        let system = world.system_snapshot();
+        let mut engine = CloakingEngine::with_registry(
+            &system,
+            ClusteringAlgo::TConnDistributed,
+            BoundingAlgo::Optimal,
+            std::mem::replace(&mut reg_epoch, ClusterRegistry::new(0)),
+        );
+        for host in (0..1000u32).step_by(29) {
+            let _ = engine.request(host);
+        }
+        reg_epoch = engine.into_registry();
+        for (_, rc) in reg_epoch.active_clusters() {
+            reg_full.register(rc.cluster.clone());
+        }
+        for _ in 0..4 {
+            world.tick();
+            let wpg = world.wpg_snapshot();
+            let a = invalidate_clusters_of_users(&mut reg_epoch, &wpg, world.changed_users());
+            let b = invalidate_broken_clusters(&mut reg_full, &wpg);
+            assert_eq!(a.invalidated, b.invalidated);
+            assert_eq!(a.released, b.released);
+            assert!(a.checked <= b.checked, "epoch audit checked more");
+            assert_eq!(
+                reg_epoch.active_cluster_count(),
+                reg_full.active_cluster_count()
+            );
         }
     }
 
@@ -320,7 +405,39 @@ mod tests {
         assert_eq!(s.requests, s.served + s.failed);
         assert!(s.reused <= s.served);
         assert!(s.valid_served <= s.served);
-        assert!(s.reuse_rate >= 0.0 && s.reuse_rate <= 1.0);
+        assert!(s.served > 0);
+        let reuse = s.reuse_rate.expect("served > 0 must yield a rate");
+        assert!((0.0..=1.0).contains(&reuse));
+        // Rebuild unmeasured → no speedup claim, not a fake 0.0.
+        assert_eq!(s.mean_speedup, None);
+    }
+
+    #[test]
+    fn zero_traffic_reports_no_rates() {
+        let params = Params {
+            k: 5,
+            ..Params::scaled(500)
+        };
+        let config = DriverConfig {
+            ticks: 2,
+            rate: 0.0,
+            seed: 5,
+            measure_rebuild: true,
+            threads: 1,
+        };
+        let s = run_continuous(
+            &params,
+            &MobilityConfig::default(),
+            &config,
+            ClusteringAlgo::TConnDistributed,
+            BoundingAlgo::Optimal,
+        );
+        assert_eq!(s.served, 0);
+        assert_eq!(s.reuse_rate, None, "no served requests → no reuse rate");
+        assert_eq!(s.validity_rate, None);
+        // The rebuild was measured, so the speedup series exists.
+        assert!(s.mean_speedup.is_some());
+        assert!(s.per_tick.iter().all(|m| m.rebuild_ns > 0));
     }
 
     #[test]
@@ -328,11 +445,8 @@ mod tests {
         let s = small_run(11);
         assert!(s.served > 0, "no requests served");
         // Motion erodes some regions, but the audit keeps the bulk valid.
-        assert!(
-            s.validity_rate > 0.5,
-            "validity collapsed: {}",
-            s.validity_rate
-        );
+        let validity = s.validity_rate.expect("served > 0 must yield a rate");
+        assert!(validity > 0.5, "validity collapsed: {validity}");
     }
 
     #[test]

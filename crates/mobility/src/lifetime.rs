@@ -69,6 +69,44 @@ pub fn invalidate_broken_clusters(registry: &mut ClusterRegistry, wpg: &Wpg) -> 
     report
 }
 
+/// Epoch-based audit: re-checks only the live clusters containing a user in
+/// `changed` (the users whose WPG rank list changed this tick, e.g.
+/// `MobileWorld::changed_users`) and retires the broken ones.
+///
+/// **Exactness.** An edge's weight is the min of its endpoints' mutual
+/// ranks, so an edge incident to `u` can only appear, vanish, or change
+/// weight when `u`'s or its peer's rank list changed — and the peer is also
+/// in `changed` then (mutuality: the edge is in both lists). A cluster's
+/// certificate depends only on edges between members, so a cluster with no
+/// member in `changed` has exactly the certificate it had last tick, when it
+/// was valid. Auditing only the touched clusters therefore retires exactly
+/// the clusters [`invalidate_broken_clusters`] would.
+pub fn invalidate_clusters_of_users(
+    registry: &mut ClusterRegistry,
+    wpg: &Wpg,
+    changed: &[UserId],
+) -> InvalidationReport {
+    let mut touched: Vec<ClusterId> = changed
+        .iter()
+        .filter_map(|&u| registry.cluster_id_of(u))
+        .collect();
+    touched.sort_unstable();
+    touched.dedup();
+    let mut report = InvalidationReport::default();
+    for id in touched {
+        let rc = registry.get(id);
+        if rc.retired {
+            continue;
+        }
+        report.checked += 1;
+        if !cluster_still_valid(wpg, &rc.cluster.members, rc.cluster.connectivity) {
+            report.released += registry.invalidate(id);
+            report.invalidated += 1;
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +178,44 @@ mod tests {
         assert!(!reg.get(ok).retired);
         assert!(reg.get(broken).retired);
         assert_eq!(reg.reciprocity_violation(), None);
+    }
+
+    #[test]
+    fn epoch_audit_retires_same_clusters_as_full_audit() {
+        // Two clusters; the current graph breaks only the second. The
+        // epoch-scoped audit fed the changed member must retire exactly what
+        // the full sweep retires, and skip untouched clusters entirely.
+        let build = || {
+            let mut reg = ClusterRegistry::new(4);
+            let ok = reg.register(Cluster {
+                members: vec![0, 1],
+                connectivity: 1,
+            });
+            let broken = reg.register(Cluster {
+                members: vec![2, 3],
+                connectivity: 1,
+            });
+            (reg, ok, broken)
+        };
+        let g2 = Wpg::from_edges(4, &[Edge::new(0, 1, 1)]);
+        let (mut full_reg, _, _) = build();
+        let full = invalidate_broken_clusters(&mut full_reg, &g2);
+        let (mut epoch_reg, ok, broken) = build();
+        // Only users 2 and 3 changed (their edge vanished — mutuality puts
+        // both in the changed set). Duplicates must not double-audit.
+        let report = invalidate_clusters_of_users(&mut epoch_reg, &g2, &[3, 2, 3]);
+        assert_eq!(report.checked, 1, "untouched cluster must not be audited");
+        assert_eq!(report.invalidated, full.invalidated);
+        assert_eq!(report.released, full.released);
+        assert!(!epoch_reg.get(ok).retired);
+        assert!(epoch_reg.get(broken).retired);
+        // An empty changed set audits nothing.
+        let report = invalidate_clusters_of_users(&mut epoch_reg, &g2, &[]);
+        assert_eq!(report, InvalidationReport::default());
+        // Changed users without a cluster are ignored.
+        let report = invalidate_clusters_of_users(&mut epoch_reg, &g2, &[0]);
+        assert_eq!(report.checked, 1);
+        assert_eq!(report.invalidated, 0);
     }
 
     #[test]

@@ -2,20 +2,24 @@
 
 use crate::model::{MobilityConfig, MobilityField};
 use nela::{Params, System};
-use nela_geo::{DatasetSpec, Point};
+use nela_geo::{DatasetSpec, GridIndex, Point, UserId};
 use nela_wpg::{IncrementalWpg, InverseDistanceRss, UpdateStats, Wpg, WpgBuilder};
 
 /// Counters for one [`MobileWorld::tick`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TickStats {
-    /// Users that moved this tick.
+    /// Unique users that moved this tick.
     pub moved: usize,
-    /// Users whose WPG rank list was recomputed (movers + δ-neighborhoods).
+    /// Users whose WPG rank list was recomputed (dirty-region superset).
     pub dirty: usize,
+    /// Users whose rank list actually changed — the only users whose
+    /// incident edges (and hence cluster certificates) can differ from the
+    /// previous tick.
+    pub changed: usize,
 }
 
-/// The live state of a mobile deployment: positions, the dynamic grid, and
-/// the incrementally maintained WPG, all stepped together.
+/// The live state of a mobile deployment: positions, the sharded dynamic
+/// grid, and the incrementally maintained WPG, all stepped together.
 pub struct MobileWorld {
     params: Params,
     field: MobilityField,
@@ -36,12 +40,20 @@ impl MobileWorld {
     }
 
     /// Attaches motion and incremental maintenance to an existing snapshot.
+    /// `params.shards` picks the region-shard layout (0 = default) and
+    /// `params.threads` the dirty-set rescore workers; both only affect
+    /// performance, never the maintained graph.
     pub fn from_points(params: &Params, mobility: &MobilityConfig, points: &[Point]) -> Self {
         let builder = WpgBuilder::new(params.delta, params.max_peers, InverseDistanceRss);
+        let shards = if params.shards > 0 {
+            params.shards
+        } else {
+            nela_geo::sharded::DEFAULT_SHARDS
+        };
         MobileWorld {
             params: params.clone(),
             field: MobilityField::new(points.len(), mobility),
-            wpg: IncrementalWpg::new(builder, points),
+            wpg: IncrementalWpg::with_topology(builder, points, shards, params.threads),
         }
     }
 
@@ -60,12 +72,33 @@ impl MobileWorld {
         self.field.mobile_users()
     }
 
+    /// Sets the incremental-maintenance worker-thread count (bit-identical
+    /// results for any value).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.wpg.set_threads(threads);
+    }
+
     /// Advances the population one tick and folds the moves into the grid
     /// and WPG incrementally.
     pub fn tick(&mut self) -> TickStats {
         let moves = self.field.step(self.wpg.points());
-        let UpdateStats { moved, dirty } = self.wpg.apply_moves(&moves);
-        TickStats { moved, dirty }
+        let UpdateStats {
+            moved,
+            dirty,
+            changed,
+        } = self.wpg.apply_moves(&moves);
+        TickStats {
+            moved,
+            dirty,
+            changed,
+        }
+    }
+
+    /// Users whose rank list changed in the last tick — the exact audit set
+    /// for epoch-based cluster reuse (a cluster can only break when a
+    /// member's list changed).
+    pub fn changed_users(&self) -> &[UserId] {
+        self.wpg.changed_users()
     }
 
     /// Materializes the current WPG (exactly the from-scratch graph, see
@@ -74,13 +107,27 @@ impl MobileWorld {
         self.wpg.snapshot()
     }
 
+    /// Rebuilds `wpg` in place from the maintained rank lists — the
+    /// alloc-free per-tick snapshot (bit-identical to
+    /// [`MobileWorld::wpg_snapshot`]).
+    pub fn wpg_snapshot_into(&mut self, wpg: &mut Wpg) {
+        self.wpg.snapshot_into(wpg);
+    }
+
+    /// Freezes the maintained cell structure into a static [`GridIndex`] —
+    /// a pure concatenation of the shard CSRs, bit-identical to
+    /// `GridIndex::build` over the current positions (no re-bucketing).
+    pub fn grid_index(&self) -> GridIndex {
+        self.wpg.grid().to_grid_index()
+    }
+
     /// Freezes the current state into a [`System`] the cloaking engine can
     /// serve from.
     pub fn system_snapshot(&self) -> System {
         System::with_parts(
             self.params.clone(),
             self.wpg.points().to_vec(),
-            self.wpg.grid().snapshot(),
+            self.grid_index(),
             self.wpg.snapshot(),
         )
     }
@@ -108,6 +155,7 @@ mod tests {
         let stats = world.tick();
         assert_eq!(stats.moved, world.mobile_users());
         assert!(stats.dirty >= stats.moved);
+        assert!(stats.changed <= stats.dirty);
     }
 
     #[test]
@@ -122,6 +170,25 @@ mod tests {
         let a: Vec<_> = world.wpg_snapshot().edges().collect();
         let b: Vec<_> = rebuilt.edges().collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn maintained_grid_index_matches_fresh_build() {
+        let params = small_params();
+        let mut world = MobileWorld::new(&params, &MobilityConfig::default());
+        for _ in 0..3 {
+            world.tick();
+        }
+        let maintained = world.grid_index();
+        let fresh = GridIndex::build(world.points(), params.delta);
+        assert_eq!(maintained.len(), fresh.len());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for q in (0..1000u32).step_by(37) {
+            maintained.neighbors_within(q, params.delta, &mut a);
+            fresh.neighbors_within(q, params.delta, &mut b);
+            assert_eq!(a, b, "query {q}");
+        }
     }
 
     #[test]
@@ -145,5 +212,30 @@ mod tests {
             assert_eq!(a.tick(), b.tick());
         }
         assert_eq!(a.points(), b.points());
+    }
+
+    #[test]
+    fn sharded_and_threaded_worlds_stay_bit_identical() {
+        let cfg = MobilityConfig::default();
+        let base = small_params();
+        for (shards, threads) in [(1usize, 1usize), (7, 2), (64, 4)] {
+            let params = Params {
+                shards,
+                threads,
+                ..base.clone()
+            };
+            let mut world = MobileWorld::new(&params, &cfg);
+            for _ in 0..3 {
+                world.tick();
+            }
+            let mut ref2 = MobileWorld::new(&base, &cfg);
+            for _ in 0..3 {
+                ref2.tick();
+            }
+            assert_eq!(world.points(), ref2.points());
+            let a: Vec<_> = world.wpg_snapshot().edges().collect();
+            let b: Vec<_> = ref2.wpg_snapshot().edges().collect();
+            assert_eq!(a, b, "shards={shards} threads={threads}");
+        }
     }
 }

@@ -28,7 +28,7 @@ mod snapshot;
 
 pub use hist::{bucket_index, bucket_lower_bound, bucket_upper_bound, Histogram, N_BUCKETS};
 pub use registry::Registry;
-pub use snapshot::{CounterSnapshot, HistogramSnapshot, MetricsSnapshot};
+pub use snapshot::{CounterSnapshot, HistogramSnapshot, MetricsSnapshot, MetricsWindow};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
@@ -58,6 +58,18 @@ pub mod stage {
     pub const REGISTRY_LOCK_WAIT: &str = "registry.claim.lock_wait";
     /// One mobility tick's incremental WPG maintenance.
     pub const MOBILITY_INCREMENTAL: &str = "mobility.tick.incremental";
+    /// Incremental sub-stage: staging the move batch into the sharded grid.
+    pub const INC_STAGE: &str = "wpg.inc.stage";
+    /// Incremental sub-stage: committing dirty shards (CSR rebuild).
+    pub const INC_COMMIT: &str = "wpg.inc.commit";
+    /// Incremental sub-stage: dirty-set collection (3×3 dilation gather).
+    pub const INC_COLLECT: &str = "wpg.inc.collect";
+    /// Incremental sub-stage: dirty-set rank rescore.
+    pub const INC_RESCORE: &str = "wpg.inc.rescore";
+    /// Incremental snapshot: mutual-edge emission from maintained ranks.
+    pub const INC_EMIT: &str = "wpg.inc.emit";
+    /// Incremental snapshot: in-place CSR refill.
+    pub const INC_REFILL: &str = "wpg.inc.refill";
     /// One mobility tick's from-scratch rebuild (when measured).
     pub const MOBILITY_REBUILD: &str = "mobility.tick.rebuild";
     /// One `LbsServer::handle` call (query evaluation + transfer accounting).

@@ -86,6 +86,51 @@ impl Wpg {
         g
     }
 
+    /// Rebuilds this graph in place over `n` vertices from an undirected
+    /// edge list, reusing the existing CSR buffers — allocation-free once
+    /// they reach steady size. Produces exactly the CSR of
+    /// [`Wpg::from_edges`] (same counting sort, same per-vertex neighbor
+    /// order), without a cursor scratch: the scatter advances `offsets[v]`
+    /// through `v`'s slice, which leaves `offsets[v]` holding `v+1`'s start,
+    /// so one right-shift restores the offset array afterwards.
+    pub fn refill_from_edges(&mut self, n: usize, edges: &[Edge]) {
+        self.offsets.clear();
+        self.offsets.resize(n + 1, 0);
+        for e in edges {
+            debug_assert!(
+                (e.u as usize) < n && (e.v as usize) < n,
+                "edge out of range"
+            );
+            self.offsets[e.u as usize + 1] += 1;
+            self.offsets[e.v as usize + 1] += 1;
+        }
+        for i in 1..=n {
+            self.offsets[i] += self.offsets[i - 1];
+        }
+        let total = self.offsets[n] as usize;
+        self.nbr_ids.clear();
+        self.nbr_ids.resize(total, 0);
+        self.nbr_weights.clear();
+        self.nbr_weights.resize(total, 0);
+        for e in edges {
+            let cu = &mut self.offsets[e.u as usize];
+            self.nbr_ids[*cu as usize] = e.v;
+            self.nbr_weights[*cu as usize] = e.w;
+            *cu += 1;
+            let cv = &mut self.offsets[e.v as usize];
+            self.nbr_ids[*cv as usize] = e.u;
+            self.nbr_weights[*cv as usize] = e.w;
+            *cv += 1;
+        }
+        // Each offsets[v] now holds v's old end = v+1's start; shift right.
+        for v in (1..=n).rev() {
+            self.offsets[v] = self.offsets[v - 1];
+        }
+        self.offsets[0] = 0;
+        self.n_edges = edges.len();
+        debug_assert!(self.check_no_duplicates(), "duplicate edges in WPG input");
+    }
+
     /// Builds the same CSR as [`Wpg::from_edges`] with the degree count and
     /// the neighbor scatter split across `threads` scoped worker threads —
     /// the counting-sort scheme of `GridIndex::build_threads`: per-chunk
@@ -372,6 +417,32 @@ mod tests {
         let empty = Wpg::from_edges_threads(4, &[], 8);
         assert_eq!(empty.n(), 4);
         assert_eq!(empty.m(), 0);
+    }
+
+    #[test]
+    fn refill_is_bit_identical_to_from_edges() {
+        let n = 40usize;
+        let mut edges = Vec::new();
+        for i in 0..n as UserId {
+            for j in 1..=2u32 {
+                let v = (i + j * 11) % n as UserId;
+                if i < v {
+                    edges.push(Edge::new(i, v, (i + j) % 6 + 1));
+                }
+            }
+        }
+        let fresh = Wpg::from_edges(n, &edges);
+        // Refill a graph that previously held something else entirely.
+        let mut reused = Wpg::from_edges(7, &[Edge::new(0, 3, 2), Edge::new(1, 2, 1)]);
+        reused.refill_from_edges(n, &edges);
+        assert_eq!(reused.offsets, fresh.offsets);
+        assert_eq!(reused.nbr_ids, fresh.nbr_ids);
+        assert_eq!(reused.nbr_weights, fresh.nbr_weights);
+        assert_eq!(reused.m(), fresh.m());
+        // Refilling with an empty edge list over fewer vertices also works.
+        reused.refill_from_edges(3, &[]);
+        assert_eq!(reused.n(), 3);
+        assert_eq!(reused.m(), 0);
     }
 
     #[test]

@@ -7,84 +7,124 @@
 //! was within radio range of it before the move or is within range after.
 //!
 //! [`IncrementalWpg`] exploits that locality. It owns a
-//! [`nela_geo::DynamicGrid`] plus the per-user rank lists, and on
+//! [`nela_geo::ShardedDynamicGrid`] — region-sharded with per-shard dirty
+//! queues — plus flat per-user rank arenas, and on
 //! [`IncrementalWpg::apply_moves`]:
 //!
-//! 1. relocates the movers in the grid (O(1) amortized each),
-//! 2. computes the **dirty set** — the movers plus every user strictly
-//!    within δ of a mover's old or new position,
+//! 1. stages every move in the grid and commits the batch in one pass (only
+//!    shards containing movers rebuild their cell structure),
+//! 2. computes the **dirty set** from the grid's source-cell queues: the 3×3
+//!    cell dilation of every cell a mover left or entered. Marking costs
+//!    O(movers + dirty cells), not a δ-probe per mover,
 //! 3. re-runs the δ-query + RSS-sort + truncate-to-M pipeline for dirty
-//!    users only.
+//!    users only — optionally chunked over `threads` workers, bit-identical
+//!    to the serial order — and records which users' rank lists *actually*
+//!    changed (clean users survive the tick with their epoch's lists).
 //!
-//! **Exactness.** A user `u` outside the dirty set has the same in-range
-//! peer set before and after the batch (no mover entered or left its δ-ball),
-//! and every retained peer `v` is a non-mover whose position — and hence
-//! RSS score at `u` — is unchanged. The sort key `(rss desc, id asc)` is a
-//! total order, so `u`'s rank list is bit-identical to what a from-scratch
-//! build would produce. [`IncrementalWpg::snapshot`] therefore reconstructs
-//! a graph equal (vertices, edges, weights) to
-//! `WpgBuilder::build(current positions)`; the property test
-//! `tests/incremental_equivalence.rs` checks this on random move batches.
+//! **Exactness.** Cell side ≥ δ, so any user within δ of a mover's old or
+//! new position lives in the 3×3 dilation of the mover's old or new cell:
+//! the dirty set is a conservative superset of every user whose in-range
+//! peer set could have changed. A user outside it retains the same peers at
+//! unchanged positions, and the sort key `(rss desc, id asc)` is a total
+//! order, so its rank list is bit-identical to a from-scratch build; a dirty
+//! user is recomputed by the builder's exact pipeline. The rescore of a user
+//! whose neighborhood did not change is idempotent, so over-approximation
+//! never changes the result. [`IncrementalWpg::snapshot`] therefore
+//! reconstructs a graph equal (vertices, edges, weights) to
+//! `WpgBuilder::build(current positions)`; the property tests in
+//! `tests/incremental_equivalence.rs` check this on random move batches
+//! across shard and thread counts.
 
 use crate::builder::WpgBuilder;
 use crate::graph::{Edge, Wpg};
 use crate::rss::RssModel;
-use nela_geo::{DynamicGrid, Point, UserId};
+use nela_geo::{GridError, Point, ShardedDynamicGrid, UserId};
 
 /// Counters describing one [`IncrementalWpg::apply_moves`] batch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct UpdateStats {
-    /// Moves applied (after deduplication the last position per id wins).
+    /// Unique users moved (duplicate ids in the batch count once; the last
+    /// position per id wins).
     pub moved: usize,
-    /// Users whose rank list was recomputed (movers + δ-neighborhoods).
+    /// Users whose rank list was recomputed (dirty-region superset).
     pub dirty: usize,
+    /// Users whose rank list actually changed — the exact set of users whose
+    /// incident edges may differ from the previous tick.
+    pub changed: usize,
 }
 
 /// A WPG kept up to date under a stream of position updates.
 #[derive(Debug, Clone)]
 pub struct IncrementalWpg<R: RssModel> {
     builder: WpgBuilder<R>,
-    grid: DynamicGrid,
-    /// Per-user top-M peer list with 1-based RSS ranks — the same state
-    /// `WpgBuilder::build_with_index` derives internally.
-    rank_of: Vec<Vec<(UserId, u32)>>,
+    grid: ShardedDynamicGrid,
+    /// Worker threads for the dirty-set rescore and threaded snapshots.
+    threads: usize,
+    /// Flat rank arena: user `u`'s retained peers, strongest first, are
+    /// `rank_peers[u·M .. u·M + rank_len[u]]`; a peer's 1-based rank is its
+    /// position in that row plus one (`M = builder.max_peers`).
+    rank_peers: Vec<UserId>,
+    rank_len: Vec<u32>,
     /// Scratch buffers reused across updates.
     buf: Vec<(UserId, f64)>,
     scored: Vec<(f64, UserId)>,
-    dirty_mark: Vec<bool>,
     dirty_ids: Vec<UserId>,
+    changed_ids: Vec<UserId>,
+    edges_scratch: Vec<Edge>,
+    /// Epoch-stamped per-user marks for unique-mover counting.
+    seen_mark: Vec<u32>,
+    seen_epoch: u32,
 }
 
 impl<R: RssModel> IncrementalWpg<R> {
-    /// Builds the initial state from scratch over `points`.
+    /// Builds the initial state from scratch over `points` with the default
+    /// shard layout, rescoring serially.
     pub fn new(builder: WpgBuilder<R>, points: &[Point]) -> Self {
-        let grid = DynamicGrid::build(points, builder.delta);
+        Self::with_topology(builder, points, nela_geo::sharded::DEFAULT_SHARDS, 1)
+    }
+
+    /// Builds the initial state with an explicit region-shard count and
+    /// rescore thread count. Both only affect performance: the maintained
+    /// graph is bit-identical for every `(shards, threads)` combination.
+    pub fn with_topology(
+        builder: WpgBuilder<R>,
+        points: &[Point],
+        shards: usize,
+        threads: usize,
+    ) -> Self {
+        let grid = ShardedDynamicGrid::build_with_shards(points, builder.delta, shards);
         let n = points.len();
+        let m = builder.max_peers;
         let mut this = IncrementalWpg {
             builder,
             grid,
-            rank_of: vec![Vec::new(); n],
+            threads: threads.max(1),
+            rank_peers: vec![0; n * m],
+            rank_len: vec![0; n],
             buf: Vec::new(),
             scored: Vec::new(),
-            dirty_mark: vec![false; n],
             dirty_ids: Vec::new(),
+            changed_ids: Vec::new(),
+            edges_scratch: Vec::new(),
+            seen_mark: vec![0; n],
+            seen_epoch: 0,
         };
-        for u in 0..n as UserId {
-            this.rescore(u);
-        }
+        let all: Vec<UserId> = (0..n as UserId).collect();
+        this.rescore_batch(&all);
+        this.changed_ids.clear();
         this
     }
 
     /// Number of users.
     #[inline]
     pub fn len(&self) -> usize {
-        self.rank_of.len()
+        self.rank_len.len()
     }
 
     /// True when the population is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.rank_of.is_empty()
+        self.rank_len.is_empty()
     }
 
     /// Current positions, indexed by id.
@@ -93,9 +133,9 @@ impl<R: RssModel> IncrementalWpg<R> {
         self.grid.points()
     }
 
-    /// The underlying mutable grid (for δ-queries against current state).
+    /// The underlying sharded grid (for δ-queries against current state).
     #[inline]
-    pub fn grid(&self) -> &DynamicGrid {
+    pub fn grid(&self) -> &ShardedDynamicGrid {
         &self.grid
     }
 
@@ -105,15 +145,89 @@ impl<R: RssModel> IncrementalWpg<R> {
         self.builder.delta
     }
 
-    /// `u`'s current top-M peer list as `(peer, 1-based rank)`.
+    /// Sets the rescore/snapshot worker-thread count (1 = serial; results
+    /// are bit-identical for any value).
     #[inline]
-    pub fn peers_of(&self, u: UserId) -> &[(UserId, u32)] {
-        &self.rank_of[u as usize]
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
     }
 
-    /// Recomputes `u`'s top-M rank list from the current grid. Identical
-    /// pipeline to `WpgBuilder::build_with_index`.
-    fn rescore(&mut self, u: UserId) {
+    /// `u`'s current retained peers, strongest first; a peer's 1-based RSS
+    /// rank is its position in the slice plus one.
+    #[inline]
+    pub fn peers_of(&self, u: UserId) -> &[UserId] {
+        let lo = u as usize * self.builder.max_peers;
+        &self.rank_peers[lo..lo + self.rank_len[u as usize] as usize]
+    }
+
+    /// Users whose rank list changed in the last [`IncrementalWpg::apply_moves`]
+    /// batch — exactly the users whose incident WPG edges may differ from
+    /// the previous tick (an edge weight is the min of its endpoints' ranks,
+    /// so an edge can only change when an endpoint's list changed).
+    #[inline]
+    pub fn changed_users(&self) -> &[UserId] {
+        &self.changed_ids
+    }
+
+    /// Recomputes the rank rows of every user in `dirty` (serially or
+    /// chunked over `self.threads` — bit-identical either way since each
+    /// user's pipeline reads only the committed grid), appending the users
+    /// whose rows actually changed to `self.changed_ids`.
+    fn rescore_batch(&mut self, dirty: &[UserId]) {
+        if self.threads <= 1 || dirty.len() < 2 {
+            for &u in dirty {
+                self.rescore_serial(u);
+            }
+            return;
+        }
+        // Parallel: chunks compute fresh rank rows into per-chunk arenas
+        // against the shared immutable grid; the write-back below runs on
+        // the caller thread in chunk (= dirty) order.
+        let grid = &self.grid;
+        let builder = &self.builder;
+        let chunk_rows: Vec<(Vec<UserId>, Vec<u32>)> =
+            nela_par::map_chunks(self.threads, dirty.len(), move |range| {
+                let mut buf: Vec<(UserId, f64)> = Vec::new();
+                let mut scored: Vec<(f64, UserId)> = Vec::new();
+                let mut peers: Vec<UserId> = Vec::new();
+                let mut lens: Vec<u32> = Vec::with_capacity(range.len());
+                let points = grid.points();
+                for i in range {
+                    let u = dirty[i];
+                    grid.neighbors_within(u, builder.delta, &mut buf);
+                    let pu = points[u as usize];
+                    scored.clear();
+                    scored.extend(buf.iter().map(|&(v, d_sq)| {
+                        (
+                            builder
+                                .rss
+                                .rss_from_dist_sq(u, pu, v, points[v as usize], d_sq),
+                            v,
+                        )
+                    }));
+                    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+                    scored.truncate(builder.max_peers);
+                    peers.extend(scored.iter().map(|&(_, v)| v));
+                    lens.push(scored.len() as u32);
+                }
+                (peers, lens)
+            });
+        let mut i = 0;
+        for (peers, lens) in chunk_rows {
+            let mut lo = 0usize;
+            for len in lens {
+                let u = dirty[i];
+                i += 1;
+                self.store_row(u, &peers[lo..lo + len as usize]);
+                lo += len as usize;
+            }
+        }
+    }
+
+    /// Serial rescore of `u`: the exact `WpgBuilder::build_with_index`
+    /// pipeline (δ-query with grid-computed squared distances → RSS fast
+    /// path → `(rss desc, id asc)` sort → truncate to M).
+    fn rescore_serial(&mut self, u: UserId) {
         self.grid
             .neighbors_within(u, self.builder.delta, &mut self.buf);
         let points = self.grid.points();
@@ -134,92 +248,186 @@ impl<R: RssModel> IncrementalWpg<R> {
         self.scored
             .sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         self.scored.truncate(self.builder.max_peers);
-        self.rank_of[u as usize].clear();
-        self.rank_of[u as usize].extend(
-            self.scored
+        let lo = u as usize * self.builder.max_peers;
+        let old_len = self.rank_len[u as usize] as usize;
+        let unchanged = old_len == self.scored.len()
+            && self
+                .scored
                 .iter()
-                .enumerate()
-                .map(|(i, &(_, v))| (v, i as u32 + 1)),
-        );
+                .zip(&self.rank_peers[lo..lo + old_len])
+                .all(|(&(_, v), &p)| v == p);
+        if unchanged {
+            return;
+        }
+        for (i, &(_, v)) in self.scored.iter().enumerate() {
+            self.rank_peers[lo + i] = v;
+        }
+        self.rank_len[u as usize] = self.scored.len() as u32;
+        self.changed_ids.push(u);
     }
 
-    #[inline]
-    fn mark_dirty(&mut self, u: UserId) {
-        if !self.dirty_mark[u as usize] {
-            self.dirty_mark[u as usize] = true;
-            self.dirty_ids.push(u);
+    /// Writes `peers` (strongest first) as `u`'s rank row if it differs from
+    /// the current one, maintaining the changed list.
+    fn store_row(&mut self, u: UserId, peers: &[UserId]) {
+        let m = self.builder.max_peers;
+        let lo = u as usize * m;
+        let old_len = self.rank_len[u as usize] as usize;
+        if old_len == peers.len() && &self.rank_peers[lo..lo + old_len] == peers {
+            return;
         }
+        self.rank_peers[lo..lo + peers.len()].copy_from_slice(peers);
+        self.rank_len[u as usize] = peers.len() as u32;
+        self.changed_ids.push(u);
     }
 
     /// Applies a batch of position updates and restores WPG exactness.
     ///
     /// When the same id appears multiple times in `moves`, positions are
-    /// applied in order and the last one wins. Returns the batch counters.
+    /// applied in order and the last one wins (and the id counts once in
+    /// `moved`). Returns the batch counters.
+    ///
+    /// # Panics
+    /// Panics if a move names an id outside the population; use
+    /// [`IncrementalWpg::try_apply_moves`] for untrusted batches.
     pub fn apply_moves(&mut self, moves: &[(UserId, Point)]) -> UpdateStats {
-        // Phase 1: relocate everyone, remembering each mover's old position.
-        // (Relocating first means the δ-queries below all run against final
-        // positions, so a mover probed near another mover's old spot cannot
-        // be missed.)
-        let mut old_positions: Vec<(UserId, Point)> = Vec::with_capacity(moves.len());
-        for &(id, pos) in moves {
-            let old = self.grid.relocate(id, pos);
-            old_positions.push((id, old));
-        }
-
-        // Phase 2: dirty set = movers ∪ { users within δ of a mover's old or
-        // new position }. Queries probe positions (not ids) so the mover's
-        // vacated location can still be searched.
-        let delta = self.builder.delta;
-        let mut probe: Vec<(UserId, f64)> = Vec::new();
-        for &(id, old) in &old_positions {
-            self.mark_dirty(id);
-            self.grid.neighbors_of_point(old, id, delta, &mut probe);
-            for &(v, _) in &probe {
-                self.mark_dirty(v);
-            }
-            let new_pos = self.grid.position(id);
-            self.grid.neighbors_of_point(new_pos, id, delta, &mut probe);
-            for &(v, _) in &probe {
-                self.mark_dirty(v);
-            }
-        }
-
-        // Phase 3: re-score dirty users only.
-        let dirty = std::mem::take(&mut self.dirty_ids);
-        for &u in &dirty {
-            self.rescore(u);
-        }
-        for &u in &dirty {
-            self.dirty_mark[u as usize] = false;
-        }
-        let stats = UpdateStats {
-            moved: moves.len(),
-            dirty: dirty.len(),
-        };
-        self.dirty_ids = dirty;
-        self.dirty_ids.clear();
-        stats
+        self.try_apply_moves(moves)
+            .expect("apply_moves: id outside population")
     }
 
-    /// Materializes the current graph. Runs only the mutual min-rank edge
-    /// pass (O(n · M)); the expensive δ-query/sort work is already folded
-    /// into the maintained rank lists.
-    pub fn snapshot(&self) -> Wpg {
-        let n = self.rank_of.len();
-        let mut edges = Vec::new();
-        for u in 0..n as UserId {
-            for &(v, rank_v_at_u) in &self.rank_of[u as usize] {
-                if v <= u {
-                    continue;
+    /// [`IncrementalWpg::apply_moves`] that rejects out-of-range ids with a
+    /// typed error. Moves preceding the offending entry are already staged
+    /// and are committed (with their neighborhoods rescored) before
+    /// returning the error, so the graph stays exact for the applied prefix.
+    pub fn try_apply_moves(&mut self, moves: &[(UserId, Point)]) -> Result<UpdateStats, GridError> {
+        // Phase 1: stage every move. Staging updates positions immediately
+        // and marks old/new cells as this epoch's source cells; the δ-range
+        // structure is committed once below, so the rescores all run against
+        // final positions and a mover probed near another mover's old spot
+        // cannot be missed.
+        let stage_span = nela_obs::span(nela_obs::stage::INC_STAGE);
+        self.grid.begin_tick();
+        self.seen_epoch = self.seen_epoch.wrapping_add(1);
+        if self.seen_epoch == 0 {
+            self.seen_mark.iter_mut().for_each(|m| *m = 0);
+            self.seen_epoch = 1;
+        }
+        let mut moved = 0usize;
+        let mut first_error: Option<GridError> = None;
+        for &(id, pos) in moves {
+            match self.grid.try_stage_move(id, pos) {
+                Ok(_) => {
+                    if self.seen_mark[id as usize] != self.seen_epoch {
+                        self.seen_mark[id as usize] = self.seen_epoch;
+                        moved += 1;
+                    }
                 }
-                if let Some(&(_, rank_u_at_v)) =
-                    self.rank_of[v as usize].iter().find(|&&(x, _)| x == u)
+                Err(e) => {
+                    first_error = Some(e);
+                    break;
+                }
+            }
+        }
+        drop(stage_span);
+        // Phase 2: commit — only shards containing movers rebuild.
+        let commit_span = nela_obs::span(nela_obs::stage::INC_COMMIT);
+        self.grid.commit_moves();
+        drop(commit_span);
+
+        // Phase 3: rescore the dirty-region users against the committed grid.
+        let collect_span = nela_obs::span(nela_obs::stage::INC_COLLECT);
+        let mut dirty = std::mem::take(&mut self.dirty_ids);
+        self.grid.collect_dirty_users(&mut dirty);
+        drop(collect_span);
+        let rescore_span = nela_obs::span(nela_obs::stage::INC_RESCORE);
+        self.changed_ids.clear();
+        self.rescore_batch(&dirty);
+        drop(rescore_span);
+        let stats = UpdateStats {
+            moved,
+            dirty: dirty.len(),
+            changed: self.changed_ids.len(),
+        };
+        self.dirty_ids = dirty;
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(stats),
+        }
+    }
+
+    /// Emits the mutual min-rank edges whose lower endpoint lies in
+    /// `users` — the exact emission order of `WpgBuilder`'s edge pass (u
+    /// ascending, peers in rank order). The reverse rank is a linear probe of
+    /// the peer's ≤ M-entry rank row, the same scan the builder's `rank_of`
+    /// uses — cheaper than maintaining an id-sorted mirror in every rescore.
+    fn emit_edges(&self, users: std::ops::Range<usize>, edges: &mut Vec<Edge>) {
+        let m = self.builder.max_peers;
+        for u in users {
+            let u = u as UserId;
+            let lo = u as usize * m;
+            let len = self.rank_len[u as usize] as usize;
+            for (i, &v) in self.rank_peers[lo..lo + len].iter().enumerate() {
+                if v <= u {
+                    continue; // handle each unordered pair once, from the lower id
+                }
+                let rank_v_at_u = i as u32 + 1;
+                let vlo = v as usize * m;
+                let vlen = self.rank_len[v as usize] as usize;
+                if let Some(at) = self.rank_peers[vlo..vlo + vlen]
+                    .iter()
+                    .position(|&p| p == u)
                 {
+                    let rank_u_at_v = at as u32 + 1;
                     edges.push(Edge::new(u, v, rank_v_at_u.min(rank_u_at_v)));
                 }
             }
         }
-        Wpg::from_edges(n, &edges)
+    }
+
+    /// Materializes the current graph. Runs only the mutual min-rank edge
+    /// pass (O(n · M log M)); the expensive δ-query/sort work is already
+    /// folded into the maintained rank lists.
+    pub fn snapshot(&self) -> Wpg {
+        self.snapshot_threads(1)
+    }
+
+    /// [`IncrementalWpg::snapshot`] with the edge emission and CSR fill
+    /// chunked over `threads` workers — bit-identical to the serial snapshot
+    /// for any thread count (chunk concatenation reproduces the serial
+    /// emission order; `Wpg::from_edges_threads` is pinned bit-identical).
+    pub fn snapshot_threads(&self, threads: usize) -> Wpg {
+        let n = self.rank_len.len();
+        if threads <= 1 {
+            let mut edges = Vec::new();
+            self.emit_edges(0..n, &mut edges);
+            return Wpg::from_edges(n, &edges);
+        }
+        let chunks: Vec<Vec<Edge>> = nela_par::map_chunks(threads, n, |range| {
+            let mut edges = Vec::new();
+            self.emit_edges(range, &mut edges);
+            edges
+        });
+        let mut edges = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+        for chunk in chunks {
+            edges.extend(chunk);
+        }
+        Wpg::from_edges_threads(n, &edges, threads)
+    }
+
+    /// Rebuilds `wpg` in place from the current rank lists, reusing both the
+    /// edge scratch owned by `self` and `wpg`'s CSR buffers — the alloc-free
+    /// steady-state snapshot for per-tick serving. The result is
+    /// bit-identical to [`IncrementalWpg::snapshot`].
+    pub fn snapshot_into(&mut self, wpg: &mut Wpg) {
+        let n = self.rank_len.len();
+        let mut edges = std::mem::take(&mut self.edges_scratch);
+        edges.clear();
+        let emit_span = nela_obs::span(nela_obs::stage::INC_EMIT);
+        self.emit_edges(0..n, &mut edges);
+        drop(emit_span);
+        let refill_span = nela_obs::span(nela_obs::stage::INC_REFILL);
+        wpg.refill_from_edges(n, &edges);
+        drop(refill_span);
+        self.edges_scratch = edges;
     }
 }
 
@@ -257,6 +465,7 @@ mod tests {
         let mut inc = IncrementalWpg::new(builder.clone(), &pts);
         let stats = inc.apply_moves(&[(17, Point::new(0.5, 0.5))]);
         assert!(stats.dirty >= 1);
+        assert_eq!(stats.moved, 1);
         assert_graphs_equal(&inc.snapshot(), &builder.build(inc.points()));
     }
 
@@ -304,15 +513,63 @@ mod tests {
     }
 
     #[test]
+    fn moved_counts_unique_ids_not_batch_entries() {
+        // Regression: `moved` must be the deduplicated mover count the field
+        // doc promises, not `moves.len()`.
+        let pts = random_points(120, 13);
+        let builder = WpgBuilder::new(0.1, 4, InverseDistanceRss);
+        let mut inc = IncrementalWpg::new(builder.clone(), &pts);
+        let stats = inc.apply_moves(&[
+            (3, Point::new(0.2, 0.2)),
+            (7, Point::new(0.8, 0.1)),
+            (3, Point::new(0.9, 0.9)),
+            (7, Point::new(0.3, 0.3)),
+            (3, Point::new(0.4, 0.6)),
+        ]);
+        assert_eq!(stats.moved, 2, "5 batch entries over 2 unique ids");
+        // And the dedup state resets between batches.
+        let stats = inc.apply_moves(&[(3, Point::new(0.1, 0.1))]);
+        assert_eq!(stats.moved, 1);
+        assert_graphs_equal(&inc.snapshot(), &builder.build(inc.points()));
+    }
+
+    #[test]
     fn empty_batch_is_a_noop() {
         let pts = random_points(120, 2);
         let builder = WpgBuilder::new(0.1, 4, InverseDistanceRss);
         let mut inc = IncrementalWpg::new(builder.clone(), &pts);
         let before: Vec<_> = inc.snapshot().edges().collect();
         let stats = inc.apply_moves(&[]);
-        assert_eq!(stats, UpdateStats { moved: 0, dirty: 0 });
+        assert_eq!(
+            stats,
+            UpdateStats {
+                moved: 0,
+                dirty: 0,
+                changed: 0
+            }
+        );
         let after: Vec<_> = inc.snapshot().edges().collect();
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn out_of_range_move_is_rejected_typed() {
+        let pts = random_points(50, 4);
+        let builder = WpgBuilder::new(0.1, 4, InverseDistanceRss);
+        let mut inc = IncrementalWpg::new(builder.clone(), &pts);
+        let err = inc
+            .try_apply_moves(&[(2, Point::new(0.5, 0.5)), (50, Point::new(0.1, 0.1))])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GridError::UnknownId {
+                id: 50,
+                population: 50
+            }
+        );
+        // The valid prefix was applied and the graph is still exact.
+        assert_eq!(inc.points()[2], Point::new(0.5, 0.5));
+        assert_graphs_equal(&inc.snapshot(), &builder.build(inc.points()));
     }
 
     #[test]
@@ -333,5 +590,75 @@ mod tests {
             "a 0.001 nudge dirtied {} of 1000 users",
             stats.dirty
         );
+        assert!(stats.changed <= stats.dirty);
+    }
+
+    #[test]
+    fn changed_users_is_exact_for_far_teleport() {
+        // Teleporting an isolated corner user far away changes its own list
+        // (and any users gaining/losing it as a peer) but no one else's.
+        let mut pts = random_points(300, 17);
+        pts[0] = Point::new(0.001, 0.001);
+        let builder = WpgBuilder::new(0.05, 6, InverseDistanceRss);
+        let mut inc = IncrementalWpg::new(builder.clone(), &pts);
+        let before: Vec<Vec<UserId>> = (0..300).map(|u| inc.peers_of(u).to_vec()).collect();
+        let stats = inc.apply_moves(&[(0, Point::new(0.5, 0.5))]);
+        let changed: std::collections::HashSet<UserId> =
+            inc.changed_users().iter().copied().collect();
+        assert_eq!(changed.len(), stats.changed);
+        for u in 0..300u32 {
+            let now = inc.peers_of(u);
+            if changed.contains(&u) {
+                assert_ne!(now, &before[u as usize][..], "user {u} marked but equal");
+            } else {
+                assert_eq!(now, &before[u as usize][..], "user {u} changed unmarked");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_rescore_and_snapshot_are_bit_identical() {
+        let pts = random_points(500, 23);
+        let builder = WpgBuilder::new(0.06, 6, InverseDistanceRss);
+        let mut serial = IncrementalWpg::with_topology(builder.clone(), &pts, 4, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let ticks: Vec<Vec<(UserId, Point)>> = (0..5)
+            .map(|_| {
+                (0..120)
+                    .map(|_| (rng.gen_range(0..500u32), Point::new(rng.gen(), rng.gen())))
+                    .collect()
+            })
+            .collect();
+        for threads in [2usize, 4] {
+            let mut par = IncrementalWpg::with_topology(builder.clone(), &pts, 4, threads);
+            for moves in &ticks {
+                let a = serial.apply_moves(moves);
+                let b = par.apply_moves(moves);
+                assert_eq!(a, b, "threads={threads}");
+                assert_eq!(serial.rank_peers, par.rank_peers, "threads={threads}");
+                assert_eq!(serial.rank_len, par.rank_len, "threads={threads}");
+                assert_graphs_equal(&par.snapshot_threads(threads), &serial.snapshot());
+            }
+            // Rewind the serial instance for the next thread count.
+            serial = IncrementalWpg::with_topology(builder.clone(), &pts, 4, 1);
+        }
+    }
+
+    #[test]
+    fn snapshot_into_reuses_buffers_and_matches() {
+        let pts = random_points(250, 29);
+        let builder = WpgBuilder::new(0.07, 5, InverseDistanceRss);
+        let mut inc = IncrementalWpg::new(builder.clone(), &pts);
+        let mut wpg = inc.snapshot();
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        for _ in 0..5 {
+            let moves: Vec<(UserId, Point)> = (0..60)
+                .map(|_| (rng.gen_range(0..250u32), Point::new(rng.gen(), rng.gen())))
+                .collect();
+            inc.apply_moves(&moves);
+            inc.snapshot_into(&mut wpg);
+            assert_graphs_equal(&wpg, &inc.snapshot());
+            assert_graphs_equal(&wpg, &builder.build(inc.points()));
+        }
     }
 }

@@ -54,6 +54,108 @@ proptest! {
         }
     }
 
+    /// High-churn ticks — 50% and 100% of the population moving every tick,
+    /// the regime the sharded dirty-region path must win in — stay exactly
+    /// equivalent to a rebuild across region-shard counts and thread counts,
+    /// with every variant bit-identical to the serial single-shard snapshot.
+    #[test]
+    fn high_move_fraction_equals_rebuild_across_shards_and_threads(
+        seed in 0u64..1_000_000,
+        n in 60usize..250,
+        full_move in 0usize..2,
+        delta in 0.03f64..0.1,
+        m in 3usize..8,
+    ) {
+        let fraction_pct = if full_move == 1 { 100 } else { 50 };
+        let pts = random_points(n, seed);
+        let builder = WpgBuilder::new(delta, m, InverseDistanceRss);
+        let movers = (n * fraction_pct / 100).max(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5AD5);
+        let ticks: Vec<Vec<(u32, Point)>> = (0..3)
+            .map(|_| {
+                (0..movers)
+                    .map(|_| {
+                        (
+                            rng.gen_range(0..n as u32),
+                            Point::new(rng.gen(), rng.gen()),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        // Serial single-shard reference plus sharded/threaded variants.
+        let mut reference = IncrementalWpg::with_topology(builder.clone(), &pts, 1, 1);
+        let mut variants: Vec<IncrementalWpg<InverseDistanceRss>> =
+            [(4usize, 1usize), (16, 2), (64, 4)]
+                .iter()
+                .map(|&(shards, threads)| {
+                    IncrementalWpg::with_topology(builder.clone(), &pts, shards, threads)
+                })
+                .collect();
+        for moves in &ticks {
+            let ref_stats = reference.apply_moves(moves);
+            let rebuilt = builder.build(reference.points());
+            let ref_edges = edges_of(&reference.snapshot());
+            prop_assert_eq!(&ref_edges, &edges_of(&rebuilt));
+            for (vi, inc) in variants.iter_mut().enumerate() {
+                let stats = inc.apply_moves(moves);
+                // Mover accounting is topology-independent.
+                prop_assert_eq!(stats.moved, ref_stats.moved, "variant {}", vi);
+                prop_assert_eq!(inc.points(), reference.points(), "variant {}", vi);
+                // Serial, threaded, and in-place snapshots all bit-match the
+                // single-shard serial reference.
+                prop_assert_eq!(edges_of(&inc.snapshot()), ref_edges.clone(), "variant {}", vi);
+                prop_assert_eq!(
+                    edges_of(&inc.snapshot_threads(4)),
+                    ref_edges.clone(),
+                    "variant {}",
+                    vi
+                );
+                let mut reused = inc.snapshot();
+                inc.snapshot_into(&mut reused);
+                prop_assert_eq!(edges_of(&reused), ref_edges.clone(), "variant {}", vi);
+            }
+        }
+    }
+
+    /// Duplicate-heavy batches (every id appears several times, last position
+    /// wins) stay exact and count each mover once, across shard layouts.
+    #[test]
+    fn duplicate_heavy_batches_stay_exact(
+        seed in 0u64..1_000_000,
+        n in 40usize..150,
+        unique_movers in 2usize..20,
+        repeats in 2usize..6,
+        shard_sel in 0usize..3,
+    ) {
+        let shards = [1usize, 8, 32][shard_sel];
+        let pts = random_points(n, seed);
+        let builder = WpgBuilder::new(0.06, 5, InverseDistanceRss);
+        let mut inc = IncrementalWpg::with_topology(builder.clone(), &pts, shards, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xD0D0);
+        let ids: Vec<u32> = (0..unique_movers)
+            .map(|_| rng.gen_range(0..n as u32))
+            .collect();
+        let mut moves: Vec<(u32, Point)> = Vec::new();
+        for _ in 0..repeats {
+            for &id in &ids {
+                moves.push((id, Point::new(rng.gen(), rng.gen())));
+            }
+        }
+        let stats = inc.apply_moves(&moves);
+        let mut distinct = ids.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(stats.moved, distinct.len());
+        // Final position is the last one staged per id.
+        for &id in &distinct {
+            let last = moves.iter().rev().find(|&&(i, _)| i == id).unwrap().1;
+            prop_assert_eq!(inc.points()[id as usize], last);
+        }
+        let rebuilt = builder.build(inc.points());
+        prop_assert_eq!(edges_of(&inc.snapshot()), edges_of(&rebuilt));
+    }
+
     /// Small local drifts (the common mobility-model case) also stay exact,
     /// exercising the dirty-set path where old and new δ-balls overlap.
     #[test]
