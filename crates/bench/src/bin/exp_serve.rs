@@ -2,25 +2,38 @@
 //! of the anonymized LBS serving subsystem (`nela-serve`) under open-loop
 //! Poisson load.
 //!
-//! Full mode builds one system (`NELA_USERS`, default 20,000), then sweeps
-//! query type ∈ {range, krnn} × workers ∈ {1, 2, 4, 8} × offered load,
-//! running a fresh serving session per cell. Every session drives each
-//! admitted request through the whole pipeline — cluster + secure bounding,
-//! cloaked query at the LBS, client refinement — and the report carries
-//! exact per-stage p50/p95/p99 plus backpressure accounting. Results go to
-//! `BENCH_serve.json` at the repository root.
+//! Full mode builds one system (`NELA_USERS`, default 20,000), then runs
+//! four sections into `BENCH_serve.json` at the repository root:
+//!
+//! 1. **Baseline sweep** — query type ∈ {range, krnn} × workers ∈
+//!    {1, 2, 4, 8} × offered load, a fresh in-process serving session per
+//!    cell, exact per-stage p50/p95/p99 plus backpressure accounting.
+//! 2. **Netsim transport** — the same serving loop with both protocol
+//!    phases carried by the simulated radio (5% per-transmission loss):
+//!    per-session RPC retransmit/timeout totals and the virtual time the
+//!    requests spent on the air.
+//! 3. **Carry-over chain** — three sessions chained through
+//!    [`nela_serve::run_session`] checkpoints against a cold baseline:
+//!    the region-reuse rate each session starts with.
+//! 4. **Saturation ramp** — per worker count, the offered rate doubles
+//!    until the session sheds *and* expires requests (small queue, 5 ms
+//!    deadline): the shed/latency knee of the service.
 //!
 //! `--smoke` runs a small population and exits non-zero unless (a) two
-//! same-seed single-worker sessions replay bit-identically (served/shed
-//! counts and the per-request answer digest), and (b) a 2-worker session
-//! with covering queue capacity serves requests with zero shed — the CI
-//! guard for the serving determinism and liveness contracts.
+//! same-seed single-worker sessions replay bit-identically — in-process
+//! *and* over a lossy netsim transport, (b) a 2-worker session with
+//! covering queue capacity serves requests with zero shed, (c) the
+//! shedding accounting identities hold, and (d) a carried checkpoint lifts
+//! the reuse rate over a cold start — the CI guard for the serving
+//! determinism, liveness, and carry-over contracts.
 //!
 //! Environment: `NELA_USERS`, `NELA_RESULTS_DIR` (optional JSON dump).
 
+use nela::netsim::NetworkConfig;
 use nela_bench::{fmt, print_table, ExpConfig};
-use nela_serve::{run_with_system, QueryMix, ServeConfig, ServeReport};
+use nela_serve::{run_session, run_with_system, QueryMix, ServeConfig, ServeReport, Transport};
 use serde::Serialize;
+use std::time::Duration;
 
 const WORKERS: [usize; 4] = [1, 2, 4, 8];
 /// Offered loads swept per (query, workers) cell, in requests per second.
@@ -30,11 +43,48 @@ const REQUESTS: usize = 400;
 /// Range-query radius (unit square) and kRNN size for the workload.
 const RADIUS: f64 = 0.02;
 const K: usize = 5;
+/// Per-transmission loss of the netsim section's radio.
+const NET_LOSS: f64 = 0.05;
+/// Saturation ramp: queue depth, per-request deadline, and the rate ladder
+/// bounds (the rate doubles until the knee or the cap).
+const SAT_QUEUE: usize = 64;
+const SAT_DEADLINE: Duration = Duration::from_millis(5);
+const SAT_START_RATE: f64 = 1_000.0;
+const SAT_MAX_RATE: f64 = 1_024_000.0;
 
 #[derive(Debug, Clone, Serialize)]
 struct Row {
     query: String,
     report: ServeReport,
+}
+
+/// One session of the carry-over chain (or its cold baseline).
+#[derive(Debug, Clone, Serialize)]
+struct CarryRow {
+    /// Position in the chain (0 = first, cold by construction).
+    session: usize,
+    /// `"cold"` or `"carried"` — whether a prior checkpoint seeded it.
+    mode: String,
+    carried_clusters: usize,
+    served: usize,
+    reused: usize,
+    reuse_rate: Option<f64>,
+}
+
+/// One rung of the saturation ramp.
+#[derive(Debug, Clone, Serialize)]
+struct SatRow {
+    workers: usize,
+    offered_rps: f64,
+    sustained_rps: f64,
+    served: usize,
+    shed: usize,
+    expired: usize,
+    e2e_p50_ms: Option<f64>,
+    e2e_p99_ms: Option<f64>,
+    /// True on the rung where the service first sheds and expires — the
+    /// knee this ramp exists to find.
+    at_knee: bool,
 }
 
 #[derive(Debug, Clone, Serialize)]
@@ -43,6 +93,9 @@ struct Report {
     cores: usize,
     population: usize,
     rows: Vec<Row>,
+    netsim_rows: Vec<Row>,
+    carry_over: Vec<CarryRow>,
+    saturation: Vec<SatRow>,
 }
 
 fn cell_config(query: QueryMix, workers: usize, rate: f64) -> ServeConfig {
@@ -57,8 +110,15 @@ fn cell_config(query: QueryMix, workers: usize, rate: f64) -> ServeConfig {
     }
 }
 
-fn ms(ns: u64) -> f64 {
-    ns as f64 / 1e6
+/// Milliseconds of an optional nanosecond percentile, `None` when the stage
+/// recorded no samples.
+fn ms(ns: Option<u64>) -> Option<f64> {
+    ns.map(|n| n as f64 / 1e6)
+}
+
+/// Table cell for an optional millisecond value (`n/a` when absent).
+fn cell(v: Option<f64>) -> String {
+    v.map_or_else(|| "n/a".to_string(), fmt)
 }
 
 fn smoke() -> i32 {
@@ -104,10 +164,42 @@ fn smoke() -> i32 {
         return 1;
     }
 
+    eprintln!("[smoke] netsim replay: lossy transport, same seed twice");
+    let net_cfg = ServeConfig {
+        transport: Transport::Netsim(NetworkConfig {
+            loss: NET_LOSS,
+            seed: 7,
+            ..NetworkConfig::default()
+        }),
+        ..replay_cfg.clone()
+    };
+    let na = run_with_system(&system, &net_cfg).expect("valid config");
+    let nb = run_with_system(&system, &net_cfg).expect("valid config");
+    if na.answers_digest != nb.answers_digest || (na.served, na.failed) != (nb.served, nb.failed) {
+        eprintln!("[smoke] FAIL: netsim replay diverged at a fixed seed");
+        return 1;
+    }
+    let net_a = na.net.clone().expect("netsim totals");
+    let net_b = nb.net.clone().expect("netsim totals");
+    if (net_a.transmissions, net_a.retransmits, net_a.timeouts)
+        != (net_b.transmissions, net_b.retransmits, net_b.timeouts)
+    {
+        eprintln!("[smoke] FAIL: netsim network accounting diverged across replays");
+        return 1;
+    }
+    if net_a.transmissions == 0 || net_a.retransmits == 0 {
+        eprintln!(
+            "[smoke] FAIL: lossy netsim session recorded no traffic/retransmits \
+             ({} transmissions, {} retransmits)",
+            net_a.transmissions, net_a.retransmits
+        );
+        return 1;
+    }
+
     eprintln!("[smoke] liveness: 2 workers, covering queue capacity");
     let pool_cfg = ServeConfig {
         workers: 2,
-        ..replay_cfg
+        ..replay_cfg.clone()
     };
     let pooled = run_with_system(&system, &pool_cfg).expect("valid config");
     if pooled.served == 0 {
@@ -121,16 +213,107 @@ fn smoke() -> i32 {
         );
         return 1;
     }
-    if pooled.served + pooled.failed + pooled.expired != pooled.admitted {
-        eprintln!("[smoke] FAIL: admitted requests unaccounted for");
+    for (label, r) in [("replay", &a), ("netsim", &na), ("pooled", &pooled)] {
+        if r.admitted + r.shed != r.requests || r.served + r.failed + r.expired != r.admitted {
+            eprintln!("[smoke] FAIL: {label} session broke the accounting identities");
+            return 1;
+        }
+    }
+
+    eprintln!("[smoke] carry-over: a checkpoint must lift the reuse rate");
+    let chain_cfg = ServeConfig {
+        requests: 200,
+        ..replay_cfg
+    };
+    let first = run_session(&system, &chain_cfg, None).expect("valid config");
+    let cold = run_session(&system, &chain_cfg, None).expect("valid config");
+    let carried = run_session(&system, &chain_cfg, Some(first.checkpoint)).expect("valid config");
+    if carried.report.carried_clusters == 0 {
+        eprintln!("[smoke] FAIL: nothing carried over an unmoved population");
+        return 1;
+    }
+    if carried.report.reused <= cold.report.reused {
+        eprintln!(
+            "[smoke] FAIL: carry-over did not lift reuse ({} vs cold {})",
+            carried.report.reused, cold.report.reused
+        );
         return 1;
     }
     eprintln!(
-        "[smoke] OK: replay identical (digest {:#x}), {} served across both checks",
-        a.answers_digest,
-        a.served + pooled.served
+        "[smoke] OK: replay identical (digest {:#x}), netsim identical \
+         ({} retransmits), carry-over reuse {} > cold {}",
+        a.answers_digest, net_a.retransmits, carried.report.reused, cold.report.reused
     );
     0
+}
+
+/// Section 3: three chained sessions vs a cold baseline, same config.
+fn carry_over_chain(system: &nela::System) -> Vec<CarryRow> {
+    let cfg = cell_config(QueryMix::Knn { k: K }, 2, 2_000.0);
+    let row = |session: usize, mode: &str, r: &ServeReport| CarryRow {
+        session,
+        mode: mode.to_string(),
+        carried_clusters: r.carried_clusters,
+        served: r.served,
+        reused: r.reused,
+        reuse_rate: r.reuse_rate,
+    };
+    let mut rows = Vec::new();
+    // Cold baseline: what a session starting from nothing reuses.
+    let cold = run_session(system, &cfg, None).expect("valid config");
+    rows.push(row(0, "cold", &cold.report));
+    // The chain: each session resumes from its predecessor's checkpoint.
+    let mut checkpoint = None;
+    for session in 0..3 {
+        eprintln!("[carry] chained session {session}");
+        let outcome = run_session(system, &cfg, checkpoint).expect("valid config");
+        rows.push(row(
+            session,
+            if session == 0 { "cold" } else { "carried" },
+            &outcome.report,
+        ));
+        checkpoint = Some(outcome.checkpoint);
+    }
+    rows
+}
+
+/// Section 4: double the offered rate until the service sheds and expires.
+fn saturation_ramp(system: &nela::System) -> Vec<SatRow> {
+    let mut rows = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let mut rate = SAT_START_RATE;
+        loop {
+            eprintln!("[saturate] workers = {workers}, rate = {rate} req/s");
+            let cfg = ServeConfig {
+                requests: 300,
+                rate,
+                workers,
+                queue_capacity: SAT_QUEUE,
+                deadline: Some(SAT_DEADLINE),
+                query: QueryMix::Knn { k: K },
+                seed: 42,
+                ..ServeConfig::default()
+            };
+            let r = run_with_system(system, &cfg).expect("valid config");
+            let at_knee = r.shed > 0 && r.expired > 0;
+            rows.push(SatRow {
+                workers,
+                offered_rps: rate,
+                sustained_rps: r.sustained_rps,
+                served: r.served,
+                shed: r.shed,
+                expired: r.expired,
+                e2e_p50_ms: ms(r.e2e.p50_ns),
+                e2e_p99_ms: ms(r.e2e.p99_ns),
+                at_knee,
+            });
+            if at_knee || rate >= SAT_MAX_RATE {
+                break;
+            }
+            rate *= 2.0;
+        }
+    }
+    rows
 }
 
 fn main() {
@@ -158,22 +341,45 @@ fn main() {
         }
     }
 
+    // Netsim transport: both protocol phases over a 5%-loss radio.
+    let mut netsim_rows = Vec::new();
+    for workers in [1usize, 2] {
+        eprintln!("[netsim] workers = {workers}, loss = {NET_LOSS}");
+        let config = ServeConfig {
+            transport: Transport::Netsim(NetworkConfig {
+                loss: NET_LOSS,
+                seed: 7,
+                ..NetworkConfig::default()
+            }),
+            ..cell_config(QueryMix::Knn { k: K }, workers, 500.0)
+        };
+        let report = run_with_system(&system, &config).expect("cell config is valid");
+        netsim_rows.push(Row {
+            query: "krnn".to_string(),
+            report,
+        });
+    }
+
+    let carry_over = carry_over_chain(&system);
+    let saturation = saturation_ramp(&system);
+
     let table: Vec<Vec<String>> = rows
         .iter()
+        .chain(netsim_rows.iter())
         .map(|r| {
             vec![
-                r.query.clone(),
+                format!("{}/{}", r.query, r.report.transport),
                 r.report.workers.to_string(),
                 fmt(r.report.offered_rps),
                 fmt(r.report.sustained_rps),
                 format!("{}/{}", r.report.served, r.report.requests),
                 r.report.shed.to_string(),
-                fmt(ms(r.report.e2e.p50_ns)),
-                fmt(ms(r.report.e2e.p95_ns)),
-                fmt(ms(r.report.e2e.p99_ns)),
-                fmt(ms(r.report.cloak.p50_ns)),
-                fmt(ms(r.report.lbs.p50_ns)),
-                fmt(ms(r.report.refine.p50_ns)),
+                cell(ms(r.report.e2e.p50_ns)),
+                cell(ms(r.report.e2e.p95_ns)),
+                cell(ms(r.report.e2e.p99_ns)),
+                cell(ms(r.report.cloak.p50_ns)),
+                cell(ms(r.report.lbs.p50_ns)),
+                cell(ms(r.report.refine.p50_ns)),
             ]
         })
         .collect();
@@ -199,10 +405,71 @@ fn main() {
         &table,
     );
 
+    let carry_table: Vec<Vec<String>> = carry_over
+        .iter()
+        .map(|c| {
+            vec![
+                c.session.to_string(),
+                c.mode.clone(),
+                c.carried_clusters.to_string(),
+                c.served.to_string(),
+                c.reused.to_string(),
+                cell(c.reuse_rate),
+            ]
+        })
+        .collect();
+    print_table(
+        "Cross-session cluster carry-over (chained checkpoints vs cold)",
+        &[
+            "session",
+            "mode",
+            "carried",
+            "served",
+            "reused",
+            "reuse rate",
+        ],
+        &carry_table,
+    );
+
+    let sat_table: Vec<Vec<String>> = saturation
+        .iter()
+        .map(|s| {
+            vec![
+                s.workers.to_string(),
+                fmt(s.offered_rps),
+                fmt(s.sustained_rps),
+                s.served.to_string(),
+                s.shed.to_string(),
+                s.expired.to_string(),
+                cell(s.e2e_p50_ms),
+                cell(s.e2e_p99_ms),
+                if s.at_knee { "<- knee" } else { "" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Saturation ramp (rate doubles until shed > 0 and expired > 0)",
+        &[
+            "workers",
+            "offered/s",
+            "sustained/s",
+            "served",
+            "shed",
+            "expired",
+            "e2e p50 ms",
+            "e2e p99 ms",
+            "",
+        ],
+        &sat_table,
+    );
+
     let report = Report {
         cores,
         population: system.points.len(),
         rows,
+        netsim_rows,
+        carry_over,
+        saturation,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

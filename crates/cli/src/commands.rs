@@ -5,11 +5,12 @@ use nela::cluster::knn::TieBreak;
 use nela::geo::UserId;
 use nela::lbs::{refine_knn, CloakedQuery, LbsServer, PoiStore};
 use nela::metrics::run_workload_threads;
+use nela::netsim::NetworkConfig;
 use nela::{
     anonymity_of, audit_result, center_attack, intersection_attack, BoundingAlgo, CloakingEngine,
     ClusteringAlgo, Params, System,
 };
-use nela_serve::{QueryMix, ServeConfig};
+use nela_serve::{QueryMix, ServeConfig, Transport};
 
 const COMMON: &[&str] = &[
     "users", "seed", "k", "m", "algo", "bounding", "requests", "host", "json", "knn", "threads",
@@ -468,10 +469,12 @@ pub fn mobility(raw: Vec<String>) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// `nela serve` — one bounded serving session under open-loop Poisson load:
+/// `nela serve` — bounded serving sessions under open-loop Poisson load:
 /// admit requests at the offered rate, cloak each (cluster + secure
-/// bounding), answer it at the LBS over the cloaked region, refine at the
-/// true position, and report end-to-end latency and backpressure.
+/// bounding, optionally over the simulated radio), answer it at the LBS
+/// over the cloaked region, refine at the true position, and report
+/// end-to-end latency and backpressure. With `--sessions N` the sessions
+/// are chained through checkpoints, carrying still-valid clusters forward.
 pub fn serve(raw: Vec<String>) -> Result<(), ArgError> {
     const FLAGS: &[&str] = &[
         "users",
@@ -487,6 +490,10 @@ pub fn serve(raw: Vec<String>) -> Result<(), ArgError> {
         "knn",
         "queue",
         "deadline-ms",
+        "transport",
+        "net-loss",
+        "net-seed",
+        "sessions",
         "json",
         "metrics",
     ];
@@ -509,6 +516,23 @@ pub fn serve(raw: Vec<String>) -> Result<(), ArgError> {
             )))
         }
     };
+    let transport = match args.get_or("transport", "in-process") {
+        "in-process" | "inproc" => Transport::InProcess,
+        "netsim" => Transport::Netsim(NetworkConfig {
+            loss: args.num_or("net-loss", 0.05f64)?,
+            seed: args.num_or("net-seed", 7u64)?,
+            ..NetworkConfig::default()
+        }),
+        other => {
+            return Err(ArgError(format!(
+                "--transport {other}: expected in-process | netsim"
+            )))
+        }
+    };
+    let sessions: usize = args.num_or("sessions", 1usize)?;
+    if sessions == 0 {
+        return Err(ArgError("--sessions must be at least 1".into()));
+    }
     let deadline_ms: u64 = args.num_or("deadline-ms", 0u64)?;
     let config = ServeConfig {
         requests: args.num_or("requests", 200usize)?,
@@ -519,56 +543,91 @@ pub fn serve(raw: Vec<String>) -> Result<(), ArgError> {
         deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
         seed: params.seed,
         query,
+        transport,
     };
-    let report = nela_serve::run(&params, &config)
+    config
+        .validate()
         .map_err(|e| ArgError(format!("invalid serve configuration: {e}")))?;
+    let system = System::build(&params);
+    let mut checkpoint = None;
+    let mut reports = Vec::with_capacity(sessions);
+    for _ in 0..sessions {
+        let outcome = nela_serve::run_session(&system, &config, checkpoint.take())
+            .map_err(|e| ArgError(format!("invalid serve configuration: {e}")))?;
+        checkpoint = Some(outcome.checkpoint);
+        reports.push(outcome.report);
+    }
     if args.flag("json") {
         println!(
             "{}",
-            serde_json::to_string_pretty(&report).expect("serialize")
+            serde_json::to_string_pretty(&reports).expect("serialize")
         );
         return Ok(());
     }
-    let ms = |ns: u64| ns as f64 / 1e6;
-    println!(
-        "workload        : {} requests offered at {:.0} req/s ({} workers, {} shards)",
-        report.requests, report.offered_rps, report.workers, report.shards
-    );
-    println!(
-        "admission       : {} admitted, {} shed (queue depth peaked at {})",
-        report.admitted, report.shed, report.max_queue_depth
-    );
-    println!(
-        "outcomes        : {} served, {} failed, {} expired",
-        report.served, report.failed, report.expired
-    );
-    println!(
-        "throughput      : {:.1} req/s sustained over {:.2} s",
-        report.sustained_rps, report.wall_s
-    );
-    println!(
-        "e2e latency     : p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
-        ms(report.e2e.p50_ns),
-        ms(report.e2e.p95_ns),
-        ms(report.e2e.p99_ns),
-        ms(report.e2e.max_ns)
-    );
-    println!(
-        "stage p50       : queue {:.3} ms, cloak {:.3} ms, lbs {:.3} ms, refine {:.3} ms",
-        ms(report.queue_wait.p50_ns),
-        ms(report.cloak.p50_ns),
-        ms(report.lbs.p50_ns),
-        ms(report.refine.p50_ns)
-    );
-    let avg = |v: Option<f64>, unit: &str| match v {
-        Some(v) => format!("{v:.1} {unit}"),
-        None => "n/a (no request served)".to_string(),
+    // Stage percentiles are `None` when the stage saw no samples (a
+    // deadline-heavy session can legitimately serve nothing).
+    let ms = |ns: Option<u64>| match ns {
+        Some(ns) => format!("{:.3} ms", ns as f64 / 1e6),
+        None => "n/a".to_string(),
     };
-    println!(
-        "per query       : {} candidates, {} transferred",
-        avg(report.mean_candidates, "mean"),
-        avg(report.mean_transfer_units, "units mean")
-    );
+    for (i, report) in reports.iter().enumerate() {
+        if sessions > 1 {
+            println!("--- session {i} ---");
+        }
+        println!(
+            "workload        : {} requests offered at {:.0} req/s ({} workers, {} shards, {} transport)",
+            report.requests, report.offered_rps, report.workers, report.shards, report.transport
+        );
+        println!(
+            "admission       : {} admitted, {} shed (queue depth peaked at {})",
+            report.admitted, report.shed, report.max_queue_depth
+        );
+        println!(
+            "outcomes        : {} served, {} failed, {} expired",
+            report.served, report.failed, report.expired
+        );
+        println!(
+            "carry-over      : {} clusters carried in, {} served from reused regions ({})",
+            report.carried_clusters,
+            report.reused,
+            report
+                .reuse_rate
+                .map_or_else(|| "n/a".to_string(), |r| format!("{:.1}%", r * 100.0))
+        );
+        println!(
+            "throughput      : {:.1} req/s sustained over {:.2} s",
+            report.sustained_rps, report.wall_s
+        );
+        println!(
+            "e2e latency     : p50 {}, p95 {}, p99 {}, max {}",
+            ms(report.e2e.p50_ns),
+            ms(report.e2e.p95_ns),
+            ms(report.e2e.p99_ns),
+            ms(report.e2e.max_ns)
+        );
+        println!(
+            "stage p50       : queue {}, cloak {}, lbs {}, refine {}",
+            ms(report.queue_wait.p50_ns),
+            ms(report.cloak.p50_ns),
+            ms(report.lbs.p50_ns),
+            ms(report.refine.p50_ns)
+        );
+        if let Some(net) = &report.net {
+            println!(
+                "network         : {} transmissions, {} retransmits, {} timeouts, {} failed rpcs, {:.3} s virtual",
+                net.transmissions, net.retransmits, net.timeouts, net.rpcs_failed, net.virtual_s
+            );
+        }
+        let avg = |v: Option<f64>, unit: &str| match v {
+            Some(v) => format!("{v:.1} {unit}"),
+            None => "n/a (no request served)".to_string(),
+        };
+        println!(
+            "per query       : {} candidates, {} transferred",
+            avg(report.mean_candidates, "mean"),
+            avg(report.mean_transfer_units, "units mean")
+        );
+    }
     Ok(())
 }
 

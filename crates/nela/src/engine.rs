@@ -23,12 +23,16 @@ use nela_bounding::distribution::Uniform;
 use nela_bounding::nbound::SecurePolicy;
 use nela_bounding::protocol::{BoundingError, IncrementPolicy};
 use nela_cluster::centralized::centralized_k_clustering;
-use nela_cluster::distributed::distributed_k_clustering_policy;
+use nela_cluster::distributed::{
+    distributed_k_clustering_policy, distributed_k_clustering_with_policy,
+};
 use nela_cluster::knn::{knn_cluster, TieBreak};
 use nela_cluster::registry::{ClaimOutcome, ClusterId, ClusterRegistry, ShardedRegistry};
 use nela_cluster::{ClusterError, KPolicy};
 use nela_geo::{Point, Rect, UserId};
+use nela_netsim::{sim_bounding_box, ConfigError, Network, NetworkConfig, NetworkStats, SimFetch};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Typed failure of one cloaking request: either phase can fail, and under
@@ -966,6 +970,243 @@ impl<'a> CloakingEngine<'a> {
             }
         }
     }
+
+    /// Phase 2 over the simulated network: the same four directional runs
+    /// and increment policies as [`CloakingEngine::bound`], but every
+    /// verification round-trips through [`Network::rpc`]
+    /// (`nela_netsim::sim_bounding_box`). Over a lossless network this is
+    /// bit-identical to the in-memory path; loss adds retransmissions and
+    /// can fail the request with [`BoundingError::Unreachable`].
+    ///
+    /// [`BoundingAlgo::Optimal`] has no per-round protocol to simulate (its
+    /// single exact message is an analytic fiction), so it stays local.
+    fn bound_net(
+        &self,
+        net: &mut Network,
+        host: UserId,
+        members: &[(UserId, Point)],
+        host_point: Point,
+        cluster_size: usize,
+    ) -> Result<BboxOutcome, BoundingError> {
+        let p: &Params = &self.system.params;
+        let span = p.uniform_span(cluster_size);
+        match self.bounding {
+            BoundingAlgo::Optimal => {
+                let points: Vec<Point> = members.iter().map(|&(_, pt)| pt).collect();
+                let rect = Rect::bounding(&points).ok_or(BoundingError::EmptyCluster)?;
+                Ok(BboxOutcome {
+                    rect,
+                    messages: cluster_size as u64,
+                    rounds: 1,
+                    runs: optimal_runs(&points, rect),
+                })
+            }
+            BoundingAlgo::Secure => {
+                let cr_1d = p.cr * p.n_users as f64;
+                sim_bounding_box(net, host, host_point, members, Rect::UNIT, || {
+                    Box::new(SecurePolicy::new(
+                        Uniform::new(span),
+                        AreaCost { cr: cr_1d },
+                        p.cb,
+                    )) as Box<dyn IncrementPolicy>
+                })
+            }
+            BoundingAlgo::Linear => {
+                sim_bounding_box(net, host, host_point, members, Rect::UNIT, || {
+                    Box::new(LinearPolicy::new(span / 4.0)) as Box<dyn IncrementPolicy>
+                })
+            }
+            BoundingAlgo::Exponential => {
+                sim_bounding_box(net, host, host_point, members, Rect::UNIT, || {
+                    Box::new(ExponentialPolicy::new(span)) as Box<dyn IncrementPolicy>
+                })
+            }
+        }
+    }
+
+    /// One optimistic request against the sharded registry with both phases
+    /// carried by the simulated network: phase-1 adjacency fetches run over
+    /// [`SimFetch`] and phase-2 verifications over
+    /// [`nela_netsim::sim_bounding_box`]. The registry itself stays
+    /// in-process (it models state the host already holds), so the reuse
+    /// fast path never touches the radio.
+    ///
+    /// Each attempt gets a fresh [`Network`] seeded from `(config seed,
+    /// host)`, so RPC loss/latency outcomes are a pure function of the
+    /// request — independent of worker count and interleaving — and a
+    /// single-worker session replays bit-identically.
+    fn serve_sharded_net(
+        &self,
+        sharded: &ShardedRegistry,
+        host: UserId,
+        net_state: &NetState,
+        scratch: &mut RequestScratch,
+    ) -> Result<CloakingResult, RequestError> {
+        let members = &mut scratch.members;
+        let mut tally = NetworkStats::default();
+        let mut virtual_secs = 0.0f64;
+        let mut used_network = false;
+        let absorb = |tally: &mut NetworkStats, vs: &mut f64, net: &Network| {
+            let s = net.stats();
+            tally.transmissions += s.transmissions;
+            tally.rpcs_ok += s.rpcs_ok;
+            tally.rpcs_failed += s.rpcs_failed;
+            tally.lost += s.lost;
+            tally.retransmits += s.retransmits;
+            tally.timeouts += s.timeouts;
+            *vs += net.now();
+        };
+        let mut outcome: Result<CloakingResult, RequestError> = Err(RequestError::Contention {
+            attempts: MAX_CONCURRENT_ATTEMPTS,
+        });
+        for _attempt in 1..=MAX_CONCURRENT_ATTEMPTS {
+            // Reuse path: the host's own registry entry, no radio involved.
+            if let Some((id, region)) = sharded.lookup_into(host, members) {
+                if region.is_some() {
+                    outcome = self.finish_sharded_net_reused(host, members, region);
+                    break;
+                }
+                // Cluster known but never bounded: phase 2 only.
+                let mut net = net_state.template.with_seed(mix_seed(net_state.seed, host));
+                used_network = true;
+                outcome = self.finish_sharded_net(sharded, host, id, members, 0, &mut net);
+                absorb(&mut tally, &mut virtual_secs, &net);
+                break;
+            }
+            let mut net = net_state.template.with_seed(mix_seed(net_state.seed, host));
+            used_network = true;
+            // Same lock-free removed-probe contract as `serve_sharded_with`.
+            let removed = |u: UserId| u != host && sharded.is_clustered(u);
+            let cluster_span = nela_obs::span(nela_obs::stage::CLUSTERING);
+            let clustered = {
+                let mut fetch = SimFetch::new(&mut net, &self.system.wpg, host);
+                distributed_k_clustering_with_policy(&mut fetch, host, self.kp(), &removed)
+            };
+            drop(cluster_span);
+            let out = match clustered {
+                Ok(out) => out,
+                Err(e) => {
+                    absorb(&mut tally, &mut virtual_secs, &net);
+                    outcome = Err(e.into());
+                    break;
+                }
+            };
+            if !out.all_clusters.iter().any(|c| c.contains(host)) {
+                absorb(&mut tally, &mut virtual_secs, &net);
+                outcome = Err(RequestError::HostNotClustered);
+                break;
+            }
+            let claim_span = nela_obs::span(nela_obs::stage::REGISTRY_CLAIM);
+            let claim = sharded.try_claim(host, out.all_clusters);
+            drop(claim_span);
+            match claim {
+                ClaimOutcome::Claimed {
+                    id,
+                    members: claimed,
+                } => {
+                    outcome = self.finish_sharded_net(
+                        sharded,
+                        host,
+                        id,
+                        &claimed,
+                        out.involved_users as u64,
+                        &mut net,
+                    );
+                    absorb(&mut tally, &mut virtual_secs, &net);
+                    break;
+                }
+                ClaimOutcome::Conflict => {
+                    absorb(&mut tally, &mut virtual_secs, &net);
+                    nela_obs::add(nela_obs::counter::CLAIM_RETRIES, 1);
+                    continue;
+                }
+                ClaimOutcome::HostMissing => {
+                    absorb(&mut tally, &mut virtual_secs, &net);
+                    outcome = Err(RequestError::HostNotClustered);
+                    break;
+                }
+            }
+        }
+        if used_network {
+            net_state.acc.absorb(&tally, virtual_secs);
+            nela_obs::observe(nela_obs::stage::NET_RETRANS_PER_REQ, tally.retransmits);
+            nela_obs::observe(nela_obs::stage::NET_TIMEOUTS_PER_REQ, tally.timeouts);
+            nela_obs::observe(
+                nela_obs::stage::NET_VIRTUAL_TIME,
+                (virtual_secs * 1e9) as u64,
+            );
+        }
+        outcome
+    }
+
+    /// The fully-reused outcome of a netsim request (both phases skipped).
+    fn finish_sharded_net_reused(
+        &self,
+        host: UserId,
+        members: &[UserId],
+        region: Option<Rect>,
+    ) -> Result<CloakingResult, RequestError> {
+        // invariant: callers pass `region = Some(..)` only; the Option is
+        // kept so the reuse branch reads like `finish_sharded`'s.
+        let region = region.ok_or(RequestError::HostNotClustered)?;
+        Ok(CloakingResult {
+            host,
+            region,
+            cluster_size: members.len(),
+            clustering_messages: 0,
+            bounding_messages: 0,
+            bounding_rounds: 0,
+            required_k: self.required_k_of(members),
+            reused: true,
+            bounding_cpu: Duration::ZERO,
+        })
+    }
+
+    /// Phase 2 over the network for a claimed cluster id, publishing the
+    /// region first-writer-wins exactly like [`CloakingEngine::finish_sharded`].
+    fn finish_sharded_net(
+        &self,
+        sharded: &ShardedRegistry,
+        host: UserId,
+        id: ClusterId,
+        members: &[UserId],
+        clustering_messages: u64,
+        net: &mut Network,
+    ) -> Result<CloakingResult, RequestError> {
+        let cluster_size = members.len();
+        let required_k = self.required_k_of(members);
+        let pairs: Vec<(UserId, Point)> = members
+            .iter()
+            .map(|&m| (m, self.system.points[m as usize]))
+            .collect();
+        let host_point = self.system.points[host as usize];
+        let started = Instant::now();
+        let bbox = self.bound_net(net, host, &pairs, host_point, cluster_size)?;
+        let bounding_cpu = started.elapsed();
+        nela_obs::observe_duration(nela_obs::stage::BOUNDING, bounding_cpu);
+        sharded.set_region(id, bbox.rect);
+        Ok(CloakingResult {
+            host,
+            region: bbox.rect,
+            cluster_size,
+            clustering_messages,
+            bounding_messages: bbox.messages,
+            bounding_rounds: bbox.rounds,
+            required_k,
+            reused: false,
+            bounding_cpu,
+        })
+    }
+}
+
+/// Decorrelates the per-request network seed from the session seed
+/// (splitmix64 finalizer): adjacent hosts must not produce correlated loss
+/// patterns, and the mix keeps outcomes a pure function of `(seed, host)`.
+fn mix_seed(seed: u64, host: UserId) -> u64 {
+    let mut z = seed ^ (host as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// A long-lived concurrent cloaking session over the sharded registry — the
@@ -987,6 +1228,84 @@ impl<'a> CloakingEngine<'a> {
 pub struct EngineSession<'a> {
     engine: CloakingEngine<'a>,
     sharded: ShardedRegistry,
+    /// When set, every request's two protocol phases run over the simulated
+    /// network instead of in-memory structures (see
+    /// [`EngineSession::with_network`]).
+    net: Option<NetState>,
+}
+
+/// Session-wide network state for netsim-backed serving: a validated
+/// template [`Network`] cloned (re-seeded) per request, plus the shared
+/// accumulator the per-request tallies drain into.
+struct NetState {
+    template: Network,
+    /// The session-level seed requests are mixed against ([`mix_seed`]).
+    seed: u64,
+    acc: NetAccumulator,
+}
+
+/// Lock-free tally of network activity across a whole session. Workers add
+/// their per-request [`NetworkStats`] here once per request; relaxed
+/// ordering suffices because the fields are independent monotone counters
+/// read only after the workers join.
+#[derive(Default)]
+struct NetAccumulator {
+    transmissions: AtomicU64,
+    rpcs_ok: AtomicU64,
+    rpcs_failed: AtomicU64,
+    lost: AtomicU64,
+    retransmits: AtomicU64,
+    timeouts: AtomicU64,
+    virtual_ns: AtomicU64,
+}
+
+impl NetAccumulator {
+    fn absorb(&self, tally: &NetworkStats, virtual_secs: f64) {
+        self.transmissions
+            .fetch_add(tally.transmissions, Ordering::Relaxed);
+        self.rpcs_ok.fetch_add(tally.rpcs_ok, Ordering::Relaxed);
+        self.rpcs_failed
+            .fetch_add(tally.rpcs_failed, Ordering::Relaxed);
+        self.lost.fetch_add(tally.lost, Ordering::Relaxed);
+        self.retransmits
+            .fetch_add(tally.retransmits, Ordering::Relaxed);
+        self.timeouts.fetch_add(tally.timeouts, Ordering::Relaxed);
+        self.virtual_ns
+            .fetch_add((virtual_secs * 1e9) as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> SessionNetStats {
+        SessionNetStats {
+            transmissions: self.transmissions.load(Ordering::Relaxed),
+            rpcs_ok: self.rpcs_ok.load(Ordering::Relaxed),
+            rpcs_failed: self.rpcs_failed.load(Ordering::Relaxed),
+            lost: self.lost.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            virtual_s: self.virtual_ns.load(Ordering::Relaxed) as f64 / 1e9,
+        }
+    }
+}
+
+/// Aggregate network activity of a netsim-backed session — the sum of every
+/// request's per-request [`NetworkStats`] (reuse fast-path requests
+/// contribute nothing: they never touch the radio).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SessionNetStats {
+    /// Transmissions put on the air (requests + replies, lost included).
+    pub transmissions: u64,
+    /// Completed request/reply exchanges.
+    pub rpcs_ok: u64,
+    /// RPCs abandoned after the full retry budget.
+    pub rpcs_failed: u64,
+    /// Transmissions that were lost.
+    pub lost: u64,
+    /// RPC attempts beyond the first.
+    pub retransmits: u64,
+    /// Timeouts charged for lost transmissions.
+    pub timeouts: u64,
+    /// Total simulated seconds requests spent on the radio.
+    pub virtual_s: f64,
 }
 
 impl<'a> CloakingEngine<'a> {
@@ -1009,6 +1328,7 @@ impl<'a> CloakingEngine<'a> {
         EngineSession {
             engine: self,
             sharded,
+            net: None,
         }
     }
 }
@@ -1019,6 +1339,37 @@ impl<'a> EngineSession<'a> {
         self.engine.system
     }
 
+    /// Routes every subsequent request's protocol phases through a
+    /// simulated network built from `cfg`: phase-1 adjacency fetches and
+    /// phase-2 verification rounds each become RPCs subject to the config's
+    /// loss, latency, and retry budget. Per-request RPC retransmit/timeout
+    /// counts flow into the `net.request.*` stage histograms, and the
+    /// session-wide totals are readable via [`EngineSession::net_stats`].
+    ///
+    /// Determinism: each request's network is seeded from `(cfg.seed,
+    /// host)`, so at a fixed config seed the outcome of every request is
+    /// independent of worker count and scheduling — replay-stable.
+    ///
+    /// # Errors
+    /// Rejects an invalid network config (same rules as
+    /// [`NetworkConfig::validate`]) before any request runs.
+    pub fn with_network(mut self, cfg: NetworkConfig) -> Result<Self, ConfigError> {
+        let template = Network::new(cfg)?;
+        self.net = Some(NetState {
+            template,
+            seed: cfg.seed,
+            acc: NetAccumulator::default(),
+        });
+        Ok(self)
+    }
+
+    /// Aggregate network activity so far, or `None` for in-process
+    /// sessions. Safe to call while workers are still serving (the totals
+    /// are monotone counters), but meant for after they join.
+    pub fn net_stats(&self) -> Option<SessionNetStats> {
+        self.net.as_ref().map(|n| n.acc.snapshot())
+    }
+
     /// Serves one cloaking request. Thread-safe: membership probes are
     /// lock-free atomic reads, clustering and bounding run with no locks
     /// held, and only the claim itself takes the (few) shard locks the
@@ -1027,9 +1378,17 @@ impl<'a> EngineSession<'a> {
     /// # Errors
     /// The same failures as [`CloakingEngine::request`], plus
     /// [`RequestError::Contention`] when rival requests kept claiming
-    /// members of every computed cluster.
+    /// members of every computed cluster, plus — on netsim-backed sessions
+    /// — clustering/bounding failures caused by exhausted RPC retries.
     pub fn request(&self, host: UserId) -> Result<CloakingResult, RequestError> {
-        let result = self.engine.serve_sharded(&self.sharded, host);
+        let result = match &self.net {
+            None => self.engine.serve_sharded(&self.sharded, host),
+            Some(net) => REQUEST_SCRATCH.with(|scratch| {
+                let mut scratch = scratch.borrow_mut();
+                self.engine
+                    .serve_sharded_net(&self.sharded, host, net, &mut scratch)
+            }),
+        };
         record_outcome(&result);
         result
     }
@@ -1040,6 +1399,118 @@ impl<'a> EngineSession<'a> {
         let mut engine = self.engine;
         engine.registry = self.sharded.into_registry();
         engine
+    }
+}
+
+/// What one serving session leaves behind for the next: its folded-back
+/// registry plus the exact positions it clustered against. The positions
+/// are the audit baseline — [`CloakingEngine::resume_session`] re-publishes
+/// a carried cluster only if **every** member still sits where the
+/// checkpoint recorded it, so a stale region can never serve a moved user.
+#[derive(Clone, Debug)]
+pub struct SessionCheckpoint {
+    registry: ClusterRegistry,
+    positions: Vec<Point>,
+}
+
+impl SessionCheckpoint {
+    /// Number of users the checkpointed session served.
+    pub fn population(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of live (non-tombstone) clusters in the checkpoint.
+    pub fn active_clusters(&self) -> usize {
+        self.registry.active_cluster_count()
+    }
+}
+
+/// Outcome of the epoch audit a resumed session runs over its checkpoint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CarryOver {
+    /// Clusters re-published into the new session (all members unmoved).
+    pub carried: usize,
+    /// Clusters dropped by the audit (a member moved, or the population
+    /// changed shape entirely).
+    pub dropped: usize,
+    /// Users covered by the carried clusters — they will hit the region
+    /// reuse fast path on their first request of the new session.
+    pub carried_users: usize,
+}
+
+impl<'a> CloakingEngine<'a> {
+    /// Consumes the engine into a [`SessionCheckpoint`] carrying its
+    /// registry and the positions it was built over. Typically called on
+    /// the engine returned by [`EngineSession::finish`].
+    pub fn checkpoint(self) -> SessionCheckpoint {
+        SessionCheckpoint {
+            positions: self.system.points.clone(),
+            registry: self.registry,
+        }
+    }
+
+    /// Opens a serving session that carries forward the previous session's
+    /// still-valid clusters. Each active checkpoint cluster is audited
+    /// against the new system's positions: if any member moved (bitwise
+    /// position inequality — mobility epochs re-sample coordinates, so an
+    /// unmoved user is bit-identical), the cluster is invalidated before
+    /// the session opens. A checkpoint whose population does not match the
+    /// system is unusable and degrades to a cold start.
+    ///
+    /// Returns the session plus the audit's [`CarryOver`] accounting.
+    ///
+    /// # Panics
+    /// Panics unless `clustering` is [`ClusteringAlgo::TConnDistributed`]
+    /// (sessions have no other request path).
+    pub fn resume_session(
+        system: &'a System,
+        clustering: ClusteringAlgo,
+        bounding: BoundingAlgo,
+        checkpoint: SessionCheckpoint,
+        shards_per_axis: usize,
+    ) -> (EngineSession<'a>, CarryOver) {
+        if checkpoint.positions.len() != system.points.len() {
+            let dropped = checkpoint.registry.active_cluster_count();
+            let session =
+                CloakingEngine::new(system, clustering, bounding).into_session(shards_per_axis);
+            return (
+                session,
+                CarryOver {
+                    carried: 0,
+                    dropped,
+                    carried_users: 0,
+                },
+            );
+        }
+        let mut registry = checkpoint.registry;
+        let moved = |u: UserId| {
+            let u = u as usize;
+            // Bitwise, not epsilon: an unmoved user's coordinates are the
+            // exact same floats; any perturbation must fail the audit.
+            checkpoint.positions[u].x != system.points[u].x
+                || checkpoint.positions[u].y != system.points[u].y
+        };
+        let stale: Vec<ClusterId> = registry
+            .active_clusters()
+            .filter(|(_, rc)| rc.cluster.members.iter().any(|&m| moved(m)))
+            .map(|(id, _)| id)
+            .collect();
+        let dropped = stale.len();
+        for id in stale {
+            registry.invalidate(id);
+        }
+        let mut carry = CarryOver {
+            carried: 0,
+            dropped,
+            carried_users: 0,
+        };
+        for (_, rc) in registry.active_clusters() {
+            carry.carried += 1;
+            carry.carried_users += rc.cluster.members.len();
+        }
+        let session = CloakingEngine::with_registry(system, clustering, bounding, registry)
+            .into_session(shards_per_axis);
+        (session, carry)
     }
 }
 
@@ -1337,5 +1808,199 @@ mod tests {
             let _ = e.request(h);
         }
         assert_eq!(e.registry().reciprocity_violation(), None);
+    }
+
+    #[test]
+    fn lossless_netsim_session_equals_in_process_session() {
+        let s = small_system();
+        let hosts = s.host_sequence(60, 11);
+        let plain = CloakingEngine::new(&s, ClusteringAlgo::TConnDistributed, BoundingAlgo::Secure)
+            .into_session(2);
+        let simmed =
+            CloakingEngine::new(&s, ClusteringAlgo::TConnDistributed, BoundingAlgo::Secure)
+                .into_session(2)
+                .with_network(NetworkConfig::default())
+                .unwrap();
+        for &h in &hosts {
+            match (plain.request(h), simmed.request(h)) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.region, b.region, "host {h}");
+                    assert_eq!(a.cluster_size, b.cluster_size, "host {h}");
+                    assert_eq!(a.reused, b.reused, "host {h}");
+                }
+                (Err(_), Err(_)) => {}
+                _ => panic!("netsim session diverged from in-process at host {h}"),
+            }
+        }
+        let net = simmed.net_stats().unwrap();
+        assert!(net.transmissions > 0, "no traffic recorded");
+        assert_eq!(net.retransmits, 0, "lossless network retransmitted");
+        assert_eq!(net.timeouts, 0);
+        assert_eq!(net.rpcs_failed, 0);
+        assert!(net.virtual_s > 0.0);
+        assert!(plain.net_stats().is_none());
+    }
+
+    #[test]
+    fn lossy_netsim_session_replays_identically() {
+        let s = small_system();
+        let hosts = s.host_sequence(60, 12);
+        let cfg = NetworkConfig {
+            loss: 0.3,
+            max_retries: 2,
+            seed: 42,
+            ..NetworkConfig::default()
+        };
+        let run = || {
+            let session =
+                CloakingEngine::new(&s, ClusteringAlgo::TConnDistributed, BoundingAlgo::Secure)
+                    .into_session(2)
+                    .with_network(cfg)
+                    .unwrap();
+            let results: Vec<_> = hosts
+                .iter()
+                .map(|&h| session.request(h).map(|r| (r.region, r.reused)))
+                .collect();
+            (results, session.net_stats().unwrap())
+        };
+        let (a, stats_a) = run();
+        let (b, stats_b) = run();
+        for (x, y) in a.iter().zip(&b) {
+            match (x, y) {
+                (Ok(p), Ok(q)) => assert_eq!(p, q),
+                (Err(_), Err(_)) => {}
+                _ => panic!("lossy replay diverged"),
+            }
+        }
+        assert_eq!(stats_a, stats_b, "network accounting diverged on replay");
+        assert!(stats_a.retransmits > 0, "30% loss produced no retransmits");
+        assert!(stats_a.timeouts > 0);
+    }
+
+    #[test]
+    fn checkpoint_resume_carries_unmoved_clusters() {
+        let s = small_system();
+        let hosts = s.host_sequence(40, 13);
+        let session =
+            CloakingEngine::new(&s, ClusteringAlgo::TConnDistributed, BoundingAlgo::Secure)
+                .into_session(2);
+        for &h in &hosts {
+            let _ = session.request(h);
+        }
+        let checkpoint = session.finish().checkpoint();
+        let active = checkpoint.active_clusters();
+        assert!(active > 0, "workload registered no clusters");
+
+        // Nothing moved: every cluster survives the audit, and a member of
+        // a carried cluster reuses its region on the first request.
+        let (resumed, carry) = CloakingEngine::resume_session(
+            &s,
+            ClusteringAlgo::TConnDistributed,
+            BoundingAlgo::Secure,
+            checkpoint.clone(),
+            2,
+        );
+        assert_eq!(carry.carried, active);
+        assert_eq!(carry.dropped, 0);
+        assert!(carry.carried_users > 0);
+        let member = hosts
+            .iter()
+            .copied()
+            .find(|&h| resumed.request(h).map(|r| r.reused).unwrap_or(false))
+            .expect("no carried member hit the reuse path");
+        let _ = member;
+
+        // Move one member of one carried cluster: exactly that cluster is
+        // dropped, the rest still carry. (The reuse probes above may have
+        // registered new clusters, so recount before the second resume.)
+        let mut moved = s.clone();
+        let engine = resumed.finish();
+        let active2 = engine.registry().active_cluster_count();
+        let victim = engine
+            .registry()
+            .active_clusters()
+            .next()
+            .map(|(_, rc)| rc.cluster.members[0])
+            .unwrap();
+        moved.points[victim as usize].x += 1e-9;
+        let (_, carry2) = CloakingEngine::resume_session(
+            &moved,
+            ClusteringAlgo::TConnDistributed,
+            BoundingAlgo::Secure,
+            engine.checkpoint(),
+            2,
+        );
+        assert_eq!(carry2.dropped, 1, "exactly the victim's cluster drops");
+        assert_eq!(carry2.carried, active2 - 1);
+    }
+
+    #[test]
+    fn resume_with_zero_survivors_serves_like_cold() {
+        let s = small_system();
+        let hosts = s.host_sequence(40, 14);
+        let warm = CloakingEngine::new(&s, ClusteringAlgo::TConnDistributed, BoundingAlgo::Secure)
+            .into_session(2);
+        for &h in &hosts {
+            let _ = warm.request(h);
+        }
+        let checkpoint = warm.finish().checkpoint();
+
+        // Every user moved: the audit drops everything...
+        let mut moved = s.clone();
+        for p in &mut moved.points {
+            p.x = (p.x + 0.25) % 1.0;
+        }
+        let (resumed, carry) = CloakingEngine::resume_session(
+            &moved,
+            ClusteringAlgo::TConnDistributed,
+            BoundingAlgo::Secure,
+            checkpoint,
+            2,
+        );
+        assert_eq!(carry.carried, 0);
+        assert_eq!(carry.carried_users, 0);
+        assert!(carry.dropped > 0);
+
+        // ...and the resumed session serves exactly like a cold one.
+        let cold = CloakingEngine::new(
+            &moved,
+            ClusteringAlgo::TConnDistributed,
+            BoundingAlgo::Secure,
+        )
+        .into_session(2);
+        for &h in &hosts {
+            match (cold.request(h), resumed.request(h)) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.region, b.region, "host {h}");
+                    assert_eq!(a.reused, b.reused, "host {h}");
+                }
+                (Err(_), Err(_)) => {}
+                _ => panic!("zero-survivor resume diverged from cold at host {h}"),
+            }
+        }
+    }
+
+    #[test]
+    fn resume_with_mismatched_population_degrades_to_cold_start() {
+        let s = small_system();
+        let session =
+            CloakingEngine::new(&s, ClusteringAlgo::TConnDistributed, BoundingAlgo::Secure)
+                .into_session(2);
+        let host = servable_host(&s, 15);
+        session.request(host).unwrap();
+        let checkpoint = session.finish().checkpoint();
+        let other = System::build(&Params {
+            k: 5,
+            ..Params::scaled(1_000)
+        });
+        let (_, carry) = CloakingEngine::resume_session(
+            &other,
+            ClusteringAlgo::TConnDistributed,
+            BoundingAlgo::Secure,
+            checkpoint,
+            2,
+        );
+        assert_eq!(carry.carried, 0);
+        assert!(carry.dropped > 0);
     }
 }

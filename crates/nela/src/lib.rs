@@ -48,8 +48,8 @@ pub mod verify;
 
 pub use attack::{anonymity_of, center_attack, intersection_attack};
 pub use engine::{
-    auto_shard_axis, shard_axis_for_total, BoundingAlgo, CloakingEngine, CloakingResult,
-    ClusteringAlgo, EngineSession, RequestError,
+    auto_shard_axis, shard_axis_for_total, BoundingAlgo, CarryOver, CloakingEngine, CloakingResult,
+    ClusteringAlgo, EngineSession, RequestError, SessionCheckpoint, SessionNetStats,
 };
 pub use metrics::{service_request_cost, WorkloadStats};
 pub use params::Params;

@@ -135,6 +135,12 @@ pub struct NetworkStats {
     pub rpcs_failed: u64,
     /// Transmissions that were lost.
     pub lost: u64,
+    /// RPC attempts beyond the first (mirrors `net.rpc.retransmits`, but
+    /// scoped to this network instance — per-request aggregation needs the
+    /// local view, not the process-global obs counter).
+    pub retransmits: u64,
+    /// Timeouts charged for lost transmissions (request or reply leg).
+    pub timeouts: u64,
 }
 
 /// Why an RPC failed.
@@ -189,6 +195,23 @@ impl Network {
         Network::new(NetworkConfig::default()).expect("default config is valid")
     }
 
+    /// A fresh network sharing this one's (already validated) configuration
+    /// and crash set, but reseeded and with clock and counters zeroed.
+    /// Serving sessions derive one network per request this way — the seed
+    /// mixes in the request identity, so loss and latency outcomes depend
+    /// only on the request, never on worker interleaving.
+    pub fn with_seed(&self, seed: u64) -> Network {
+        let mut cfg = self.cfg;
+        cfg.seed = seed;
+        Network {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            cfg,
+            clock: 0.0,
+            down: self.down.clone(),
+            stats: NetworkStats::default(),
+        }
+    }
+
     /// Current virtual time in seconds.
     pub fn now(&self) -> f64 {
         self.clock
@@ -225,6 +248,7 @@ impl Network {
     pub fn rpc(&mut self, _from: UserId, to: UserId) -> Result<(), RpcError> {
         for attempt in 0..=self.cfg.max_retries {
             if attempt > 0 {
+                self.stats.retransmits += 1;
                 nela_obs::add(nela_obs::counter::RPC_RETRANSMITS, 1);
             }
             // Request leg.
@@ -232,6 +256,7 @@ impl Network {
             let request_lost = self.rng.gen::<f64>() < self.cfg.loss || self.down.contains(&to);
             if request_lost {
                 self.stats.lost += 1;
+                self.stats.timeouts += 1;
                 self.clock += self.cfg.timeout;
                 nela_obs::add(nela_obs::counter::RPC_TIMEOUTS, 1);
                 continue;
@@ -242,6 +267,7 @@ impl Network {
             let reply_lost = self.rng.gen::<f64>() < self.cfg.loss;
             if reply_lost {
                 self.stats.lost += 1;
+                self.stats.timeouts += 1;
                 self.clock += self.cfg.timeout;
                 nela_obs::add(nela_obs::counter::RPC_TIMEOUTS, 1);
                 continue;
@@ -341,6 +367,10 @@ mod tests {
         let s = net.stats();
         assert_eq!(s.rpcs_ok + s.rpcs_failed, 50);
         assert!(s.lost > 0 && s.lost < s.transmissions);
+        // Every loss is charged exactly one timeout, and every loss except a
+        // failed RPC's final one triggers a retransmission.
+        assert_eq!(s.timeouts, s.lost);
+        assert_eq!(s.retransmits, s.lost - s.rpcs_failed);
     }
 
     #[test]

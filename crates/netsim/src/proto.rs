@@ -8,9 +8,12 @@
 //! robustness scenarios of the paper's §VII.
 
 use crate::network::{Network, RpcError};
-use nela_bounding::protocol::VerifyTransport;
+use nela_bounding::bbox::BboxOutcome;
+use nela_bounding::protocol::{
+    progressive_upper_bound_with, BoundingError, IncrementPolicy, VerifyTransport,
+};
 use nela_cluster::fetch::PeerFetch;
-use nela_geo::UserId;
+use nela_geo::{Point, Rect, UserId};
 use nela_wpg::{Weight, Wpg};
 
 /// Adjacency fetch over the simulated network: each fetch is one RPC from
@@ -78,6 +81,85 @@ impl VerifyTransport for SimVerify<'_> {
             Err(_) => None,
         }
     }
+}
+
+/// The netsim twin of `nela_bounding::bbox::secure_bounding_box`: four
+/// directional progressive bounding runs (`x`-high, `x`-low over negated
+/// coordinates, `y`-high, `y`-low) where every per-round verification is one
+/// [`Network::rpc`] from the host to the participant ([`SimVerify`]; the
+/// host answers its own questions for free). The assembly — anchors at the
+/// host's coordinates, domain clipping, message/round totals — matches the
+/// in-memory function exactly, so over a lossless network the two produce
+/// bit-identical regions while a lossy one adds retransmissions, timeouts
+/// and, past the retry budget, [`BoundingError::Unreachable`] failures.
+///
+/// # Errors
+/// [`BoundingError::EmptyCluster`] on an empty member list, plus any failure
+/// of the four directional runs (including unreachable participants).
+pub fn sim_bounding_box(
+    net: &mut Network,
+    host: UserId,
+    host_point: Point,
+    members: &[(UserId, Point)],
+    domain: Rect,
+    mut policy_factory: impl FnMut() -> Box<dyn IncrementPolicy>,
+) -> Result<BboxOutcome, BoundingError> {
+    if members.is_empty() {
+        return Err(BoundingError::EmptyCluster);
+    }
+    let run = |values: Vec<(UserId, f64)>,
+               x0: f64,
+               domain_min: f64,
+               net: &mut Network,
+               policy: &mut dyn IncrementPolicy| {
+        let mut transport = SimVerify::new(net, host, &values);
+        progressive_upper_bound_with(&mut transport, x0, domain_min, policy)
+    };
+    let vals = |f: fn(&Point) -> f64| -> Vec<(UserId, f64)> {
+        members.iter().map(|&(u, p)| (u, f(&p))).collect()
+    };
+    let x_hi = run(
+        vals(|p| p.x),
+        host_point.x,
+        domain.min_x,
+        net,
+        &mut *policy_factory(),
+    )?;
+    let x_lo = run(
+        vals(|p| -p.x),
+        -host_point.x,
+        -domain.max_x,
+        net,
+        &mut *policy_factory(),
+    )?;
+    let y_hi = run(
+        vals(|p| p.y),
+        host_point.y,
+        domain.min_y,
+        net,
+        &mut *policy_factory(),
+    )?;
+    let y_lo = run(
+        vals(|p| -p.y),
+        -host_point.y,
+        -domain.max_y,
+        net,
+        &mut *policy_factory(),
+    )?;
+    let rect = Rect::new(
+        (-x_lo.bound).clamp(domain.min_x, domain.max_x),
+        (-y_lo.bound).clamp(domain.min_y, domain.max_y),
+        x_hi.bound.clamp(domain.min_x, domain.max_x),
+        y_hi.bound.clamp(domain.min_y, domain.max_y),
+    );
+    let messages = x_hi.messages + x_lo.messages + y_hi.messages + y_lo.messages;
+    let rounds = x_hi.rounds + x_lo.rounds + y_hi.rounds + y_lo.rounds;
+    Ok(BboxOutcome {
+        rect,
+        messages,
+        rounds,
+        runs: [x_hi, x_lo, y_hi, y_lo],
+    })
 }
 
 #[cfg(test)]
@@ -170,6 +252,59 @@ mod tests {
         assert_eq!(run.records.len(), 2);
         // Only user 11 needed the radio.
         assert_eq!(net.stats().rpcs_ok, 1);
+    }
+
+    #[test]
+    fn sim_bounding_box_matches_in_memory_assembly_over_reliable_network() {
+        let members: Vec<(UserId, Point)> = vec![
+            (3, Point::new(0.30, 0.40)),
+            (7, Point::new(0.35, 0.42)),
+            (9, Point::new(0.28, 0.47)),
+            (12, Point::new(0.33, 0.38)),
+        ];
+        let points: Vec<Point> = members.iter().map(|&(_, p)| p).collect();
+        let host_point = points[0];
+        let analytic =
+            nela_bounding::bbox::secure_bounding_box(&points, host_point, Rect::UNIT, || {
+                Box::new(LinearPolicy::new(0.01))
+            })
+            .unwrap();
+        let mut net = Network::reliable();
+        let simulated = sim_bounding_box(&mut net, 3, host_point, &members, Rect::UNIT, || {
+            Box::new(LinearPolicy::new(0.01))
+        })
+        .unwrap();
+        assert_eq!(analytic.rect, simulated.rect);
+        assert_eq!(analytic.messages, simulated.messages);
+        assert_eq!(analytic.rounds, simulated.rounds);
+        // The host (id 3) answered its own questions locally: one RPC per
+        // message to each of the three remote peers only.
+        assert!(net.stats().rpcs_ok < simulated.messages);
+        assert!(net.stats().rpcs_ok > 0);
+    }
+
+    #[test]
+    fn sim_bounding_box_fails_typed_when_a_participant_crashes() {
+        let members: Vec<(UserId, Point)> =
+            vec![(3, Point::new(0.30, 0.40)), (7, Point::new(0.95, 0.42))];
+        let mut net = Network::reliable();
+        net.crash_peer(7);
+        let err = sim_bounding_box(&mut net, 3, members[0].1, &members, Rect::UNIT, || {
+            Box::new(LinearPolicy::new(0.05))
+        })
+        .unwrap_err();
+        assert!(matches!(err, BoundingError::Unreachable { .. }));
+        assert!(net.stats().rpcs_failed > 0);
+    }
+
+    #[test]
+    fn sim_bounding_box_rejects_empty_cluster() {
+        let mut net = Network::reliable();
+        let err = sim_bounding_box(&mut net, 3, Point::new(0.5, 0.5), &[], Rect::UNIT, || {
+            Box::new(LinearPolicy::new(0.05))
+        })
+        .unwrap_err();
+        assert_eq!(err, BoundingError::EmptyCluster);
     }
 
     #[test]

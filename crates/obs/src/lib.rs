@@ -88,6 +88,15 @@ pub mod stage {
     pub const SERVE_CLOAK: &str = "serve.cloak";
     /// Serve mode: one request end to end — admission to refined answer.
     pub const SERVE_E2E: &str = "serve.request.e2e";
+    /// Netsim-backed sessions: RPC retransmissions per cloaking request
+    /// (dimensionless count, not nanoseconds).
+    pub const NET_RETRANS_PER_REQ: &str = "net.request.retransmits";
+    /// Netsim-backed sessions: RPC timeouts per cloaking request
+    /// (dimensionless count, not nanoseconds).
+    pub const NET_TIMEOUTS_PER_REQ: &str = "net.request.timeouts";
+    /// Netsim-backed sessions: virtual network time one cloaking request
+    /// spent on the radio (nanoseconds of simulated time).
+    pub const NET_VIRTUAL_TIME: &str = "net.request.virtual";
 }
 
 /// Canonical counter names recorded by the pipeline (plain event counts).

@@ -45,6 +45,12 @@ pub struct Arrival {
 
 /// Draws the full arrival schedule for a session over a population of
 /// `n_users`. Deterministic for a fixed config.
+///
+/// # Panics
+/// Panics on an empty population — there is no host to draw. The serving
+/// entry points cannot reach this: `System::build` always produces
+/// `Params::n_users >= 1` points, so the assert only guards direct calls
+/// with a hand-rolled population size.
 pub fn schedule(config: &ServeConfig, n_users: usize) -> Vec<Arrival> {
     assert!(n_users > 0, "empty population");
     let mut gap_rng = ChaCha8Rng::seed_from_u64(config.seed ^ ARRIVAL_STREAM);

@@ -1,6 +1,20 @@
 //! Serving-session configuration with typed validation.
 
+use nela::netsim::{ConfigError, NetworkConfig};
 use std::time::Duration;
+
+/// How the cloaking protocols move their messages during a session.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Transport {
+    /// In-process calls: protocol rounds cost CPU time only (the seed
+    /// behaviour — measures the serving machinery itself).
+    #[default]
+    InProcess,
+    /// Every phase-1 fetch and phase-2 verification becomes an RPC over a
+    /// simulated radio with this loss/latency/retry model; per-request
+    /// retransmit and timeout counts flow into the report.
+    Netsim(NetworkConfig),
+}
 
 /// Which cloaked query the workload issues.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,6 +62,8 @@ pub struct ServeConfig {
     pub seed: u64,
     /// The query workload.
     pub query: QueryMix,
+    /// Message transport for the cloaking protocols.
+    pub transport: Transport,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +77,7 @@ impl Default for ServeConfig {
             deadline: None,
             seed: 1,
             query: QueryMix::Knn { k: 5 },
+            transport: Transport::InProcess,
         }
     }
 }
@@ -82,6 +99,8 @@ pub enum ServeConfigError {
     BadK,
     /// A mixed range fraction fell outside `[0, 1]`.
     BadRangeFrac(f64),
+    /// The netsim transport's network config was invalid.
+    Network(ConfigError),
 }
 
 impl std::fmt::Display for ServeConfigError {
@@ -98,7 +117,14 @@ impl std::fmt::Display for ServeConfigError {
             ServeConfigError::BadRangeFrac(p) => {
                 write!(f, "range fraction {p} must lie in [0, 1]")
             }
+            ServeConfigError::Network(e) => write!(f, "network config: {e}"),
         }
+    }
+}
+
+impl From<ConfigError> for ServeConfigError {
+    fn from(e: ConfigError) -> Self {
+        ServeConfigError::Network(e)
     }
 }
 
@@ -124,6 +150,9 @@ impl ServeConfig {
                 .then_some(())
                 .ok_or(ServeConfigError::BadRadius(r))
         };
+        if let Transport::Netsim(net) = self.transport {
+            net.validate()?;
+        }
         let check_k = |k: usize| (k > 0).then_some(()).ok_or(ServeConfigError::BadK);
         match self.query {
             QueryMix::Range { radius } => check_radius(radius),
@@ -221,5 +250,26 @@ mod tests {
         for (cfg, expect) in cases {
             assert_eq!(cfg.validate(), Err(expect));
         }
+    }
+
+    #[test]
+    fn bad_network_config_is_rejected_as_typed_error() {
+        let cfg = ServeConfig {
+            transport: Transport::Netsim(NetworkConfig {
+                loss: 1.5,
+                ..NetworkConfig::default()
+            }),
+            ..ServeConfig::default()
+        };
+        assert!(matches!(cfg.validate(), Err(ServeConfigError::Network(_))));
+    }
+
+    #[test]
+    fn default_netsim_transport_is_valid() {
+        let cfg = ServeConfig {
+            transport: Transport::Netsim(NetworkConfig::default()),
+            ..ServeConfig::default()
+        };
+        assert_eq!(cfg.validate(), Ok(()));
     }
 }

@@ -41,7 +41,7 @@ pub mod report;
 pub mod run;
 
 pub use arrivals::{schedule, Arrival, QueryKind};
-pub use config::{QueryMix, ServeConfig, ServeConfigError};
+pub use config::{QueryMix, ServeConfig, ServeConfigError, Transport};
 pub use queue::{Pop, Push, RequestQueue};
-pub use report::{ServeReport, StageStats};
-pub use run::{run, run_with_system};
+pub use report::{NetReport, ServeReport, StageStats};
+pub use run::{run, run_session, run_with_system, SessionOutcome};

@@ -59,6 +59,13 @@ impl<T> RequestQueue<T> {
     }
 
     /// Creates a queue admitting at most `capacity` items at once.
+    ///
+    /// # Panics
+    /// Panics on `capacity == 0` — a zero-capacity queue would shed every
+    /// arrival. The serving entry points never get here with 0:
+    /// `ServeConfig::validate` rejects it as `ServeConfigError::NoQueue`
+    /// before any queue is built, so this assert only guards direct
+    /// construction in tests and future call sites.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
         RequestQueue {

@@ -10,20 +10,26 @@
 use serde::Serialize;
 
 /// Exact latency summary of one pipeline stage, in nanoseconds.
+///
+/// Every statistic is `Option`: a stage with no samples has no percentiles,
+/// and fabricating `0` would read as "this stage was instantaneous" in a
+/// report (deadline-heavy runs legitimately serve nothing, so empty stages
+/// occur in practice). Empty stages render as `n/a` in text and `null` in
+/// JSON.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct StageStats {
     /// Samples recorded.
     pub count: usize,
     /// Arithmetic mean, `None` when no sample was recorded.
     pub mean_ns: Option<f64>,
-    /// Nearest-rank percentiles (0 when empty).
-    pub p50_ns: u64,
+    /// Nearest-rank median, `None` when no sample was recorded.
+    pub p50_ns: Option<u64>,
     /// 95th percentile.
-    pub p95_ns: u64,
+    pub p95_ns: Option<u64>,
     /// 99th percentile.
-    pub p99_ns: u64,
+    pub p99_ns: Option<u64>,
     /// Largest sample.
-    pub max_ns: u64,
+    pub max_ns: Option<u64>,
 }
 
 impl StageStats {
@@ -38,12 +44,32 @@ impl StageStats {
         StageStats {
             count: n,
             mean_ns: Some(samples.iter().sum::<u64>() as f64 / n as f64),
-            p50_ns: rank(0.50),
-            p95_ns: rank(0.95),
-            p99_ns: rank(0.99),
-            max_ns: samples[n - 1],
+            p50_ns: Some(rank(0.50)),
+            p95_ns: Some(rank(0.95)),
+            p99_ns: Some(rank(0.99)),
+            max_ns: Some(samples[n - 1]),
         }
     }
+}
+
+/// Network totals of a netsim-backed session, summed over every request
+/// (absent from the report when the transport is in-process).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct NetReport {
+    /// Transmissions put on the air (requests + replies, lost included).
+    pub transmissions: u64,
+    /// Completed request/reply exchanges.
+    pub rpcs_ok: u64,
+    /// RPCs abandoned after the full retry budget.
+    pub rpcs_failed: u64,
+    /// Transmissions that were lost.
+    pub lost: u64,
+    /// RPC attempts beyond the first.
+    pub retransmits: u64,
+    /// Timeouts charged for lost transmissions.
+    pub timeouts: u64,
+    /// Total simulated seconds requests spent on the radio.
+    pub virtual_s: f64,
 }
 
 /// Everything one serving session measured.
@@ -55,6 +81,9 @@ pub struct ServeReport {
     pub workers: usize,
     /// Registry shards used by the cloaking session.
     pub shards: usize,
+    /// Message transport of the cloaking protocols (`"in-process"` or
+    /// `"netsim"`).
+    pub transport: String,
     /// Offered load (requests per second of the arrival process).
     pub offered_rps: f64,
     /// Scheduled arrivals.
@@ -69,6 +98,14 @@ pub struct ServeReport {
     pub failed: usize,
     /// Admitted requests dropped because their deadline passed in queue.
     pub expired: usize,
+    /// Served requests answered from an already-bounded cluster region
+    /// (no clustering, no bounding — the reuse fast path).
+    pub reused: usize,
+    /// `reused / served`, `None` when nothing was served.
+    pub reuse_rate: Option<f64>,
+    /// Clusters re-published from a previous session's checkpoint (0 for
+    /// cold sessions).
+    pub carried_clusters: usize,
     /// High-water mark of the queue depth.
     pub max_queue_depth: usize,
     /// Wall-clock from session start to the last completion, in seconds.
@@ -90,6 +127,8 @@ pub struct ServeReport {
     /// Mean transfer units per served query (the paper's service-request
     /// cost), `None` when nothing was served.
     pub mean_transfer_units: Option<f64>,
+    /// Network totals when the transport is netsim, `None` in-process.
+    pub net: Option<NetReport>,
     /// Order-independent digest of every served request's refined answer
     /// set — two runs of the same single-worker config must agree exactly
     /// (the replay contract).
@@ -122,11 +161,22 @@ mod tests {
     use super::*;
 
     #[test]
-    fn empty_stage_has_no_mean() {
+    fn empty_stage_has_no_statistics_at_all() {
         let s = StageStats::from_samples(Vec::new());
         assert_eq!(s.count, 0);
         assert_eq!(s.mean_ns, None);
-        assert_eq!((s.p50_ns, s.p99_ns, s.max_ns), (0, 0, 0));
+        // The old behaviour fabricated 0 here — an empty stage must not
+        // masquerade as an instantaneous one.
+        assert_eq!(
+            (s.p50_ns, s.p95_ns, s.p99_ns, s.max_ns),
+            (None, None, None, None)
+        );
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(
+            json.contains("\"p50_ns\":null"),
+            "empty stage must serialize null, got {json}"
+        );
+        assert!(json.contains("\"max_ns\":null"));
     }
 
     #[test]
@@ -134,13 +184,16 @@ mod tests {
         let samples: Vec<u64> = (1..=100).collect();
         let s = StageStats::from_samples(samples);
         assert_eq!(s.count, 100);
-        assert_eq!(s.p50_ns, 50);
-        assert_eq!(s.p95_ns, 95);
-        assert_eq!(s.p99_ns, 99);
-        assert_eq!(s.max_ns, 100);
+        assert_eq!(s.p50_ns, Some(50));
+        assert_eq!(s.p95_ns, Some(95));
+        assert_eq!(s.p99_ns, Some(99));
+        assert_eq!(s.max_ns, Some(100));
         assert_eq!(s.mean_ns, Some(50.5));
         let one = StageStats::from_samples(vec![42]);
-        assert_eq!((one.p50_ns, one.p99_ns, one.max_ns), (42, 42, 42));
+        assert_eq!(
+            (one.p50_ns, one.p99_ns, one.max_ns),
+            (Some(42), Some(42), Some(42))
+        );
     }
 
     #[test]

@@ -25,12 +25,12 @@
 //! when the queue capacity covers all requests; the replay tests use that).
 
 use crate::arrivals::{schedule, QueryKind};
-use crate::config::{ServeConfig, ServeConfigError};
+use crate::config::{ServeConfig, ServeConfigError, Transport};
 use crate::queue::{Pop, Push, RequestQueue};
-use crate::report::{answer_hash, ServeReport, StageStats};
+use crate::report::{answer_hash, NetReport, ServeReport, StageStats};
 use nela::{
-    auto_shard_axis, shard_axis_for_total, BoundingAlgo, CloakingEngine, ClusteringAlgo,
-    EngineSession, Params, System,
+    auto_shard_axis, shard_axis_for_total, BoundingAlgo, CarryOver, CloakingEngine, ClusteringAlgo,
+    EngineSession, Params, SessionCheckpoint, System,
 };
 use nela_geo::{Point, UserId};
 use nela_lbs::{refine_knn, refine_range, CloakedQuery, LbsServer, PoiStore};
@@ -56,6 +56,8 @@ struct WorkerLog {
     served: usize,
     failed: usize,
     expired: usize,
+    /// Served requests answered from an already-bounded region.
+    reused: usize,
     candidates: u64,
     digest: u64,
     /// Offset of this worker's last completion from session start.
@@ -149,6 +151,9 @@ fn worker_loop(
         log.lbs.push(lbs_ns);
         log.refine.push(refine_ns);
         log.served += 1;
+        if result.reused {
+            log.reused += 1;
+        }
         log.candidates += candidates as u64;
         log.digest ^= answer_hash(job.id, &refined);
         log.last_done = done - start;
@@ -165,6 +170,16 @@ pub fn run(params: &Params, config: &ServeConfig) -> Result<ServeReport, ServeCo
     run_with_system(&system, config)
 }
 
+/// A finished serving session: its measured report plus the checkpoint the
+/// next session can resume from ([`run_session`] with `prior`).
+pub struct SessionOutcome {
+    /// What the session measured.
+    pub report: ServeReport,
+    /// The session's folded-back registry and position baseline, for
+    /// cross-session cluster carry-over.
+    pub checkpoint: SessionCheckpoint,
+}
+
 /// Runs one serving session over an existing system: paces the seeded
 /// Poisson arrivals through a bounded queue into `config.workers` worker
 /// threads, serves each admitted request end to end, and returns the
@@ -178,18 +193,51 @@ pub fn run_with_system(
     system: &System,
     config: &ServeConfig,
 ) -> Result<ServeReport, ServeConfigError> {
+    run_session(system, config, None).map(|outcome| outcome.report)
+}
+
+/// [`run_with_system`] plus session chaining: when `prior` carries the
+/// previous session's [`SessionCheckpoint`], its still-valid clusters
+/// (every member's position bit-identical to the checkpoint's baseline) are
+/// re-published into this session before the first arrival, so members of
+/// carried clusters hit the region-reuse fast path immediately. The
+/// returned [`SessionOutcome::checkpoint`] chains into the next call.
+///
+/// # Errors
+/// Returns the first [`ServeConfigError`] when `config` is invalid.
+pub fn run_session(
+    system: &System,
+    config: &ServeConfig,
+    prior: Option<SessionCheckpoint>,
+) -> Result<SessionOutcome, ServeConfigError> {
     config.validate()?;
     let arrivals = schedule(config, system.points.len());
     let axis = match config.shards {
         0 => auto_shard_axis(config.workers),
         pinned => shard_axis_for_total(pinned),
     };
-    let session = CloakingEngine::new(
-        system,
-        ClusteringAlgo::TConnDistributed,
-        BoundingAlgo::Secure,
-    )
-    .into_session(axis);
+    let (session, carry) = match prior {
+        Some(checkpoint) => CloakingEngine::resume_session(
+            system,
+            ClusteringAlgo::TConnDistributed,
+            BoundingAlgo::Secure,
+            checkpoint,
+            axis,
+        ),
+        None => (
+            CloakingEngine::new(
+                system,
+                ClusteringAlgo::TConnDistributed,
+                BoundingAlgo::Secure,
+            )
+            .into_session(axis),
+            CarryOver::default(),
+        ),
+    };
+    let session = match config.transport {
+        Transport::InProcess => session,
+        Transport::Netsim(net) => session.with_network(net)?,
+    };
     // The POI dataset is the population itself (the paper's setup); each
     // POI carries `cr` content units so transfer accounting matches the
     // service-request cost model.
@@ -251,13 +299,16 @@ pub fn run_with_system(
             .map(|h| h.join().expect("serve worker panicked"))
             .collect();
     });
-    // Fold the sharded registry back so audits and carry-over still work;
-    // the engine itself is not needed further here.
-    let _engine = session.finish();
+    // Fold the sharded registry back so audits and carry-over still work,
+    // then freeze it (with its position baseline) into the checkpoint the
+    // next session resumes from.
+    let net_stats = session.net_stats();
+    let checkpoint = session.finish().checkpoint();
 
     let served: usize = logs.iter().map(|l| l.served).sum();
     let failed: usize = logs.iter().map(|l| l.failed).sum();
     let expired: usize = logs.iter().map(|l| l.expired).sum();
+    let reused: usize = logs.iter().map(|l| l.reused).sum();
     let candidates: u64 = logs.iter().map(|l| l.candidates).sum();
     let digest = logs.iter().fold(0u64, |acc, l| acc ^ l.digest);
     let wall = logs
@@ -270,10 +321,14 @@ pub fn run_with_system(
     let collect = |pick: fn(&WorkerLog) -> &Vec<u64>| {
         StageStats::from_samples(logs.iter().flat_map(|l| pick(l).iter().copied()).collect())
     };
-    Ok(ServeReport {
+    let report = ServeReport {
         population: system.points.len(),
         workers: config.workers,
         shards: axis * axis,
+        transport: match config.transport {
+            Transport::InProcess => "in-process".to_string(),
+            Transport::Netsim(_) => "netsim".to_string(),
+        },
         offered_rps: config.rate,
         requests: arrivals.len(),
         admitted,
@@ -281,6 +336,9 @@ pub fn run_with_system(
         served,
         failed,
         expired,
+        reused,
+        reuse_rate: (served > 0).then(|| reused as f64 / served as f64),
+        carried_clusters: carry.carried,
         max_queue_depth: queue.max_depth(),
         wall_s,
         sustained_rps: if wall_s > 0.0 {
@@ -295,14 +353,25 @@ pub fn run_with_system(
         refine: collect(|l| &l.refine),
         mean_candidates: (served > 0).then(|| candidates as f64 / served as f64),
         mean_transfer_units: server.mean_transfer(),
+        net: net_stats.map(|s| NetReport {
+            transmissions: s.transmissions,
+            rpcs_ok: s.rpcs_ok,
+            rpcs_failed: s.rpcs_failed,
+            lost: s.lost,
+            retransmits: s.retransmits,
+            timeouts: s.timeouts,
+            virtual_s: s.virtual_s,
+        }),
         answers_digest: digest,
-    })
+    };
+    Ok(SessionOutcome { report, checkpoint })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::QueryMix;
+    use nela::netsim::NetworkConfig;
 
     fn small_system() -> System {
         System::build(&Params {
@@ -371,6 +440,60 @@ mod tests {
         assert_eq!(
             run_with_system(&system, &cfg).unwrap_err(),
             ServeConfigError::NoWorkers
+        );
+    }
+
+    #[test]
+    fn netsim_transport_serves_and_populates_network_accounting() {
+        let system = small_system();
+        let cfg = ServeConfig {
+            transport: Transport::Netsim(NetworkConfig {
+                loss: 0.05,
+                seed: 7,
+                ..NetworkConfig::default()
+            }),
+            ..fast_config()
+        };
+        let report = run_with_system(&system, &cfg).unwrap();
+        assert_eq!(report.transport, "netsim");
+        assert!(report.served > 0);
+        assert_eq!(report.served + report.failed, report.admitted);
+        let net = report.net.expect("netsim transport must report totals");
+        assert!(net.transmissions > 0);
+        assert!(net.rpcs_ok > 0);
+        // 5% per-transmission loss over hundreds of RPCs: some retransmits.
+        assert!(net.retransmits > 0);
+    }
+
+    #[test]
+    fn in_process_transport_reports_no_network() {
+        let system = small_system();
+        let report = run_with_system(&system, &fast_config()).unwrap();
+        assert_eq!(report.transport, "in-process");
+        assert!(report.net.is_none());
+        assert_eq!(report.carried_clusters, 0);
+    }
+
+    #[test]
+    fn carried_checkpoint_lifts_reuse_over_cold_start() {
+        let system = small_system();
+        let warm_cfg = ServeConfig {
+            requests: 200,
+            ..fast_config()
+        };
+        let first = run_session(&system, &warm_cfg, None).unwrap();
+        assert!(first.checkpoint.active_clusters() > 0);
+
+        // Same workload seed, nobody moved: the resumed session starts with
+        // every first-session cluster already bounded.
+        let cold = run_session(&system, &warm_cfg, None).unwrap();
+        let resumed = run_session(&system, &warm_cfg, Some(first.checkpoint)).unwrap();
+        assert!(resumed.report.carried_clusters > 0);
+        assert!(
+            resumed.report.reused > cold.report.reused,
+            "carry-over must lift reuse: {} vs {}",
+            resumed.report.reused,
+            cold.report.reused
         );
     }
 

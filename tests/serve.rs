@@ -1,17 +1,29 @@
 //! Integration tests of the serving subsystem: deterministic replay,
-//! zero-shed under covered capacity, multi-worker accounting, and the
-//! single-worker session's equivalence to a hand-driven serial pipeline.
+//! zero-shed under covered capacity, multi-worker accounting, the
+//! single-worker session's equivalence to a hand-driven serial pipeline,
+//! netsim-transport replay, cross-session carry-over, and property-based
+//! shedding/outcome accounting invariants.
 
+use nela::netsim::NetworkConfig;
 use nela::{auto_shard_axis, BoundingAlgo, CloakingEngine, ClusteringAlgo, Params, System};
 use nela_lbs::{refine_knn, refine_range, CloakedQuery, LbsServer, PoiStore};
 use nela_serve::report::answer_hash;
-use nela_serve::{run_with_system, QueryKind, QueryMix, ServeConfig};
+use nela_serve::{run_session, run_with_system, QueryKind, QueryMix, ServeConfig, Transport};
+use proptest::prelude::*;
+use std::sync::OnceLock;
 
 fn small_system(n: usize) -> System {
     System::build(&Params {
         threads: 1,
         ..Params::scaled(n)
     })
+}
+
+/// One shared system for the property tests — building the WPG per proptest
+/// case would dominate the suite's runtime.
+fn shared_system() -> &'static System {
+    static SYSTEM: OnceLock<System> = OnceLock::new();
+    SYSTEM.get_or_init(|| small_system(1_500))
 }
 
 /// A config whose queue capacity covers every request, so shedding is
@@ -137,6 +149,10 @@ fn multi_worker_run_accounts_for_every_arrival() {
     assert!(report.e2e.p50_ns <= report.e2e.p95_ns);
     assert!(report.e2e.p95_ns <= report.e2e.p99_ns);
     assert!(report.e2e.p99_ns <= report.e2e.max_ns);
+    assert!(
+        report.e2e.p50_ns.is_some(),
+        "served requests have latencies"
+    );
 }
 
 #[test]
@@ -159,4 +175,159 @@ fn tiny_queue_under_overload_sheds_but_never_loses_accounting() {
         report.admitted
     );
     assert!(report.max_queue_depth <= 4);
+}
+
+#[test]
+fn netsim_single_worker_replays_bit_identically() {
+    let system = small_system(1_500);
+    let cfg = ServeConfig {
+        transport: Transport::Netsim(NetworkConfig {
+            loss: 0.05,
+            seed: 21,
+            ..NetworkConfig::default()
+        }),
+        ..covered_config(13)
+    };
+    let a = run_with_system(&system, &cfg).unwrap();
+    let b = run_with_system(&system, &cfg).unwrap();
+    assert_eq!(a.shed, 0, "capacity covers all requests");
+    assert_eq!(
+        (a.served, a.failed, a.expired),
+        (b.served, b.failed, b.expired)
+    );
+    assert_eq!(
+        a.answers_digest, b.answers_digest,
+        "lossy netsim replay must be bit-identical at a fixed seed"
+    );
+    let (na, nb) = (a.net.unwrap(), b.net.unwrap());
+    assert_eq!(na.transmissions, nb.transmissions);
+    assert_eq!(na.retransmits, nb.retransmits);
+    assert_eq!(na.timeouts, nb.timeouts);
+    assert!(
+        na.transmissions > 0,
+        "netsim run must put traffic on the air"
+    );
+}
+
+#[test]
+fn netsim_transport_matches_in_process_results_when_lossless() {
+    let system = small_system(1_500);
+    let cfg = covered_config(17);
+    let in_proc = run_with_system(&system, &cfg).unwrap();
+    let simmed = run_with_system(
+        &system,
+        &ServeConfig {
+            transport: Transport::Netsim(NetworkConfig::default()),
+            ..cfg
+        },
+    )
+    .unwrap();
+    // A lossless network never changes a protocol outcome — only adds
+    // virtual latency accounting — so the answer digests must agree.
+    assert_eq!(in_proc.answers_digest, simmed.answers_digest);
+    assert_eq!(in_proc.served, simmed.served);
+    assert_eq!(simmed.net.unwrap().rpcs_failed, 0);
+}
+
+#[test]
+fn zero_survivor_carry_over_serves_bit_identically_to_cold() {
+    // Checkpoint taken over system A, resumed against system B (same size,
+    // different placement seed): every position differs bitwise, the epoch
+    // audit drops every carried cluster, and the resumed session must be
+    // indistinguishable from a cold start — counts and digest.
+    let a = small_system(1_500);
+    let b = System::build(&Params {
+        threads: 1,
+        seed: 999,
+        ..Params::scaled(1_500)
+    });
+    let cfg = covered_config(19);
+    let checkpoint = run_session(&a, &cfg, None).unwrap().checkpoint;
+    assert!(checkpoint.active_clusters() > 0);
+
+    let cold = run_session(&b, &cfg, None).unwrap().report;
+    let resumed = run_session(&b, &cfg, Some(checkpoint)).unwrap().report;
+    assert_eq!(resumed.carried_clusters, 0, "audit must drop everything");
+    assert_eq!(
+        (cold.served, cold.failed, cold.expired, cold.reused),
+        (
+            resumed.served,
+            resumed.failed,
+            resumed.expired,
+            resumed.reused
+        )
+    );
+    assert_eq!(
+        cold.answers_digest, resumed.answers_digest,
+        "zero-survivor resume must replay the cold session bit for bit"
+    );
+}
+
+#[test]
+fn carry_over_lifts_reuse_rate_at_steady_state() {
+    let system = small_system(1_500);
+    let cfg = ServeConfig {
+        requests: 200,
+        ..covered_config(23)
+    };
+    let first = run_session(&system, &cfg, None).unwrap();
+    let cold = run_session(&system, &cfg, None).unwrap().report;
+    let resumed = run_session(&system, &cfg, Some(first.checkpoint))
+        .unwrap()
+        .report;
+    assert!(resumed.carried_clusters > 0);
+    assert!(
+        resumed.reuse_rate.unwrap() > cold.reuse_rate.unwrap(),
+        "carried clusters must lift the reuse rate: {:?} vs {:?}",
+        resumed.reuse_rate,
+        cold.reuse_rate
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The two conservation laws of the serving loop, under any mix of
+    /// overload, worker count, queue depth, deadline pressure, and
+    /// carry-over: every arrival is admitted or shed, and every admitted
+    /// request reaches exactly one of served / failed / expired.
+    #[test]
+    fn shedding_accounting_balances_under_any_load(
+        rate in (0usize..3).prop_map(|i| [2_000.0f64, 50_000.0, 1_000_000.0][i]),
+        workers in 1usize..5,
+        cap in (0usize..3).prop_map(|i| [4usize, 32, 256][i]),
+        deadline_us in (0u8..2).prop_map(|i| (i == 1).then_some(200u64)),
+        carry in (0u8..2).prop_map(|i| i == 1),
+        seed in 0u64..1_000,
+    ) {
+        let system = shared_system();
+        let cfg = ServeConfig {
+            requests: 40,
+            rate,
+            workers,
+            queue_capacity: cap,
+            deadline: deadline_us.map(std::time::Duration::from_micros),
+            seed,
+            query: QueryMix::Knn { k: 4 },
+            ..ServeConfig::default()
+        };
+        let prior = if carry {
+            Some(run_session(system, &cfg, None).unwrap().checkpoint)
+        } else {
+            None
+        };
+        let r = run_session(system, &cfg, prior).unwrap().report;
+        prop_assert_eq!(r.admitted + r.shed, r.requests, "offered = admitted + shed");
+        prop_assert_eq!(
+            r.served + r.failed + r.expired,
+            r.admitted,
+            "served + failed + expired = admitted"
+        );
+        prop_assert!(r.reused <= r.served, "reuse is a subset of served");
+        prop_assert!(r.max_queue_depth <= cap);
+        prop_assert_eq!(r.e2e.count, r.served);
+        if r.served == 0 {
+            prop_assert!(r.e2e.p50_ns.is_none(), "no samples, no percentiles");
+        }
+    }
 }
